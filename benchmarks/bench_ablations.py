@@ -1,0 +1,196 @@
+"""ABL-1 — ablations of GS3's design choices.
+
+Three experiments, each disabling one mechanism DESIGN.md calls out:
+
+* **IL anchoring** (``anchor_on_il``): deriving neighbour ILs from the
+  exact lattice (via the diffused GR) vs from the head's physical
+  position — the paper's defence against deviation accumulating band
+  by band;
+* **cell shift** (``enable_cell_shift``): the Omega(n_c) structure
+  lifetime claim (Appendix 1 row 2);
+* **sanity checking** (``enable_sanity_check``): recovery from state
+  corruption.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import ascii_table, to_csv
+from repro.core import (
+    GS3Config,
+    Gs3DynamicSimulation,
+    Gs3Simulation,
+    check_static_invariant,
+)
+from repro.geometry import hex_distance
+from repro.net import EnergyConfig, uniform_disk
+from repro.sim import RngStreams
+
+from conftest import save_result
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_il_anchoring_prevents_drift(benchmark, results_dir):
+    """Head placement error by band, with and without IL anchoring."""
+    deployment = uniform_disk(520.0, 3400, RngStreams(601))
+
+    def run(anchor):
+        config = GS3Config(
+            ideal_radius=100.0, radius_tolerance=25.0, anchor_on_il=anchor
+        )
+        sim = Gs3Simulation.from_deployment(
+            deployment, config, seed=601, keep_trace_records=False
+        )
+        sim.run_to_quiescence()
+        snapshot = sim.snapshot()
+        by_band = {}
+        for view in snapshot.heads.values():
+            band = hex_distance(view.cell_axial)
+            error = view.position.distance_to(
+                snapshot.lattice.point(view.cell_axial)
+            )
+            by_band.setdefault(band, []).append(error)
+        return {
+            band: max(errors) for band, errors in sorted(by_band.items())
+        }
+
+    results = {}
+
+    def both():
+        results["exact"] = run(anchor=True)
+        results["drift"] = run(anchor=False)
+        return results
+
+    benchmark.pedantic(both, rounds=1, iterations=1)
+    exact, drift = results["exact"], results["drift"]
+    bands = sorted(set(exact) & set(drift))
+    rows = [[band, exact[band], drift[band]] for band in bands]
+    table = ascii_table(
+        ["band", "max error (IL anchor)", "max error (position anchor)"],
+        rows,
+        title="Ablation: drift accumulation without IL anchoring",
+    )
+    save_result("ablation_drift.txt", table)
+    save_result(
+        "ablation_drift.csv",
+        to_csv(["band", "exact_error", "drift_error"], rows),
+    )
+    # IL anchoring: error bounded by R_t at EVERY band.
+    assert all(error <= 25.0 + 1e-6 for error in exact.values())
+    # Position anchoring: error grows past R_t somewhere.
+    assert max(drift.values()) > 25.0
+    # And the outermost drift exceeds the innermost (accumulation).
+    outer = max(bands)
+    inner_bands = [b for b in bands if b <= 1]
+    assert drift[outer] > max(drift[b] for b in inner_bands)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_cell_shift_extends_lifetime(benchmark, results_dir):
+    """Structure lifetime with and without STRENGTHEN_CELL."""
+    energy = EnergyConfig(
+        initial=2000.0,
+        head_drain=10.0,
+        candidate_drain=0.5,
+        associate_drain=0.2,
+    )
+
+    def lifetime(enable_cell_shift):
+        config = GS3Config(
+            ideal_radius=100.0,
+            radius_tolerance=25.0,
+            enable_cell_shift=enable_cell_shift,
+        )
+        deployment = uniform_disk(220.0, 700, RngStreams(602))
+        sim = Gs3DynamicSimulation.from_deployment(
+            deployment, config, seed=602, keep_trace_records=False
+        )
+        sim.run_until_stable(window=60.0, max_time=5000.0)
+        initial_cells = len(sim.snapshot().heads)
+        sim.attach_energy(energy)
+        start = sim.now
+        horizon = 6000.0
+        while sim.now - start < horizon:
+            sim.run_for(250.0)
+            if len(sim.snapshot().heads) < 0.7 * initial_cells:
+                return sim.now - start, sim.tracer.count("cell.shift")
+        return horizon, sim.tracer.count("cell.shift")
+
+    results = {}
+
+    def both():
+        results["on"] = lifetime(True)
+        results["off"] = lifetime(False)
+        return results
+
+    benchmark.pedantic(both, rounds=1, iterations=1)
+    on_life, on_shifts = results["on"]
+    off_life, off_shifts = results["off"]
+    rows = [
+        ["cell shift ON", on_life, on_shifts],
+        ["cell shift OFF", off_life, off_shifts],
+    ]
+    table = ascii_table(
+        ["variant", "structure lifetime", "cell shifts"],
+        rows,
+        title="Ablation: cell shift lengthens structure lifetime",
+    )
+    save_result("ablation_cell_shift.txt", table)
+    assert on_shifts > 0
+    assert off_shifts == 0
+    assert on_life >= off_life
+    benchmark.extra_info["lifetime_gain"] = on_life / max(off_life, 1.0)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_sanity_check_required_for_corruption_recovery(
+    benchmark, results_dir
+):
+    """Corruption recovery with and without SANITY_CHECK."""
+
+    def run(enable_sanity):
+        config = GS3Config(
+            ideal_radius=100.0,
+            radius_tolerance=25.0,
+            enable_sanity_check=enable_sanity,
+        )
+        deployment = uniform_disk(260.0, 850, RngStreams(603))
+        sim = Gs3DynamicSimulation.from_deployment(
+            deployment, config, seed=603, keep_trace_records=False
+        )
+        sim.run_until_stable(window=60.0, max_time=5000.0)
+        victim = next(
+            v for v in sim.snapshot().heads.values() if not v.is_big
+        )
+        sim.corrupt_node(victim.node_id)
+        sim.run_for(1500.0)
+        snapshot = sim.snapshot()
+        violations = check_static_invariant(
+            snapshot, sim.network, dynamic=True
+        )
+        return sim.tracer.count("sanity.reset"), len(violations)
+
+    results = {}
+
+    def both():
+        results["on"] = run(True)
+        results["off"] = run(False)
+        return results
+
+    benchmark.pedantic(both, rounds=1, iterations=1)
+    on_resets, on_violations = results["on"]
+    off_resets, off_violations = results["off"]
+    rows = [
+        ["sanity check ON", on_resets, on_violations],
+        ["sanity check OFF", off_resets, off_violations],
+    ]
+    table = ascii_table(
+        ["variant", "sanity resets", "invariant violations after 2000 ticks"],
+        rows,
+        title="Ablation: sanity checking heals state corruption",
+    )
+    save_result("ablation_sanity.txt", table)
+    assert on_resets >= 1
+    assert on_violations == 0
+    assert off_resets == 0

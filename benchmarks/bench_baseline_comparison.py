@@ -1,0 +1,173 @@
+"""CLAIM-BASE — GS3 vs the Section 6 baselines.
+
+Compares, on the *same* deployment:
+
+* **GS3** — tightly bounded geographic radius, near-zero overlap, local
+  healing;
+* **LEACH** — no placement or radius guarantee, large radius spread,
+  heals only by global re-clustering (cost ~ the whole network every
+  round);
+* **hop clustering** — bounded logical radius but looser geographic
+  radius spread and heavy overlap.
+
+Reported rows: head count, radius mean/max/stddev, overlap fraction,
+and the message cost of healing one head failure.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis import (
+    ascii_table,
+    snapshot_to_clusters,
+    structure_quality,
+    to_csv,
+)
+from repro.baselines import LeachClustering, LeachConfig, hop_clustering
+from repro.core import GS3Config, Gs3DynamicSimulation
+from repro.net import uniform_disk
+from repro.sim import RngStreams
+
+from conftest import save_result
+
+CONFIG = GS3Config(ideal_radius=100.0, radius_tolerance=25.0)
+FIELD_RADIUS = 350.0
+N_NODES = 1500
+SEED = 501
+
+
+def gs3_quality_and_heal_cost():
+    deployment = uniform_disk(FIELD_RADIUS, N_NODES, RngStreams(SEED))
+    sim = Gs3DynamicSimulation.from_deployment(
+        deployment, CONFIG, seed=SEED, keep_trace_records=False
+    )
+    sim.run_until_stable(window=60.0, max_time=5000.0)
+    snapshot = sim.snapshot()
+    quality = structure_quality(snapshot_to_clusters(snapshot))
+    # Heal one head failure; count messages beyond steady-state rate.
+    steady_window = 500.0
+    before_msgs = sim.tracer.count_prefix("msg.")
+    sim.run_for(steady_window)
+    steady_rate = (sim.tracer.count_prefix("msg.") - before_msgs) / steady_window
+    victim = next(
+        v for v in sim.snapshot().heads.values() if not v.is_big
+    )
+    heal_start_msgs = sim.tracer.count_prefix("msg.")
+    heal_start = sim.now
+    sim.kill_node(victim.node_id)
+    sim.run_until_stable(window=120.0, max_time=sim.now + 20000.0)
+    heal_msgs = sim.tracer.count_prefix("msg.") - heal_start_msgs
+    heal_extra = max(0.0, heal_msgs - steady_rate * (sim.now - heal_start))
+    return quality, heal_extra, deployment
+
+
+def leach_quality_and_heal_cost(deployment):
+    positions = {
+        i: p for i, p in enumerate(deployment.all_positions())
+    }
+    # Match GS3's head density for a fair radius comparison.
+    cell_area = 3 * math.sqrt(3) / 2 * CONFIG.ideal_radius**2
+    head_fraction = min(
+        0.5, (math.pi * FIELD_RADIUS**2 / cell_area) / len(positions)
+    )
+    leach = LeachClustering(
+        positions, LeachConfig(head_fraction), random.Random(SEED)
+    )
+    clusters = leach.run_round()
+    quality = structure_quality(clusters)
+    # LEACH heals any failure by re-clustering globally next round.
+    return quality, float(leach.messages_per_round())
+
+
+def hop_quality(deployment):
+    network = deployment.build_network(
+        max_range=CONFIG.recommended_max_range
+    )
+    # Hop bound of 1 matches GS3's one-hop cells under this radio range.
+    clusters = hop_clustering(network, max_hops=1)
+    return structure_quality(clusters)
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_baseline_comparison(benchmark, results_dir):
+    results = {}
+
+    def run_all():
+        gs3_q, gs3_heal, deployment = gs3_quality_and_heal_cost()
+        leach_q, leach_heal = leach_quality_and_heal_cost(deployment)
+        hop_q = hop_quality(deployment)
+        results.update(
+            gs3=(gs3_q, gs3_heal), leach=(leach_q, leach_heal), hop=(hop_q, None)
+        )
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+    gs3_q, gs3_heal = results["gs3"]
+    leach_q, leach_heal = results["leach"]
+    hop_q, _ = results["hop"]
+
+    def row(name, quality, heal):
+        return [
+            name,
+            quality.head_count,
+            quality.radius.mean,
+            quality.radius.max,
+            quality.radius.stddev,
+            quality.overlap,
+            heal if heal is not None else "n/a",
+        ]
+
+    rows = [
+        row("GS3", gs3_q, gs3_heal),
+        row("LEACH", leach_q, leach_heal),
+        row("hop-cluster", hop_q, None),
+    ]
+    table = ascii_table(
+        [
+            "algorithm",
+            "heads",
+            "radius mean",
+            "radius max",
+            "radius stddev",
+            "overlap",
+            "heal msgs (1 head)",
+        ],
+        rows,
+        title="GS3 vs baselines (same deployment)",
+    )
+    save_result("baseline_comparison.txt", table)
+    save_result(
+        "baseline_comparison.csv",
+        to_csv(
+            [
+                "algorithm",
+                "heads",
+                "radius_mean",
+                "radius_max",
+                "radius_stddev",
+                "overlap",
+                "heal_messages",
+            ],
+            [
+                [r[0], r[1], r[2], r[3], r[4], r[5], r[6] if r[6] != "n/a" else -1]
+                for r in rows
+            ],
+        ),
+    )
+
+    # The paper's qualitative claims:
+    # 1. GS3's radius is tightly bounded; LEACH's spread is much wider.
+    assert gs3_q.radius.max <= (
+        math.sqrt(3) * CONFIG.ideal_radius + 2 * CONFIG.radius_tolerance + 1e-6
+    )
+    assert leach_q.radius.max > 1.5 * gs3_q.radius.max or (
+        leach_q.radius.stddev > 2.0 * gs3_q.radius.stddev
+    )
+    # 2. GS3 overlap is low relative to LEACH/hop clustering.
+    assert gs3_q.overlap <= leach_q.overlap + 0.1
+    # 3. GS3 heals one head failure locally; LEACH pays a global round.
+    assert gs3_heal < leach_heal * 1.2
+    benchmark.extra_info["gs3_heal_msgs"] = gs3_heal
+    benchmark.extra_info["leach_heal_msgs"] = leach_heal

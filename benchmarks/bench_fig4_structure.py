@@ -1,0 +1,142 @@
+"""FIG-1/4 — the self-configured cellular hexagonal structure.
+
+Regenerates Figure 4: runs GS3-S on a random uniform deployment and
+reports the structural guarantees the figure illustrates —
+
+* neighbouring-head distances inside ``[sqrt(3)R - 2R_t,
+  sqrt(3)R + 2R_t]`` (Corollary 1),
+* six neighbours per inner head, children bounds (I2.3),
+* cell radius within ``R + 2R_t/sqrt(3)`` for inner cells (I2.4),
+* zero fixpoint violations (Theorems 1, 2),
+
+plus an ASCII rendering of the structure itself.  The timed portion is
+the full diffusing computation.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    ascii_table,
+    band_occupancy,
+    neighbor_distance_statistics,
+    render_structure_map,
+    snapshot_to_clusters,
+    structure_quality,
+    to_csv,
+)
+from repro.core import GS3Config, Gs3Simulation, check_static_fixpoint
+from repro.net import uniform_disk
+from repro.sim import RngStreams
+
+from conftest import save_result
+
+CONFIG = GS3Config(ideal_radius=100.0, radius_tolerance=25.0)
+
+
+def run_configuration(seed: int, field_radius: float, n_nodes: int):
+    deployment = uniform_disk(field_radius, n_nodes, RngStreams(seed))
+    sim = Gs3Simulation.from_deployment(
+        deployment, CONFIG, seed=seed, keep_trace_records=True
+    )
+    sim.run_to_quiescence()
+    return sim, deployment
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_structure(benchmark, results_dir):
+    sim_holder = {}
+
+    def configure():
+        sim_holder["result"] = run_configuration(
+            seed=42, field_radius=450.0, n_nodes=2500
+        )
+        return sim_holder["result"]
+
+    benchmark.pedantic(configure, rounds=3, iterations=1)
+    sim, deployment = sim_holder["result"]
+    snapshot = sim.snapshot()
+    gaps = sim.gap_axials()
+
+    distances = neighbor_distance_statistics(snapshot)
+    quality = structure_quality(
+        snapshot_to_clusters(snapshot),
+        radius_bound=math.sqrt(3) * CONFIG.ideal_radius
+        + 2 * CONFIG.radius_tolerance,
+    )
+    violations = check_static_fixpoint(
+        snapshot, sim.network, field=deployment.field, gap_axials=gaps
+    )
+    occupancy = band_occupancy(snapshot)
+
+    rows = [
+        ["cells", len(snapshot.heads)],
+        ["nodes", deployment.node_count],
+        ["convergence ticks", sim.now],
+        ["messages", sim.tracer.count_prefix("msg.")],
+        ["neighbour distance mean", distances.mean],
+        ["neighbour distance min", distances.min],
+        ["neighbour distance max", distances.max],
+        ["band low (sqrt3 R - 2Rt)", CONFIG.neighbor_distance_low],
+        ["band high (sqrt3 R + 2Rt)", CONFIG.neighbor_distance_high],
+        ["cell radius mean", quality.radius.mean],
+        ["cell radius max", quality.radius.max],
+        ["inner radius bound", CONFIG.max_cell_radius],
+        ["overlap fraction", quality.overlap],
+        ["fixpoint violations", len(violations)],
+        ["Rt-gap cells", len(gaps)],
+    ]
+    table = ascii_table(["metric", "value"], rows, title="Figure 4 metrics")
+    art = render_structure_map(
+        snapshot.head_positions(),
+        [v.position for v in snapshot.associates.values()],
+        title="Figure 4: self-configured cellular hexagonal structure",
+    )
+    save_result("fig4_structure.txt", table + "\n\n" + art)
+    save_result(
+        "fig4_bands.csv",
+        to_csv(
+            ["band", "occupied_cells", "full_ring"],
+            [
+                [band, count, 6 * band if band else 1]
+                for band, count in sorted(occupancy.items())
+            ],
+        ),
+    )
+
+    # The figure's guarantees as hard assertions.
+    assert violations == []
+    assert distances.min >= CONFIG.neighbor_distance_low - 1e-6
+    assert distances.max <= CONFIG.neighbor_distance_high + 1e-6
+    benchmark.extra_info["cells"] = len(snapshot.heads)
+    benchmark.extra_info["neighbor_distance_mean"] = distances.mean
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_structure_scales(benchmark):
+    """Same structure at 2x the area: guarantees are size-independent."""
+    sim_holder = {}
+
+    def configure():
+        sim_holder["result"] = run_configuration(
+            seed=43, field_radius=650.0, n_nodes=5200
+        )
+        return sim_holder["result"]
+
+    benchmark.pedantic(configure, rounds=1, iterations=1)
+    sim, deployment = sim_holder["result"]
+    snapshot = sim.snapshot()
+    distances = neighbor_distance_statistics(snapshot)
+    assert distances.min >= CONFIG.neighbor_distance_low - 1e-6
+    assert distances.max <= CONFIG.neighbor_distance_high + 1e-6
+    assert (
+        check_static_fixpoint(
+            snapshot,
+            sim.network,
+            field=deployment.field,
+            gap_axials=sim.gap_axials(),
+        )
+        == []
+    )
+    benchmark.extra_info["cells"] = len(snapshot.heads)

@@ -1,0 +1,123 @@
+"""FIG-7 — expected ratio of non-ideal cells vs R_t / R.
+
+Regenerates the paper's Figure 7 (parameters: system radius 1000,
+R = 100, lambda = 10): the analytical curve ``alpha = exp(-R_t^2
+lambda)`` over ``R_t / R`` in [0.005, 0.05], reproducing the headline
+observation that the ratio is ~0 once ``R_t / R >= 0.02``.
+
+The paper computes this figure from the closed form (its deployment —
+lambda=10 nodes per unit-radius disk over a radius-1000 field — is 10
+million nodes, far beyond a laptop-scale discrete simulation).  We
+regenerate the same curve *and* validate the closed form by Monte
+Carlo at laptop scale: Poisson fields with the same ``R_t^2 * lambda``
+products, counting the fraction of virtual-structure cells whose
+``R_t``-disk is empty (see DESIGN.md substitution table).
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import ascii_chart, figure7_curve, to_csv
+from repro.geometry import HexLattice, Vec2, spiral_axials
+from repro.net import poisson_disk, rt_gap_cells
+from repro.sim import RngStreams
+
+from conftest import save_result
+
+PAPER_R = 100.0
+PAPER_LAMBDA = 10.0
+RT_OVER_R = [0.005 + 0.0025 * i for i in range(19)]  # 0.005 .. 0.05
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_analytical_curve(benchmark, results_dir):
+    curve = benchmark(figure7_curve, RT_OVER_R, PAPER_R, PAPER_LAMBDA)
+    chart = ascii_chart(
+        {"expected ratio (analytical)": curve},
+        title=(
+            "Figure 7: expected ratio of non-ideal cells "
+            "(R=100, lambda=10)"
+        ),
+        x_label="R_t / R",
+        y_label="ratio",
+    )
+    save_result("fig7_curve.txt", chart)
+    save_result(
+        "fig7_curve.csv",
+        to_csv(["rt_over_r", "expected_ratio"], [list(p) for p in curve]),
+    )
+    # Headline claims of Section 4.3.4.
+    as_dict = dict(curve)
+    assert as_dict[0.005] > 0.05  # visibly non-zero at the left edge
+    assert as_dict[min(RT_OVER_R, key=lambda r: abs(r - 0.02))] < 1e-10
+    ys = [y for _, y in curve]
+    assert ys == sorted(ys, reverse=True)
+
+
+def empirical_gap_fraction(
+    rt: float, density_lambda: float, field_radius: float, r: float, seeds
+):
+    """Fraction of virtual-structure cells that are R_t-gap perturbed."""
+    total_cells = 0
+    gap_cells = 0
+    for seed in seeds:
+        deployment = poisson_disk(
+            field_radius, density_lambda, RngStreams(seed)
+        )
+        lattice = HexLattice(Vec2(0, 0), math.sqrt(3.0) * r)
+        cells_in_field = [
+            axial
+            for axial in spiral_axials(
+                int(math.ceil(field_radius / lattice.spacing)) + 2
+            )
+            if lattice.point(axial).norm() <= field_radius
+        ]
+        gaps = rt_gap_cells(deployment, lattice, rt)
+        total_cells += len(cells_in_field)
+        gap_cells += len(gaps)
+    return gap_cells / total_cells if total_cells else 0.0
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_monte_carlo_validation(benchmark, results_dir):
+    """Empirical gap fractions match alpha = exp(-R_t^2 lambda).
+
+    Laptop-scale sweep: R = 8, field radius 40 (about 30 cells per
+    field), lambda = 2, R_t chosen so R_t^2 * lambda spans the same
+    range of alpha as the paper's x-axis.
+    """
+    r = 8.0
+    field_radius = 40.0
+    density_lambda = 2.0
+    rts = [0.4, 0.7, 1.0, 1.3, 1.6]
+    seeds = range(100, 130)
+
+    def sweep():
+        rows = []
+        for rt in rts:
+            alpha = math.exp(-(rt**2) * density_lambda)
+            measured = empirical_gap_fraction(
+                rt, density_lambda, field_radius, r, seeds
+            )
+            rows.append([rt, alpha, measured])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    chart = ascii_chart(
+        {
+            "analytical alpha": [(row[0], row[1]) for row in rows],
+            "measured fraction": [(row[0], row[2]) for row in rows],
+        },
+        title="Figure 7 validation: measured gap fraction vs alpha",
+        x_label="R_t",
+        y_label="fraction",
+    )
+    save_result("fig7_validation.txt", chart)
+    save_result(
+        "fig7_validation.csv",
+        to_csv(["rt", "alpha", "measured"], rows),
+    )
+    for rt, alpha, measured in rows:
+        # Binomial noise over ~900 cells: allow generous absolute slack.
+        assert abs(measured - alpha) < max(0.06, 3.5 * math.sqrt(alpha / 900))

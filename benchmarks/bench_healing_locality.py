@@ -1,0 +1,149 @@
+"""CLAIM-HEAL — local self-healing (Section 4.3.5, Appendix 1 rows 2-3).
+
+Kills disk-shaped regions of increasing diameter ``D_p`` and measures:
+
+* **healing time** — grows with ``D_p`` (the paper: within a one-way
+  message diffusion across the perturbed area) and is independent of
+  the total network size;
+* **impact locality** — the set of cells whose tree edge changed stays
+  within a bounded factor of the perturbed region.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import ascii_table, measure_healing, to_csv
+from repro.core import GS3Config, Gs3DynamicSimulation
+from repro.geometry import Vec2
+from repro.net import uniform_disk
+from repro.sim import RngStreams
+
+from conftest import save_result
+
+CONFIG = GS3Config(ideal_radius=100.0, radius_tolerance=25.0)
+DENSITY = 1100 / (math.pi * 300.0**2)
+
+
+def configure(field_radius: float, seed: int) -> Gs3DynamicSimulation:
+    n_nodes = int(DENSITY * math.pi * field_radius**2)
+    deployment = uniform_disk(field_radius, n_nodes, RngStreams(seed))
+    sim = Gs3DynamicSimulation.from_deployment(
+        deployment, CONFIG, seed=seed, keep_trace_records=False
+    )
+    sim.run_until_stable(window=60.0, max_time=5000.0)
+    return sim
+
+
+@pytest.mark.benchmark(group="healing")
+def test_healing_time_scales_with_dp_not_network(benchmark, results_dir):
+    def sweep():
+        rows = []
+        for field_radius, label in ((300.0, "small net"), (430.0, "large net")):
+            for kill_radius in (60.0, 110.0, 160.0):
+                sim = configure(field_radius, seed=301)
+                center = Vec2(field_radius * 0.4, 0.0)
+                measurement = measure_healing(
+                    sim,
+                    perturb=lambda s=sim, c=center, r=kill_radius: s.kill_region(
+                        c, r
+                    ),
+                    center=center,
+                    perturbed_radius=kill_radius,
+                    window=150.0,
+                )
+                rows.append(
+                    [
+                        label,
+                        field_radius,
+                        2 * kill_radius,
+                        measurement.healing_time,
+                        measurement.changed_cell_count,
+                        measurement.impact_radius,
+                    ]
+                )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = ascii_table(
+        [
+            "network",
+            "field radius",
+            "D_p",
+            "healing time",
+            "cells changed",
+            "impact radius",
+        ],
+        rows,
+        title="Healing locality: time ~ O(D_p), independent of field size",
+    )
+    save_result("healing_locality.txt", table)
+    save_result(
+        "healing_locality.csv",
+        to_csv(
+            [
+                "network",
+                "field_radius",
+                "d_p",
+                "healing_time",
+                "cells_changed",
+                "impact_radius",
+            ],
+            rows,
+        ),
+    )
+    # Shape assertions:
+    small = {row[2]: row[3] for row in rows if row[0] == "small net"}
+    large = {row[2]: row[3] for row in rows if row[0] == "large net"}
+    # 1. healing time grows with D_p within each network...
+    assert small[320.0] >= small[120.0] * 0.8
+    # 2. ...and does not scale with network size (within noise):
+    for dp in small:
+        assert large[dp] < 6.0 * max(small[dp], CONFIG.heartbeat_interval * 10)
+    # 3. the impact stays near the perturbed area: every changed cell
+    #    within the kill radius plus a few cell widths.
+    for row in rows:
+        assert row[5] <= row[2] / 2 + 4.0 * CONFIG.lattice_spacing
+
+
+@pytest.mark.benchmark(group="healing")
+def test_single_head_kill_heals_in_constant_time(benchmark, results_dir):
+    """The smallest perturbation: healing time ~ the claim ladder, not
+    the network diameter."""
+
+    def run():
+        rows = []
+        for field_radius in (300.0, 430.0):
+            sim = configure(field_radius, seed=303)
+            snapshot = sim.snapshot()
+            victim = next(
+                v for v in snapshot.heads.values() if not v.is_big
+            )
+            measurement = measure_healing(
+                sim,
+                perturb=lambda s=sim, v=victim: s.kill_node(v.node_id),
+                center=victim.position,
+                perturbed_radius=CONFIG.radius_tolerance,
+                window=120.0,
+            )
+            rows.append(
+                [
+                    field_radius,
+                    measurement.healing_time,
+                    measurement.changed_cell_count,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = ascii_table(
+        ["field radius", "healing time", "cells changed"],
+        rows,
+        title="Single head kill: masked within the cell",
+    )
+    save_result("healing_single_head.txt", table)
+    for _, healing_time, changed in rows:
+        # Bounded by the failure timeout + claim ladder + settling, far
+        # below any diffusion across the network.
+        assert healing_time < 40.0 * CONFIG.heartbeat_interval
+        assert changed <= 8

@@ -1,0 +1,132 @@
+"""THM-11 — containment of big-node movement (Section 5.3.2).
+
+Moves the big node by increasing distances ``d`` and measures the
+spatial extent of the head-graph impact (cells whose tree edge
+changed).  Theorem 11's idealised bound is a disk of radius
+``sqrt(3) d / 2`` around the move's midpoint; with discrete cells, the
+R_t head-placement slack, and the proxy transient, the reproduction
+target is the *shape*:
+
+* impact is centred near the move (bounded by a few lattice spacings),
+* it scales with ``d``, not with the network diameter,
+* repeating the move on a larger network changes nothing.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import ascii_table, changed_cells, to_csv
+from repro.core import GS3Config, Gs3DynamicSimulation, Gs3MobileNode
+from repro.geometry import Vec2
+from repro.net import uniform_disk
+from repro.sim import RngStreams
+
+from conftest import save_result
+
+CONFIG = GS3Config(ideal_radius=100.0, radius_tolerance=25.0)
+DENSITY = 1200 / (math.pi * 300.0**2)
+
+
+def configure(field_radius: float, seed: int) -> Gs3DynamicSimulation:
+    n_nodes = int(DENSITY * math.pi * field_radius**2)
+    deployment = uniform_disk(field_radius, n_nodes, RngStreams(seed))
+    sim = Gs3DynamicSimulation.from_deployment(
+        deployment,
+        CONFIG,
+        seed=seed,
+        node_class=Gs3MobileNode,
+        keep_trace_records=False,
+    )
+    sim.run_until_stable(window=60.0, max_time=5000.0)
+    return sim
+
+
+def measure_move(sim: Gs3DynamicSimulation, distance: float):
+    big = sim.network.big_id
+    before = sim.snapshot()
+    old_position = sim.network.node(big).position
+    new_position = old_position + Vec2(distance, 0.0)
+    midpoint = old_position.midpoint(new_position)
+    sim.move_node(big, new_position)
+    sim.run_until_stable(window=150.0, max_time=sim.now + 40000.0)
+    after = sim.snapshot()
+    changed = changed_cells(before, after)
+    radius = 0.0
+    for axial in changed:
+        view = after.head_by_axial.get(axial) or before.head_by_axial.get(
+            axial
+        )
+        if view is not None:
+            radius = max(radius, view.position.distance_to(midpoint))
+    return len(changed), radius
+
+
+@pytest.mark.benchmark(group="thm11")
+def test_containment_scales_with_move_distance(benchmark, results_dir):
+    spacing = CONFIG.lattice_spacing
+
+    def sweep():
+        rows = []
+        for factor in (1.0, 1.5, 2.0):
+            sim = configure(field_radius=400.0, seed=401)
+            distance = factor * spacing
+            changed, radius = measure_move(sim, distance)
+            rows.append(
+                [
+                    distance,
+                    math.sqrt(3) * distance / 2.0,
+                    changed,
+                    radius,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = ascii_table(
+        ["move d", "sqrt(3)d/2", "cells changed", "impact radius"],
+        rows,
+        title="Theorem 11: impact of big-node moves",
+    )
+    save_result("thm11_containment.txt", table)
+    save_result(
+        "thm11_containment.csv",
+        to_csv(
+            ["d", "bound_sqrt3_d_over_2", "cells_changed", "impact_radius"],
+            rows,
+        ),
+    )
+    # Impact stays within the theorem's disk plus discrete-cell slack,
+    # and never spans the network.
+    slack = 2.5 * CONFIG.lattice_spacing
+    for distance, bound, changed, radius in rows:
+        assert radius <= bound + slack
+        assert changed <= 30
+    # Larger moves touch at least as much as the smallest move did.
+    assert rows[-1][2] >= rows[0][2] * 0.5
+
+
+@pytest.mark.benchmark(group="thm11")
+def test_containment_independent_of_network_size(benchmark, results_dir):
+    spacing = CONFIG.lattice_spacing
+
+    def sweep():
+        rows = []
+        for field_radius in (320.0, 470.0):
+            sim = configure(field_radius=field_radius, seed=402)
+            changed, radius = measure_move(sim, spacing)
+            rows.append([field_radius, changed, radius])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = ascii_table(
+        ["field radius", "cells changed", "impact radius"],
+        rows,
+        title="Theorem 11: impact independent of network size (d = sqrt(3)R)",
+    )
+    save_result("thm11_size_independence.txt", table)
+    small_changed, large_changed = rows[0][1], rows[1][1]
+    # A ~2.5x bigger network does not proportionally grow the impact.
+    assert large_changed <= small_changed + 8
+    for _, _, radius in rows:
+        assert radius <= 4.0 * spacing

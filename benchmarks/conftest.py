@@ -1,0 +1,23 @@
+"""Shared benchmark fixtures and result output helpers."""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory where benches drop their CSV/ASCII artifacts."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(name: str, text: str) -> None:
+    """Write a rendered result file and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text)
+    print(f"\n===== {name} =====")
+    print(text)

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Disaster recovery: a mobile commander over a sensor field (GS3-M).
+
+The paper's disaster-recovery motivation: rescue workers scatter sensor
+nodes over a site; the commander's station is the *big node* and walks
+the site.  GS3-M keeps the head graph rooted (via proxies) while the
+big node moves, and the impact of each move is contained near the
+move's midpoint (Theorem 11).
+
+Run:  python examples/disaster_recovery.py
+"""
+
+import math
+
+from repro import GS3Config, Gs3DynamicSimulation, Gs3MobileNode, uniform_disk
+from repro.analysis import ascii_table, changed_cells, tree_edges
+from repro.core import NodeStatus, check_static_invariant
+from repro.geometry import Vec2
+from repro.sim import RngStreams
+
+
+def main() -> None:
+    config = GS3Config(ideal_radius=100.0, radius_tolerance=25.0)
+    deployment = uniform_disk(
+        field_radius=350.0, n_nodes=1600, rng_streams=RngStreams(11)
+    )
+    sim = Gs3DynamicSimulation.from_deployment(
+        deployment, config, seed=11, node_class=Gs3MobileNode
+    )
+    sim.run_until_stable(window=60.0, max_time=5000.0)
+    big = sim.network.big_id
+    print(
+        f"Field configured: {len(sim.snapshot().heads)} cells, commander "
+        f"(big node) at {sim.network.node(big).position.as_tuple()}"
+    )
+
+    # The commander patrols: a few waypoints across the site.
+    spacing = config.lattice_spacing
+    waypoints = [
+        Vec2(spacing, 0.0),
+        Vec2(spacing, spacing),
+        Vec2(0.0, spacing),
+    ]
+    rows = []
+    for waypoint in waypoints:
+        before = sim.snapshot()
+        edges_before = tree_edges(before)
+        old_position = sim.network.node(big).position
+        sim.move_node(big, waypoint)
+        sim.run_until_stable(window=120.0, max_time=sim.now + 30000.0)
+        after = sim.snapshot()
+        moved = old_position.distance_to(waypoint)
+        changed = changed_cells(before, after)
+        status = after.views[big].status
+        rows.append(
+            [
+                f"({waypoint.x:.0f},{waypoint.y:.0f})",
+                f"{moved:.0f}",
+                status.value,
+                len(changed),
+                len(after.heads),
+                len(
+                    check_static_invariant(
+                        after,
+                        sim.network,
+                        field=deployment.field,
+                        gap_axials=sim.gap_axials(),
+                        dynamic=True,
+                    )
+                ),
+            ]
+        )
+    print()
+    print(
+        ascii_table(
+            [
+                "waypoint",
+                "move d",
+                "big status",
+                "cells re-parented",
+                "cells",
+                "invariant violations",
+            ],
+            rows,
+            title="Commander patrol: impact of each move on the head graph",
+        )
+    )
+    print()
+    print(
+        "Theorem 11: the re-parented cells cluster around each move's "
+        "midpoint; the rest of the head graph is untouched."
+    )
+    proxies = sim.tracer.count("proxy.grant")
+    resumes = sim.tracer.count("big.resume")
+    print(f"Proxy handoffs: {proxies}, head-role resumptions: {resumes}")
+
+
+if __name__ == "__main__":
+    main()

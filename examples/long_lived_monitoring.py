@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Long-lived environment monitoring: cell shift in action.
+
+The paper's motivating scenario for GS3-D's *cell shift*: a temperature
+monitoring field whose heads drain energy much faster than associates.
+Without maintenance the structure dies with its first heads; with head
+shift + cell shift the hexagonal structure *slides as a whole* and the
+network outlives its first head generation by a factor of Omega(n_c).
+
+The script runs the same field twice (cell shift on/off) and reports
+how long each keeps full cell coverage.
+
+Run:  python examples/long_lived_monitoring.py
+"""
+
+from repro import EnergyConfig, GS3Config, Gs3DynamicSimulation, uniform_disk
+from repro.analysis import ascii_table
+from repro.sim import RngStreams
+
+FIELD_RADIUS = 250.0
+N_NODES = 900
+ENERGY = EnergyConfig(
+    initial=3000.0,
+    head_drain=10.0,
+    candidate_drain=0.5,
+    associate_drain=0.2,
+)
+HORIZON = 9000.0
+CHECK_EVERY = 250.0
+
+
+def run(enable_cell_shift: bool, seed: int = 7):
+    config = GS3Config(
+        ideal_radius=100.0,
+        radius_tolerance=25.0,
+        enable_cell_shift=enable_cell_shift,
+    )
+    deployment = uniform_disk(FIELD_RADIUS, N_NODES, RngStreams(seed))
+    sim = Gs3DynamicSimulation.from_deployment(deployment, config, seed=seed)
+    sim.run_until_stable(window=60.0, max_time=5000.0)
+    initial_cells = len(sim.snapshot().heads)
+    sim.attach_energy(ENERGY)
+
+    start = sim.now
+    coverage_lost_at = None
+    while sim.now - start < HORIZON:
+        sim.run_for(CHECK_EVERY)
+        snapshot = sim.snapshot()
+        if len(snapshot.heads) < 0.7 * initial_cells:
+            coverage_lost_at = sim.now - start
+            break
+    snapshot = sim.snapshot()
+    return {
+        "initial_cells": initial_cells,
+        "final_cells": len(snapshot.heads),
+        "alive_nodes": sim.network.alive_count(),
+        "cell_shifts": sim.tracer.count("cell.shift"),
+        "head_claims": sim.tracer.count("head.claim"),
+        "lifetime": coverage_lost_at
+        if coverage_lost_at is not None
+        else HORIZON,
+        "lifetime_capped": coverage_lost_at is None,
+    }
+
+
+def main() -> None:
+    print("Long-lived monitoring: heads drain 50x faster than associates.")
+    print("Lifetime = time until <70% of the initial cells remain headed.")
+    print()
+    with_shift = run(enable_cell_shift=True)
+    without_shift = run(enable_cell_shift=False)
+    rows = []
+    for label, result in (
+        ("cell shift ON", with_shift),
+        ("cell shift OFF", without_shift),
+    ):
+        lifetime = (
+            f">={result['lifetime']:.0f}"
+            if result["lifetime_capped"]
+            else f"{result['lifetime']:.0f}"
+        )
+        rows.append(
+            [
+                label,
+                result["initial_cells"],
+                result["final_cells"],
+                result["cell_shifts"],
+                result["head_claims"],
+                lifetime,
+            ]
+        )
+    print(
+        ascii_table(
+            [
+                "variant",
+                "cells@0",
+                "cells@end",
+                "shifts",
+                "claims",
+                "lifetime",
+            ],
+            rows,
+        )
+    )
+    gain = with_shift["lifetime"] / max(without_shift["lifetime"], 1.0)
+    print()
+    print(
+        f"Structure lifetime gain from intra/inter-cell maintenance: "
+        f">= {gain:.1f}x (paper: Omega(n_c))"
+    )
+
+
+if __name__ == "__main__":
+    main()

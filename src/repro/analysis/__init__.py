@@ -1,0 +1,78 @@
+"""Analysis: metrics, theory curves, convergence, and text plotting."""
+
+from .frequency import ChannelPlan, assign_channels, ideal_channel_count
+from .graphs import (
+    head_graph_nx,
+    head_neighboring_graph_nx,
+    physical_graph_nx,
+)
+from .timeline import TimelineBucket, build_timeline, render_timeline
+from .convergence import (
+    HealingMeasurement,
+    changed_cells,
+    impact_radius,
+    measure_healing,
+    tree_edges,
+)
+from .plotting import ascii_chart, ascii_table, render_structure_map, to_csv
+from .quality import (
+    StructureQuality,
+    neighbor_distance_statistics,
+    overlap_fraction,
+    radius_statistics,
+    snapshot_to_clusters,
+    structure_quality,
+)
+from .structure import (
+    band_occupancy,
+    head_graph,
+    head_neighboring_graph,
+    tree_depths,
+)
+from .theory import (
+    empty_disk_probability,
+    expected_non_ideal_cells,
+    figure7_curve,
+    figure8_curve,
+    gap_region_diameter,
+    non_ideal_cell_ratio,
+    poisson_pmf,
+)
+
+__all__ = [
+    "ChannelPlan",
+    "assign_channels",
+    "ideal_channel_count",
+    "head_graph_nx",
+    "head_neighboring_graph_nx",
+    "physical_graph_nx",
+    "TimelineBucket",
+    "build_timeline",
+    "render_timeline",
+    "HealingMeasurement",
+    "changed_cells",
+    "impact_radius",
+    "measure_healing",
+    "tree_edges",
+    "ascii_chart",
+    "ascii_table",
+    "render_structure_map",
+    "to_csv",
+    "StructureQuality",
+    "neighbor_distance_statistics",
+    "overlap_fraction",
+    "radius_statistics",
+    "snapshot_to_clusters",
+    "structure_quality",
+    "band_occupancy",
+    "head_graph",
+    "head_neighboring_graph",
+    "tree_depths",
+    "empty_disk_probability",
+    "expected_non_ideal_cells",
+    "figure7_curve",
+    "figure8_curve",
+    "gap_region_diameter",
+    "non_ideal_cell_ratio",
+    "poisson_pmf",
+]

@@ -1,0 +1,136 @@
+"""Convergence and healing-locality measurement.
+
+Implements the measurements behind the paper's convergence bounds
+(Appendix 1) and the locality claims of Section 4.3.5:
+
+* static convergence time vs. ``D_b`` (theta(D_b), Theorem 4);
+* healing time vs. the perturbed diameter ``D_p`` (O(D_p));
+* the spatial extent of a perturbation's impact (which cells' tree
+  edges changed), used by the Theorem 11 bench.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..geometry import Axial, Vec2
+from ..core.snapshot import StructureSnapshot
+
+__all__ = [
+    "tree_edges",
+    "changed_cells",
+    "impact_radius",
+    "HealingMeasurement",
+    "measure_healing",
+]
+
+
+def tree_edges(snapshot: StructureSnapshot) -> Dict[Axial, Optional[Axial]]:
+    """The head graph as cell-level edges: cell axial -> parent axial.
+
+    Cell-level edges abstract away head *replacement* inside a cell
+    (head shift), which the paper counts as masked, not as structural
+    change.
+    """
+    edges: Dict[Axial, Optional[Axial]] = {}
+    for view in snapshot.heads.values():
+        if view.cell_axial is None:
+            continue
+        parent = snapshot.heads.get(view.parent_id)
+        edges[view.cell_axial] = (
+            parent.cell_axial if parent is not None else None
+        )
+    return edges
+
+
+def changed_cells(
+    before: StructureSnapshot, after: StructureSnapshot
+) -> List[Axial]:
+    """Cells whose parent edge changed between two snapshots.
+
+    Includes cells that appeared or disappeared (their edge changed
+    from/to nothing).
+    """
+    edges_before = tree_edges(before)
+    edges_after = tree_edges(after)
+    changed = []
+    for axial in set(edges_before) | set(edges_after):
+        if edges_before.get(axial, "absent") != edges_after.get(
+            axial, "absent"
+        ):
+            changed.append(axial)
+    return changed
+
+
+def impact_radius(
+    before: StructureSnapshot,
+    after: StructureSnapshot,
+    center: Vec2,
+) -> float:
+    """Radius around ``center`` containing every changed cell's head.
+
+    Zero when nothing changed.  Heads are located by their *after*
+    position when present, else their *before* position.
+    """
+    radius = 0.0
+    for axial in changed_cells(before, after):
+        view = after.head_by_axial.get(axial) or before.head_by_axial.get(
+            axial
+        )
+        if view is None:
+            continue
+        radius = max(radius, view.position.distance_to(center))
+    return radius
+
+
+@dataclass(frozen=True)
+class HealingMeasurement:
+    """Outcome of one perturb-and-heal experiment."""
+
+    healing_time: float
+    changed_cell_count: int
+    impact_radius: float
+    perturbed_radius: float
+
+    @property
+    def containment_factor(self) -> float:
+        """Impact radius over perturbed radius (locality score)."""
+        if self.perturbed_radius == 0.0:
+            return math.inf if self.impact_radius > 0 else 0.0
+        return self.impact_radius / self.perturbed_radius
+
+
+def measure_healing(
+    simulation,
+    perturb,
+    center: Vec2,
+    perturbed_radius: float,
+    window: float = 120.0,
+    max_time: float = 60_000.0,
+) -> HealingMeasurement:
+    """Run ``perturb()`` against a stable simulation and measure healing.
+
+    Args:
+        simulation: a (stabilised) ``Gs3DynamicSimulation``.
+        perturb: zero-argument callable injecting the perturbation.
+        center: geographic center of the perturbation.
+        perturbed_radius: its geographic radius (``D_p / 2``).
+        window: quiet window for stability detection.
+        max_time: absolute healing deadline (virtual ticks).
+    """
+    before = simulation.snapshot()
+    start = simulation.now
+    perturb()
+    last_change = simulation.run_until_stable(
+        window=window, max_time=simulation.now + max_time
+    )
+    after = simulation.snapshot()
+    changed = changed_cells(before, after)
+    return HealingMeasurement(
+        healing_time=max(0.0, last_change - start),
+        changed_cell_count=len(changed),
+        impact_radius=impact_radius(before, after, center),
+        perturbed_radius=perturbed_radius,
+    )

@@ -1,0 +1,87 @@
+"""networkx exports of the GS3 graphs.
+
+Renders the paper's three graphs as ``networkx`` objects for ad-hoc
+analysis (centrality, spectra, drawing in a notebook):
+
+* the head graph ``G_h`` (directed tree, parent -> child);
+* the head neighbouring graph ``G_hn`` (undirected, adjacency of
+  cells);
+* the physical graph ``G_p`` (undirected, mutual radio range).
+
+Node attributes carry positions and cell metadata so layouts can use
+the true geometry (``pos`` follows the networkx drawing convention).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.snapshot import StructureSnapshot
+from ..net import Network
+
+if TYPE_CHECKING:  # pragma: no cover
+    import networkx
+
+__all__ = ["head_graph_nx", "head_neighboring_graph_nx", "physical_graph_nx"]
+
+
+def _require_networkx():
+    import networkx
+
+    return networkx
+
+
+def head_graph_nx(snapshot: StructureSnapshot) -> "networkx.DiGraph":
+    """``G_h`` as a directed tree (edges parent -> child)."""
+    nx = _require_networkx()
+    graph = nx.DiGraph()
+    for head_id, view in snapshot.heads.items():
+        graph.add_node(
+            head_id,
+            pos=view.position.as_tuple(),
+            cell=view.cell_axial,
+            hops=view.hops_to_root,
+            is_big=view.is_big,
+        )
+    for parent, child in snapshot.head_graph_edges:
+        if parent in snapshot.heads:
+            graph.add_edge(parent, child)
+    return graph
+
+
+def head_neighboring_graph_nx(
+    snapshot: StructureSnapshot,
+) -> "networkx.Graph":
+    """``G_hn``: heads joined when their cells are adjacent."""
+    nx = _require_networkx()
+    graph = nx.Graph()
+    for head_id, view in snapshot.heads.items():
+        graph.add_node(
+            head_id, pos=view.position.as_tuple(), cell=view.cell_axial
+        )
+    for a, b in snapshot.neighbor_head_pairs:
+        graph.add_edge(
+            a.node_id,
+            b.node_id,
+            distance=a.position.distance_to(b.position),
+        )
+    return graph
+
+
+def physical_graph_nx(network: Network) -> "networkx.Graph":
+    """``G_p``: live nodes joined when within mutual radio range."""
+    nx = _require_networkx()
+    graph = nx.Graph()
+    for node in network.alive_nodes():
+        graph.add_node(
+            node.node_id, pos=node.position.as_tuple(), is_big=node.is_big
+        )
+    for node in network.alive_nodes():
+        for neighbor in network.physical_neighbors(node.node_id):
+            if node.node_id < neighbor.node_id:
+                graph.add_edge(
+                    node.node_id,
+                    neighbor.node_id,
+                    distance=node.distance_to(neighbor),
+                )
+    return graph

@@ -1,0 +1,150 @@
+"""Text rendering of results: ASCII charts, tables, and CSV.
+
+The offline environment has no plotting stack, so benchmarks render
+their figures as ASCII line/scatter charts plus CSV files that can be
+re-plotted elsewhere.  The structure map renderer draws the cellular
+hexagonal structure (Figure 4) with heads as ``#`` and associates as
+dots.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..geometry import Vec2
+
+__all__ = ["ascii_chart", "ascii_table", "render_structure_map", "to_csv"]
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one or more (x, y) series as an ASCII scatter chart.
+
+    Each series gets its own glyph (``*``, ``o``, ``+``, ...); axes are
+    annotated with min/max values.
+    """
+    glyphs = "*o+x@%&="
+    points = [p for s in series.values() for p in s]
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, data) in enumerate(series.items()):
+        glyph = glyphs[index % len(glyphs)]
+        for x, y in data:
+            col = int((x - x_min) / x_span * (width - 1))
+            row = height - 1 - int((y - y_min) / y_span * (height - 1))
+            grid[row][col] = glyph
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    lines.append(f"{y_label}  max={y_max:.4g}")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(
+        f"  {x_label}: {x_min:.4g} .. {x_max:.4g}    y min={y_min:.4g}"
+    )
+    return "\n".join(lines)
+
+
+def ascii_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render a simple aligned table."""
+    formatted_rows = [
+        [
+            f"{cell:.4g}" if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in formatted_rows))
+        if formatted_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in formatted_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_structure_map(
+    head_positions: Sequence[Vec2],
+    associate_positions: Sequence[Vec2] = (),
+    width: int = 78,
+    height: int = 36,
+    title: str = "",
+) -> str:
+    """Draw the configured structure (Figure 4 style).
+
+    Heads render as ``#``, associates as ``.``; the aspect ratio is
+    roughly corrected for terminal cells being taller than wide.
+    """
+    everything = list(head_positions) + list(associate_positions)
+    if not everything:
+        return f"{title}\n(empty structure)"
+    x_min = min(p.x for p in everything)
+    x_max = max(p.x for p in everything)
+    y_min = min(p.y for p in everything)
+    y_max = max(p.y for p in everything)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+
+    def plot(p: Vec2, glyph: str) -> None:
+        col = int((p.x - x_min) / x_span * (width - 1))
+        row = height - 1 - int((p.y - y_min) / y_span * (height - 1))
+        if grid[row][col] in (" ", "."):
+            grid[row][col] = glyph
+
+    for p in associate_positions:
+        plot(p, ".")
+    for p in head_positions:
+        plot(p, "#")
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"# = cell head ({len(head_positions)}), . = associate")
+    lines.extend("".join(row) for row in grid)
+    return "\n".join(lines)
+
+
+def to_csv(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Minimal CSV rendering (no quoting needs in our outputs)."""
+    lines = [",".join(str(h) for h in headers)]
+    for row in rows:
+        lines.append(
+            ",".join(
+                f"{cell:.10g}" if isinstance(cell, float) else str(cell)
+                for cell in row
+            )
+        )
+    return "\n".join(lines) + "\n"

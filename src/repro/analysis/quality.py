@@ -1,0 +1,147 @@
+"""Structure-quality metrics.
+
+Computes, for any clustering (GS3 snapshot or baseline
+:class:`~repro.baselines.common.ClusterSet`), the quantities the paper
+argues about: geographic radius statistics and bound compliance,
+neighbouring-head distance statistics (Corollary 1), children-bound
+compliance, cluster overlap, and coverage.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..baselines.common import Cluster, ClusterSet
+from ..core.snapshot import StructureSnapshot
+from ..sim import Summary
+
+__all__ = [
+    "snapshot_to_clusters",
+    "radius_statistics",
+    "neighbor_distance_statistics",
+    "overlap_fraction",
+    "StructureQuality",
+    "structure_quality",
+]
+
+
+def snapshot_to_clusters(snapshot: StructureSnapshot) -> ClusterSet:
+    """Render a GS3 snapshot as a generic cluster set."""
+    clusters = []
+    for head_id, member_ids in snapshot.cells.items():
+        head = snapshot.heads[head_id]
+        ordered = tuple(sorted(member_ids))
+        clusters.append(
+            Cluster(
+                head_id=head_id,
+                head_position=head.position,
+                member_ids=ordered,
+                member_positions=tuple(
+                    snapshot.views[m].position for m in ordered
+                ),
+            )
+        )
+    return ClusterSet(tuple(clusters))
+
+
+def radius_statistics(clusters: ClusterSet) -> Summary:
+    """Summary of per-cluster geographic radii."""
+    summary = Summary()
+    for radius in clusters.radii():
+        summary.add(radius)
+    return summary
+
+
+def neighbor_distance_statistics(snapshot: StructureSnapshot) -> Summary:
+    """Summary of distances between neighbouring heads (Corollary 1)."""
+    summary = Summary()
+    for a, b in snapshot.neighbor_head_pairs:
+        summary.add(a.position.distance_to(b.position))
+    return summary
+
+
+def overlap_fraction(clusters: ClusterSet) -> float:
+    """Fraction of members lying inside *another* cluster's radius.
+
+    GS3's cells partition the plane (low overlap); LEACH and hop
+    clustering produce clusters whose disks overlap heavily.  A member
+    counts as overlapped when some other cluster's head is closer than
+    that cluster's own radius.
+    """
+    total = 0
+    overlapped = 0
+    cluster_radii = [
+        (c.head_position, c.radius()) for c in clusters.clusters
+    ]
+    for cluster in clusters.clusters:
+        for position in cluster.member_positions:
+            total += 1
+            for other, (head_pos, radius) in zip(
+                clusters.clusters, cluster_radii
+            ):
+                if other.head_id == cluster.head_id:
+                    continue
+                if head_pos.distance_to(position) <= radius:
+                    overlapped += 1
+                    break
+    return overlapped / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class StructureQuality:
+    """The quality scorecard of one clustering."""
+
+    head_count: int
+    node_count: int
+    radius: Summary
+    sizes: Summary
+    overlap: float
+    radius_bound: Optional[float] = None
+    radius_violations: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dict rendering for reports."""
+        return {
+            "head_count": self.head_count,
+            "node_count": self.node_count,
+            "radius_mean": self.radius.mean,
+            "radius_max": self.radius.max if self.radius.count else 0.0,
+            "radius_stddev": self.radius.stddev,
+            "size_mean": self.sizes.mean,
+            "size_stddev": self.sizes.stddev,
+            "overlap": self.overlap,
+            "radius_bound": self.radius_bound,
+            "radius_violations": self.radius_violations,
+        }
+
+
+def structure_quality(
+    clusters: ClusterSet, radius_bound: Optional[float] = None
+) -> StructureQuality:
+    """Score a clustering.
+
+    Args:
+        clusters: the clustering to score.
+        radius_bound: optional geographic-radius bound to check
+            (``R + 2 R_t / sqrt(3)`` for GS3 inner cells).
+    """
+    radius = Summary()
+    sizes = Summary()
+    violations = 0
+    for cluster in clusters.clusters:
+        r = cluster.radius()
+        radius.add(r)
+        sizes.add(cluster.size)
+        if radius_bound is not None and r > radius_bound + 1e-9:
+            violations += 1
+    return StructureQuality(
+        head_count=clusters.head_count,
+        node_count=len(clusters.covered_ids()),
+        radius=radius,
+        sizes=sizes,
+        overlap=overlap_fraction(clusters),
+        radius_bound=radius_bound,
+        radius_violations=violations,
+    )

@@ -1,0 +1,82 @@
+"""Structure extraction helpers on top of snapshots.
+
+Most structure queries live on
+:class:`~repro.core.snapshot.StructureSnapshot` itself; this module
+adds the derived graph objects named in the paper's analysis — the head
+graph ``G_h`` and the head neighbouring graph ``G_hn`` — as plain
+adjacency mappings, plus band-occupancy summaries used by the Figure 4
+benchmark.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..geometry import Axial, hex_distance
+from ..core.snapshot import StructureSnapshot
+from ..net import NodeId
+
+__all__ = [
+    "head_graph",
+    "head_neighboring_graph",
+    "band_occupancy",
+    "tree_depths",
+]
+
+
+def head_graph(snapshot: StructureSnapshot) -> Dict[NodeId, List[NodeId]]:
+    """``G_h`` as parent -> children adjacency (tree edges only)."""
+    return {
+        head_id: sorted(children)
+        for head_id, children in snapshot.children_of.items()
+    }
+
+
+def head_neighboring_graph(
+    snapshot: StructureSnapshot,
+) -> Dict[NodeId, List[NodeId]]:
+    """``G_hn``: heads joined when their cells are adjacent."""
+    adjacency: Dict[NodeId, List[NodeId]] = {
+        head_id: [] for head_id in snapshot.heads
+    }
+    for a, b in snapshot.neighbor_head_pairs:
+        adjacency[a.node_id].append(b.node_id)
+        adjacency[b.node_id].append(a.node_id)
+    return {k: sorted(v) for k, v in adjacency.items()}
+
+
+def band_occupancy(snapshot: StructureSnapshot) -> Dict[int, int]:
+    """Number of occupied cells per band (hex ring around the root)."""
+    occupancy: Dict[int, int] = defaultdict(int)
+    for view in snapshot.heads.values():
+        if view.cell_axial is not None:
+            occupancy[hex_distance(view.cell_axial)] += 1
+    return dict(occupancy)
+
+
+def tree_depths(snapshot: StructureSnapshot) -> Dict[NodeId, int]:
+    """Depth of every head in ``G_h`` (root = 0), by walking parents.
+
+    Heads on broken parent chains (mid-healing) get depth ``-1``.
+    """
+    depths: Dict[NodeId, int] = {}
+
+    def resolve(head_id: NodeId, trail: Set[NodeId]) -> int:
+        if head_id in depths:
+            return depths[head_id]
+        view = snapshot.heads.get(head_id)
+        if view is None or head_id in trail:
+            return -1
+        if view.parent_id == head_id:
+            depths[head_id] = 0
+            return 0
+        trail.add(head_id)
+        parent_depth = resolve(view.parent_id, trail)
+        depth = -1 if parent_depth < 0 else parent_depth + 1
+        depths[head_id] = depth
+        return depth
+
+    for head_id in snapshot.heads:
+        resolve(head_id, set())
+    return depths

@@ -1,0 +1,146 @@
+"""SVG rendering of the cellular hexagonal structure.
+
+Produces a standalone SVG file (no plotting dependencies) showing the
+hexagonal cells of the virtual structure, head positions, associates
+coloured by cell, and the head-graph tree edges — a faithful rendering
+of the paper's Figures 1 and 4.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.snapshot import StructureSnapshot
+from ..geometry import Vec2
+
+__all__ = ["structure_svg", "write_structure_svg"]
+
+#: Pleasant categorical colours cycled across cells.
+_CELL_COLORS = (
+    "#4c78a8",
+    "#f58518",
+    "#54a24b",
+    "#b279a2",
+    "#e45756",
+    "#72b7b2",
+    "#eeca3b",
+    "#9d755d",
+)
+
+
+def _hexagon_points(center: Vec2, circumradius: float, orientation: float):
+    """Vertices of the hexagonal cell around an IL.
+
+    The Voronoi hexagon of a triangular lattice with basis angle
+    ``orientation`` has its *vertices* midway between lattice
+    directions, i.e. rotated 30 degrees from them.
+    """
+    points = []
+    for k in range(6):
+        angle = orientation + math.pi / 6.0 + k * math.pi / 3.0
+        points.append(center + Vec2.from_polar(circumradius, angle))
+    return points
+
+
+def structure_svg(
+    snapshot: StructureSnapshot,
+    width: int = 900,
+    height: int = 900,
+    title: Optional[str] = None,
+) -> str:
+    """Render a snapshot as an SVG document string."""
+    positions = [v.position for v in snapshot.views.values() if v.alive]
+    if not positions:
+        return (
+            '<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{width}" height="{height}"/>'
+        )
+    pad = snapshot.ideal_radius
+    x_min = min(p.x for p in positions) - pad
+    x_max = max(p.x for p in positions) + pad
+    y_min = min(p.y for p in positions) - pad
+    y_max = max(p.y for p in positions) + pad
+    scale = min(width / (x_max - x_min), height / (y_max - y_min))
+
+    def sx(p: Vec2) -> float:
+        return (p.x - x_min) * scale
+
+    def sy(p: Vec2) -> float:
+        # SVG y grows downward.
+        return height - (p.y - y_min) * scale
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="12" y="24" font-family="sans-serif" '
+            f'font-size="16">{title}</text>'
+        )
+
+    # Cells: hexagon outlines around each head's current IL.
+    lattice = snapshot.lattice
+    for index, view in enumerate(sorted(snapshot.heads.values(), key=lambda v: v.node_id)):
+        if view.current_il is None:
+            continue
+        color = _CELL_COLORS[index % len(_CELL_COLORS)]
+        corners = _hexagon_points(
+            view.current_il, snapshot.ideal_radius, lattice.orientation
+        )
+        points = " ".join(f"{sx(c):.1f},{sy(c):.1f}" for c in corners)
+        parts.append(
+            f'<polygon points="{points}" fill="{color}" '
+            'fill-opacity="0.10" stroke="#888" stroke-width="1"/>'
+        )
+
+    # Head-graph tree edges.
+    for parent, child in snapshot.head_graph_edges:
+        if parent not in snapshot.heads:
+            continue
+        a = snapshot.heads[parent].position
+        b = snapshot.heads[child].position
+        parts.append(
+            f'<line x1="{sx(a):.1f}" y1="{sy(a):.1f}" '
+            f'x2="{sx(b):.1f}" y2="{sy(b):.1f}" '
+            'stroke="#444" stroke-width="1.2" stroke-opacity="0.7"/>'
+        )
+
+    # Associates, coloured by their cell.
+    head_color = {}
+    for index, head_id in enumerate(sorted(snapshot.heads)):
+        head_color[head_id] = _CELL_COLORS[index % len(_CELL_COLORS)]
+    for view in snapshot.associates.values():
+        color = head_color.get(view.head_id, "#999")
+        parts.append(
+            f'<circle cx="{sx(view.position):.1f}" '
+            f'cy="{sy(view.position):.1f}" r="1.6" fill="{color}" '
+            'fill-opacity="0.8"/>'
+        )
+
+    # Heads on top; the big node ringed.
+    for view in snapshot.heads.values():
+        parts.append(
+            f'<circle cx="{sx(view.position):.1f}" '
+            f'cy="{sy(view.position):.1f}" r="5" fill="#111"/>'
+        )
+        if view.is_big:
+            parts.append(
+                f'<circle cx="{sx(view.position):.1f}" '
+                f'cy="{sy(view.position):.1f}" r="9" fill="none" '
+                'stroke="#d62728" stroke-width="2.5"/>'
+            )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def write_structure_svg(
+    snapshot: StructureSnapshot, path: str, **kwargs
+) -> str:
+    """Write :func:`structure_svg` output to ``path``; returns the path."""
+    svg = structure_svg(snapshot, **kwargs)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(svg)
+    return path

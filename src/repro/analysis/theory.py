@@ -1,0 +1,114 @@
+"""Closed-form results of Section 4.3.4 (Figures 7 and 8).
+
+The paper models node deployment as a planar Poisson process with
+density ``lambda`` (expected nodes per unit-radius disk).  The
+probability that a candidate area of radius ``R_t`` is empty is::
+
+    alpha = exp(-R_t**2 * lambda)
+
+from which follow the two published curves:
+
+* Figure 7 — the expected *ratio of non-ideal cells* equals ``alpha``
+  (each of the ``n`` cells of the virtual structure is independently
+  R_t-gap perturbed with probability ``alpha``; the expected count is
+  ``n * alpha``);
+* Figure 8 — the expected *diameter of an R_t-gap perturbed region*
+  equals ``2 * alpha / (1 - alpha)**2 * R`` (a geometric chain of
+  adjacent perturbed cells, each contributing ``2R``).
+
+Both fall to ~0 once ``R_t / R >= 0.02`` at ``lambda = 10, R = 100`` —
+the headline robustness claim.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "empty_disk_probability",
+    "non_ideal_cell_ratio",
+    "expected_non_ideal_cells",
+    "gap_region_diameter",
+    "figure7_curve",
+    "figure8_curve",
+    "poisson_pmf",
+]
+
+
+def poisson_pmf(k: int, mean: float) -> float:
+    """P[X = k] for X ~ Poisson(mean)."""
+    if k < 0:
+        return 0.0
+    return math.exp(-mean + k * math.log(mean) - math.lgamma(k + 1)) if mean > 0 else (1.0 if k == 0 else 0.0)
+
+
+def empty_disk_probability(radius_tolerance: float, density_lambda: float) -> float:
+    """``alpha``: probability that an R_t-disk contains no node.
+
+    The count in a disk of radius ``R_t`` is Poisson with mean
+    ``R_t**2 * lambda`` (``lambda`` is the mean count per *unit-radius*
+    disk), so the empty probability is ``exp(-R_t**2 lambda)``.
+    """
+    if radius_tolerance < 0 or density_lambda < 0:
+        raise ValueError("radius_tolerance and density_lambda must be >= 0")
+    return math.exp(-(radius_tolerance**2) * density_lambda)
+
+
+def non_ideal_cell_ratio(radius_tolerance: float, density_lambda: float) -> float:
+    """Figure 7's y-axis: expected fraction of non-ideal cells."""
+    return empty_disk_probability(radius_tolerance, density_lambda)
+
+
+def expected_non_ideal_cells(
+    n_cells: int, radius_tolerance: float, density_lambda: float
+) -> float:
+    """Expected count of non-ideal cells: ``n * alpha``."""
+    if n_cells < 0:
+        raise ValueError(f"n_cells must be >= 0, got {n_cells}")
+    return n_cells * empty_disk_probability(radius_tolerance, density_lambda)
+
+
+def gap_region_diameter(
+    ideal_radius: float, radius_tolerance: float, density_lambda: float
+) -> float:
+    """Figure 8's y-axis: expected diameter of an R_t-gap region.
+
+    ``2R * sum_k k * alpha**k = 2R * alpha / (1 - alpha)**2``.
+    """
+    alpha = empty_disk_probability(radius_tolerance, density_lambda)
+    if alpha >= 1.0:
+        return math.inf
+    return 2.0 * ideal_radius * alpha / (1.0 - alpha) ** 2
+
+
+def figure7_curve(
+    rt_over_r: Sequence[float],
+    ideal_radius: float = 100.0,
+    density_lambda: float = 10.0,
+) -> List[Tuple[float, float]]:
+    """The analytical Figure 7 series: (R_t/R, expected ratio)."""
+    return [
+        (
+            ratio,
+            non_ideal_cell_ratio(ratio * ideal_radius, density_lambda),
+        )
+        for ratio in rt_over_r
+    ]
+
+
+def figure8_curve(
+    rt_over_r: Sequence[float],
+    ideal_radius: float = 100.0,
+    density_lambda: float = 10.0,
+) -> List[Tuple[float, float]]:
+    """The analytical Figure 8 series: (R_t/R, expected diameter)."""
+    return [
+        (
+            ratio,
+            gap_region_diameter(
+                ideal_radius, ratio * ideal_radius, density_lambda
+            ),
+        )
+        for ratio in rt_over_r
+    ]

@@ -1,0 +1,104 @@
+"""Event-timeline summaries of protocol runs.
+
+Buckets a run's trace records by virtual time and category family
+(messages, head organisation, healing, ...), producing the kind of
+activity timeline used to eyeball *when* a run worked: a configuration
+burst, steady heartbeats, a healing spike after a perturbation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..sim import TraceRecord, Tracer
+
+__all__ = ["TimelineBucket", "build_timeline", "render_timeline"]
+
+#: Category prefixes grouped into timeline families.
+_FAMILIES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("messages", ("msg.",)),
+    ("organisation", ("org.", "head.become", "head.selected", "gap.")),
+    (
+        "healing",
+        (
+            "head.claim",
+            "head.retreat",
+            "cell.shift",
+            "cell.abandoned",
+            "parent.change",
+            "sanity.reset",
+            "node.bootup",
+            "head.disconnected",
+        ),
+    ),
+    ("membership", ("associate.join",)),
+    ("perturbations", ("perturb.",)),
+    ("big node", ("big.", "proxy.")),
+)
+
+
+@dataclass(frozen=True)
+class TimelineBucket:
+    """Event counts for one time window."""
+
+    start: float
+    end: float
+    counts: Dict[str, int]
+
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+
+def _family_of(category: str) -> str:
+    for family, prefixes in _FAMILIES:
+        for prefix in prefixes:
+            if category.startswith(prefix):
+                return family
+    return "other"
+
+
+def build_timeline(
+    records: Sequence[TraceRecord], bucket_width: float = 50.0
+) -> List[TimelineBucket]:
+    """Bucket trace records into fixed-width time windows."""
+    if bucket_width <= 0.0:
+        raise ValueError(f"bucket_width must be positive, got {bucket_width}")
+    if not records:
+        return []
+    grouped: Dict[int, Dict[str, int]] = defaultdict(
+        lambda: defaultdict(int)
+    )
+    for record in records:
+        index = int(record.time // bucket_width)
+        grouped[index][_family_of(record.category)] += 1
+    buckets = []
+    for index in sorted(grouped):
+        buckets.append(
+            TimelineBucket(
+                start=index * bucket_width,
+                end=(index + 1) * bucket_width,
+                counts=dict(grouped[index]),
+            )
+        )
+    return buckets
+
+
+def render_timeline(
+    buckets: Sequence[TimelineBucket],
+    family: str = "healing",
+    width: int = 60,
+) -> str:
+    """Render one family's activity as a text bar chart."""
+    if not buckets:
+        return "(no events)"
+    values = [b.counts.get(family, 0) for b in buckets]
+    peak = max(values) or 1
+    lines = [f"activity: {family} (peak {peak} events/bucket)"]
+    for bucket, value in zip(buckets, values):
+        bar = "#" * int(round(value / peak * width))
+        lines.append(
+            f"{bucket.start:10.0f}-{bucket.end:<10.0f} {value:6d} {bar}"
+        )
+    return "\n".join(lines)

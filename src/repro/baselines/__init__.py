@@ -1,0 +1,13 @@
+"""Baseline clustering algorithms for the Section 6 comparisons."""
+
+from .common import Cluster, ClusterSet
+from .hopcluster import hop_clustering
+from .leach import LeachClustering, LeachConfig
+
+__all__ = [
+    "Cluster",
+    "ClusterSet",
+    "hop_clustering",
+    "LeachClustering",
+    "LeachConfig",
+]

@@ -1,0 +1,95 @@
+"""Common clustering representation shared by baselines and GS3.
+
+The related-work comparison (Section 6 of the paper) contrasts GS3's
+*geographic* radius guarantees with LEACH's unplaced probabilistic
+clusters and with logical-(hop-)radius clustering.  To compare apples
+to apples, every algorithm — including GS3 itself — is rendered into a
+:class:`ClusterSet`, and ``repro.analysis.quality`` computes the same
+metrics for all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..geometry import Vec2
+from ..net import NodeId
+
+__all__ = ["Cluster", "ClusterSet"]
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """One cluster: a head and its member nodes."""
+
+    head_id: NodeId
+    head_position: Vec2
+    member_ids: Tuple[NodeId, ...]
+    member_positions: Tuple[Vec2, ...]
+
+    @property
+    def size(self) -> int:
+        """Members plus the head."""
+        return len(self.member_ids) + 1
+
+    def radius(self) -> float:
+        """Geographic radius: max head-to-member distance."""
+        if not self.member_positions:
+            return 0.0
+        return max(
+            self.head_position.distance_to(p) for p in self.member_positions
+        )
+
+
+@dataclass(frozen=True)
+class ClusterSet:
+    """A complete clustering of a node population."""
+
+    clusters: Tuple[Cluster, ...]
+
+    @property
+    def head_count(self) -> int:
+        return len(self.clusters)
+
+    def radii(self) -> List[float]:
+        """Geographic radius of every cluster."""
+        return [c.radius() for c in self.clusters]
+
+    def sizes(self) -> List[int]:
+        """Node count of every cluster."""
+        return [c.size for c in self.clusters]
+
+    def covered_ids(self) -> set:
+        """All node ids covered by some cluster."""
+        ids = set()
+        for cluster in self.clusters:
+            ids.add(cluster.head_id)
+            ids.update(cluster.member_ids)
+        return ids
+
+    @staticmethod
+    def from_assignment(
+        positions: Dict[NodeId, Vec2],
+        head_of: Dict[NodeId, NodeId],
+        heads: Sequence[NodeId],
+    ) -> "ClusterSet":
+        """Build from a member -> head assignment map."""
+        members: Dict[NodeId, List[NodeId]] = {h: [] for h in heads}
+        for node_id, head_id in head_of.items():
+            if node_id != head_id and head_id in members:
+                members[head_id].append(node_id)
+        clusters = []
+        for head_id in heads:
+            member_ids = tuple(sorted(members[head_id]))
+            clusters.append(
+                Cluster(
+                    head_id=head_id,
+                    head_position=positions[head_id],
+                    member_ids=member_ids,
+                    member_positions=tuple(
+                        positions[m] for m in member_ids
+                    ),
+                )
+            )
+        return ClusterSet(tuple(clusters))

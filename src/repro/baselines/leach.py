@@ -1,0 +1,117 @@
+"""LEACH clustering baseline (Heinzelman, Chandrakasan, Balakrishnan).
+
+LEACH is the paper's first point of comparison (Section 6): each round,
+every node independently elects itself cluster head with a rotating
+probability, and the remaining nodes join the nearest head.  As the
+paper notes, LEACH "guarantees neither the placement nor the number of
+clusters", and perturbations are dealt with by *globally* repeating the
+clustering operation every round.
+
+We implement the standard LEACH head-rotation rule: in round ``r`` a
+node that has not served as head during the current epoch (the last
+``1/P`` rounds) elects itself with probability::
+
+    T(r) = P / (1 - P * (r mod 1/P))
+
+so that every node serves exactly once per epoch in expectation.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..geometry import Vec2
+from ..net import NodeId
+from .common import Cluster, ClusterSet
+
+__all__ = ["LeachConfig", "LeachClustering"]
+
+
+@dataclass(frozen=True)
+class LeachConfig:
+    """LEACH parameters.
+
+    Attributes:
+        head_fraction: the desired fraction ``P`` of heads per round.
+    """
+
+    head_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.head_fraction < 1.0:
+            raise ValueError(
+                f"head_fraction must be in (0, 1), got {self.head_fraction}"
+            )
+
+    @property
+    def epoch_length(self) -> int:
+        """Rounds per rotation epoch: ``ceil(1 / P)``."""
+        return int(math.ceil(1.0 / self.head_fraction))
+
+
+class LeachClustering:
+    """Runs LEACH rounds over a fixed node population."""
+
+    def __init__(
+        self,
+        positions: Dict[NodeId, Vec2],
+        config: LeachConfig,
+        rng: random.Random,
+    ):
+        if not positions:
+            raise ValueError("LEACH needs at least one node")
+        self.positions = dict(positions)
+        self.config = config
+        self.rng = rng
+        self.round_number = 0
+        #: Nodes that already served as head in the current epoch.
+        self._served: Set[NodeId] = set()
+
+    def _threshold(self) -> float:
+        p = self.config.head_fraction
+        r = self.round_number
+        return p / (1.0 - p * (r % self.config.epoch_length))
+
+    def run_round(self) -> ClusterSet:
+        """Execute one LEACH setup phase and return the clustering."""
+        if self.round_number % self.config.epoch_length == 0:
+            self._served.clear()
+        threshold = self._threshold()
+        heads: List[NodeId] = []
+        for node_id in sorted(self.positions):
+            if node_id in self._served:
+                continue
+            if self.rng.random() < threshold:
+                heads.append(node_id)
+                self._served.add(node_id)
+        if not heads:
+            # Degenerate round: force one head so the network stays
+            # usable (standard LEACH practice).
+            fallback = self.rng.choice(sorted(self.positions))
+            heads.append(fallback)
+            self._served.add(fallback)
+        head_of = {}
+        for node_id, position in self.positions.items():
+            if node_id in heads:
+                continue
+            head_of[node_id] = min(
+                heads,
+                key=lambda h: (
+                    position.distance_to(self.positions[h]),
+                    h,
+                ),
+            )
+        self.round_number += 1
+        return ClusterSet.from_assignment(self.positions, head_of, heads)
+
+    def messages_per_round(self) -> int:
+        """Control messages of one global re-clustering round.
+
+        Every node transmits at least once (head advertisement or join
+        request) — the cost the paper contrasts with GS3's local
+        healing.
+        """
+        return len(self.positions)

@@ -1,0 +1,243 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+``configure``
+    Self-configure a random deployment with GS3-S and report the
+    structure (optionally writing an SVG rendering).
+``heal``
+    Configure with GS3-D, inject a perturbation (head kill, region
+    kill, or corruption), and report the healing outcome.
+``figures``
+    Print the analytical Figure 7 and Figure 8 series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import (
+    ascii_table,
+    figure7_curve,
+    figure8_curve,
+    neighbor_distance_statistics,
+    render_structure_map,
+    snapshot_to_clusters,
+    structure_quality,
+)
+from .core import (
+    GS3Config,
+    Gs3DynamicSimulation,
+    Gs3Simulation,
+    check_static_fixpoint,
+    check_static_invariant,
+)
+from .geometry import Vec2
+from .net import uniform_disk
+from .sim import RngStreams
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GS3 reproduction (Zhang & Arora, PODC 2002)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--ideal-radius", type=float, default=100.0, metavar="R"
+    )
+    parser.add_argument(
+        "--radius-tolerance", type=float, default=25.0, metavar="RT"
+    )
+    parser.add_argument("--field-radius", type=float, default=400.0)
+    parser.add_argument("--nodes", type=int, default=2000)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    configure = sub.add_parser(
+        "configure", help="run GS3-S self-configuration"
+    )
+    configure.add_argument(
+        "--svg", metavar="PATH", help="write an SVG rendering"
+    )
+    configure.add_argument(
+        "--map", action="store_true", help="print the ASCII structure map"
+    )
+
+    heal = sub.add_parser("heal", help="inject a perturbation and heal")
+    heal.add_argument(
+        "--perturbation",
+        choices=("head-kill", "region-kill", "corruption"),
+        default="head-kill",
+    )
+    heal.add_argument("--region-radius", type=float, default=100.0)
+
+    sub.add_parser("figures", help="print the Figure 7/8 series")
+
+    scenario = sub.add_parser(
+        "scenario", help="run a declarative JSON scenario file"
+    )
+    scenario.add_argument("path", help="path to the scenario JSON")
+    return parser
+
+
+def _config(args) -> GS3Config:
+    return GS3Config(
+        ideal_radius=args.ideal_radius,
+        radius_tolerance=args.radius_tolerance,
+    )
+
+
+def _deployment(args):
+    return uniform_disk(
+        args.field_radius, args.nodes, RngStreams(args.seed)
+    )
+
+
+def cmd_configure(args) -> int:
+    config = _config(args)
+    deployment = _deployment(args)
+    sim = Gs3Simulation.from_deployment(deployment, config, seed=args.seed)
+    sim.run_to_quiescence()
+    snapshot = sim.snapshot()
+    distances = neighbor_distance_statistics(snapshot)
+    quality = structure_quality(snapshot_to_clusters(snapshot))
+    violations = check_static_fixpoint(
+        snapshot,
+        sim.network,
+        field=deployment.field,
+        gap_axials=sim.gap_axials(),
+    )
+    print(
+        ascii_table(
+            ["metric", "value"],
+            [
+                ["nodes", deployment.node_count],
+                ["cells", len(snapshot.heads)],
+                ["convergence ticks", sim.now],
+                ["neighbour distance mean", distances.mean],
+                ["cell radius mean", quality.radius.mean],
+                ["cell radius max", quality.radius.max],
+                ["fixpoint violations", len(violations)],
+            ],
+            title="GS3-S self-configuration",
+        )
+    )
+    if args.map:
+        print()
+        print(
+            render_structure_map(
+                snapshot.head_positions(),
+                [v.position for v in snapshot.associates.values()],
+            )
+        )
+    if args.svg:
+        from .analysis.svg import write_structure_svg
+
+        write_structure_svg(snapshot, args.svg)
+        print(f"\nSVG written to {args.svg}")
+    return 0 if not violations else 1
+
+
+def cmd_heal(args) -> int:
+    config = _config(args)
+    deployment = _deployment(args)
+    sim = Gs3DynamicSimulation.from_deployment(
+        deployment, config, seed=args.seed
+    )
+    sim.run_until_stable(window=60.0, max_time=5000.0)
+    snapshot = sim.snapshot()
+    victim = next(v for v in snapshot.heads.values() if not v.is_big)
+    start = sim.now
+    if args.perturbation == "head-kill":
+        sim.kill_node(victim.node_id)
+        what = f"killed head {victim.node_id}"
+    elif args.perturbation == "region-kill":
+        center = victim.position
+        count = len(sim.kill_region(center, args.region_radius))
+        what = f"killed {count} nodes in radius {args.region_radius}"
+    else:
+        sim.corrupt_node(victim.node_id)
+        what = f"corrupted head {victim.node_id}"
+    healed_at = sim.run_until_stable(
+        window=150.0, max_time=sim.now + 60000.0
+    )
+    after = sim.snapshot()
+    violations = check_static_invariant(
+        after,
+        sim.network,
+        field=deployment.field,
+        gap_axials=sim.gap_axials(),
+        dynamic=True,
+    )
+    print(
+        ascii_table(
+            ["metric", "value"],
+            [
+                ["perturbation", what],
+                ["healing time (ticks)", max(0.0, healed_at - start)],
+                ["cells after", len(after.heads)],
+                ["head claims", sim.tracer.count("head.claim")],
+                ["sanity resets", sim.tracer.count("sanity.reset")],
+                ["invariant violations", len(violations)],
+            ],
+            title="GS3-D self-healing",
+        )
+    )
+    return 0 if not violations else 1
+
+
+def cmd_scenario(args) -> int:
+    from .scenario import Scenario, run_scenario
+
+    with open(args.path, "r", encoding="utf-8") as handle:
+        scenario = Scenario.from_json(handle.read())
+    result = run_scenario(scenario)
+    rows = [["configured at", result.configured_at]]
+    for entry in result.perturbation_log:
+        rows.append(
+            [
+                entry["kind"],
+                f"heal {entry['healing_time']:.0f} ticks, "
+                f"{entry['cells_changed']} cells changed",
+            ]
+        )
+    rows.append(["final cells", result.final_cells])
+    rows.append(["invariant violations", len(result.final_violations)])
+    print(ascii_table(["step", "outcome"], rows, title="Scenario run"))
+    return 0 if result.ok() else 1
+
+
+def cmd_figures(args) -> int:
+    ratios = [0.005 + 0.0025 * i for i in range(19)]
+    fig7 = figure7_curve(ratios, args.ideal_radius, 10.0)
+    fig8 = figure8_curve(ratios, args.ideal_radius, 10.0)
+    print(
+        ascii_table(
+            ["Rt/R", "fig7 ratio", "fig8 diameter"],
+            [[r, a, b] for (r, a), (_, b) in zip(fig7, fig8)],
+            title="Figures 7 and 8 (analytical, lambda=10)",
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "configure":
+        return cmd_configure(args)
+    if args.command == "heal":
+        return cmd_heal(args)
+    if args.command == "figures":
+        return cmd_figures(args)
+    if args.command == "scenario":
+        return cmd_scenario(args)
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""GS3-M: self-configuration and self-healing in mobile dynamic
+networks (Section 5).
+
+Node mobility is modelled as a correlated leave (from the old location)
+and join (at the new location); GS3-D's maintenance machinery already
+heals both, so GS3-M's genuinely new concern is the movement of the
+**big node**:
+
+* when the big node moves more than ``R_t`` from its cell's current
+  ideal location, it retreats from the head role, transits to status
+  *big_move*, and appoints the best candidate of its old cell as its
+  *proxy* — the proxy advertises distance zero to the root, so the head
+  graph remains a minimum-distance tree towards the big node
+  (fixpoint F5);
+* while moving, the big node keeps its proxy pointed at the closest
+  head it can hear;
+* when the big node comes within ``R_t`` of some cell's current IL, it
+  replaces that cell's head (message *replacing_head*) and resumes the
+  root role.
+
+Theorem 11 (containment): a move of distance ``d`` only affects heads
+within ``sqrt(3) * d / 2`` of the move's midpoint — verified by
+``benchmarks/bench_thm11_containment.py``.
+
+Small-node mobility needs no new code: a moved associate is refreshed
+through the heartbeat exchange (and re-joins from scratch if it left
+its cell's radio range), and a moved *head* detects at its next
+maintenance tick that it drifted more than ``R_t`` from its IL and
+hands the cell to the best candidate (GS3-D's mobility retreat).
+"""
+
+from __future__ import annotations
+
+from ..geometry import Vec2
+from .gs3d import Gs3DynamicNode
+from .state import NodeStatus
+
+__all__ = ["Gs3MobileNode"]
+
+
+class Gs3MobileNode(Gs3DynamicNode):
+    """The GS3-M program: GS3-D with big-node mobility."""
+
+    big_away_status = NodeStatus.BIG_MOVE
+
+    def on_moved(self, old_position: Vec2, new_position: Vec2) -> None:
+        """React to our own relocation.
+
+        The big node retreats immediately when it leaves its IL's
+        ``R_t``-disk (Section 5.2); small nodes rely on the periodic
+        maintenance, matching the paper's treatment of small-node
+        mobility as ordinary dynamics.
+        """
+        if not self.is_big:
+            return
+        state = self.state
+        if not state.status.is_head_like:
+            return  # already moving; _big_await_resume handles re-entry
+        if state.current_il is None:
+            return
+        if (
+            new_position.distance_to(state.current_il)
+            > self.cfg.radius_tolerance
+        ):
+            self.rt.trace("big.move_away", self.node_id)
+            self._retreat_for_mobility()

@@ -1,0 +1,206 @@
+"""Module HEAD_SELECT (Figure 3 of the paper).
+
+Given the organising head's cell, the set of small nodes that answered
+*org*, and the set of already-occupied neighbouring cells, select one
+head for each vacant neighbouring ideal location.
+
+The module is a pure function: all protocol I/O (collecting the inputs,
+broadcasting the outcome) happens in HEAD_ORG (``gs3s.py``).  Step 1 —
+computing the neighbour ILs — is provided in two flavours:
+
+* :func:`neighbor_candidate_ils` — the paper's algorithm: ILs are
+  derived from the cell's *exact* ideal location on the GR-anchored
+  lattice, so head-position deviation never accumulates;
+* :func:`drifted_candidate_ils` — the ablation: ILs are derived from
+  the head's *actual position*, reproducing the drift accumulation the
+  paper's design avoids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..geometry import (
+    AXIAL_DIRECTIONS,
+    Axial,
+    HexLattice,
+    Vec2,
+    clockwise_rank_key,
+)
+from ..net import NodeId
+
+__all__ = [
+    "SelectionResult",
+    "neighbor_candidate_ils",
+    "drifted_candidate_ils",
+    "rank_candidates",
+    "head_select",
+]
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of one HEAD_SELECT execution.
+
+    Attributes:
+        assignments: ``(axial, il, node_id, node_position)`` for every
+            newly selected head.
+        gap_axials: vacant neighbouring cells whose candidate area
+            contained no node (R_t-gap perturbed cells); the organiser
+            re-probes them periodically (GS3-D).
+    """
+
+    assignments: Tuple[Tuple[Axial, Vec2, NodeId, Vec2], ...]
+    gap_axials: Tuple[Axial, ...]
+
+
+def _direction_index(delta: Axial) -> int:
+    """Index of an axial unit vector in :data:`AXIAL_DIRECTIONS`.
+
+    Raises:
+        ValueError: if ``delta`` is not one of the six unit directions.
+    """
+    try:
+        return AXIAL_DIRECTIONS.index(delta)
+    except ValueError:
+        raise ValueError(
+            f"{delta} is not a unit lattice direction; "
+            "parent and child cells must be adjacent"
+        ) from None
+
+
+def neighbor_candidate_ils(
+    lattice: HexLattice,
+    self_axial: Axial,
+    parent_axial: Optional[Axial],
+) -> List[Tuple[Axial, Vec2]]:
+    """Step 1 of HEAD_SELECT, exact-lattice version.
+
+    For the root (``parent_axial`` is ``None`` or equal to
+    ``self_axial``) all six neighbouring cells are candidates — the big
+    node's search region is the full circle.  For any other head the
+    candidates are the three cells in the forward directions
+    ``-60, 0, +60`` degrees relative to ``IL(P(i)) -> IL(i)``, i.e. the
+    cells inside the ``[-60-alpha, +60+alpha]`` search region.
+    """
+    if parent_axial is None or parent_axial == self_axial:
+        directions = range(6)
+    else:
+        delta = (
+            self_axial[0] - parent_axial[0],
+            self_axial[1] - parent_axial[1],
+        )
+        forward = _direction_index(delta)
+        directions = [(forward - 1) % 6, forward, (forward + 1) % 6]
+    results = []
+    for d in directions:
+        step = AXIAL_DIRECTIONS[d]
+        axial = (self_axial[0] + step[0], self_axial[1] + step[1])
+        results.append((axial, lattice.point(axial)))
+    return results
+
+
+def drifted_candidate_ils(
+    self_position: Vec2,
+    parent_position: Optional[Vec2],
+    self_axial: Axial,
+    parent_axial: Optional[Axial],
+    spacing: float,
+    gr_direction: Vec2,
+) -> List[Tuple[Axial, Vec2]]:
+    """Step 1 of HEAD_SELECT, drift ablation version.
+
+    Neighbour "ILs" are placed at distance ``sqrt(3)*R`` from the
+    head's *physical position*, rotated in 60-degree steps from the
+    direction of the (physical) parent.  Axial labels are still
+    assigned for bookkeeping, but the geometry now inherits the head's
+    own placement error — each band adds up to ``R_t`` of drift.
+    """
+    import math
+
+    if parent_position is None or parent_axial is None or parent_axial == self_axial:
+        # Root: six directions anchored on GR (axial direction index k
+        # lies at k * 60 degrees counter-clockwise from GR).
+        reference = gr_direction.angle()
+        offsets = list(range(6))
+        forward = 0
+    else:
+        reference = (self_position - parent_position).angle()
+        delta = (
+            self_axial[0] - parent_axial[0],
+            self_axial[1] - parent_axial[1],
+        )
+        forward = _direction_index(delta)
+        offsets = [-1, 0, 1]
+    results = []
+    for offset in offsets:
+        label = (forward + offset) % 6
+        step = AXIAL_DIRECTIONS[label]
+        axial = (self_axial[0] + step[0], self_axial[1] + step[1])
+        # Axial direction index increases counter-clockwise, 60 degrees
+        # per step, so offset k sits at reference + k * 60 degrees.
+        il = self_position + Vec2.from_polar(
+            spacing, reference + offset * math.pi / 3.0
+        )
+        results.append((axial, il))
+    return results
+
+
+def rank_candidates(
+    il: Vec2,
+    candidates: Sequence[Tuple[NodeId, Vec2]],
+    gr_direction: Vec2,
+) -> List[Tuple[NodeId, Vec2]]:
+    """Step 4's lexicographic ranking ``<d, |A|, A>`` (ties by id).
+
+    Returns the candidates sorted best-first.
+    """
+    return sorted(
+        candidates,
+        key=lambda item: (
+            clockwise_rank_key(gr_direction, il, item[1]),
+            item[0],
+        ),
+    )
+
+
+def head_select(
+    candidate_ils: Sequence[Tuple[Axial, Vec2]],
+    occupied_axials: Set[Axial],
+    small_nodes: Sequence[Tuple[NodeId, Vec2]],
+    radius_tolerance: float,
+    gr_direction: Vec2,
+) -> SelectionResult:
+    """Steps 2-4 of HEAD_SELECT.
+
+    Args:
+        candidate_ils: output of step 1 (axial, ideal location).
+        occupied_axials: cells that already have a head (step 2's EH).
+        small_nodes: nodes that answered *org* with their positions.
+        radius_tolerance: ``R_t`` — the candidate-area radius.
+        gr_direction: the global reference direction as a unit vector.
+
+    Returns:
+        New head assignments, plus the vacant cells found to be
+        R_t-gap perturbed.
+    """
+    assignments: List[Tuple[Axial, Vec2, NodeId, Vec2]] = []
+    gaps: List[Axial] = []
+    taken: Set[NodeId] = set()
+    for axial, il in candidate_ils:
+        if axial in occupied_axials:
+            continue
+        in_area = [
+            (node_id, position)
+            for node_id, position in small_nodes
+            if node_id not in taken
+            and il.distance_to(position) <= radius_tolerance
+        ]
+        if not in_area:
+            gaps.append(axial)
+            continue
+        best_id, best_position = rank_candidates(il, in_area, gr_direction)[0]
+        taken.add(best_id)
+        assignments.append((axial, il, best_id, best_position))
+    return SelectionResult(tuple(assignments), tuple(gaps))

@@ -1,0 +1,380 @@
+"""Executable invariant and fixpoint predicates.
+
+Each function checks one of the paper's predicates against a
+:class:`~repro.core.snapshot.StructureSnapshot` and returns a list of
+human-readable violation strings (empty = predicate holds).  Tests and
+benchmarks assert emptiness; failure messages point at the offending
+nodes.
+
+Mapping to the paper:
+
+=============  ==========================================================
+``check_i1``   I1 / F1: the head graph is a tree rooted at the big node
+               and its members are connected in the physical graph G_p
+``check_i2_neighbors``  I2.1 / I2.2: neighbouring-head distances within
+               ``[sqrt(3)R - 2R_t, sqrt(3)R + 2R_t]`` (generalised to
+               IL distance when <ICC,ICP> differ, per GS3-D)
+``check_i2_inner_six``  I2.1: inner heads have exactly six neighbours
+``check_i2_children``   I2.3: children bounds (3 static / 5 dynamic;
+               big node 6)
+``check_i2_cell_radius``  I2.4 / F2.4: cell radius bounds
+``check_i3``   I3 / F3: associates choose the closest head
+``check_f4``   F4: every node connected to the big node is in a cell
+=============  ==========================================================
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Set
+
+from ..geometry import Axial, Disk, hex_distance
+from ..net import Network, NodeId
+from .snapshot import StructureSnapshot
+
+__all__ = [
+    "check_i1_tree",
+    "check_i1_physical_connectivity",
+    "check_i2_neighbors",
+    "check_i2_inner_six",
+    "check_i2_children",
+    "check_i2_cell_radius",
+    "check_i3_associate_optimality",
+    "check_f4_coverage",
+    "inner_head_ids",
+    "check_static_invariant",
+    "check_static_fixpoint",
+]
+
+#: Numeric slack for floating-point distance comparisons.
+_EPS = 1e-6
+
+
+def check_i1_tree(snapshot: StructureSnapshot) -> List[str]:
+    """I1.2: the head graph is a tree rooted at the big node."""
+    violations = []
+    heads = snapshot.heads
+    if not heads:
+        return ["head graph is empty"]
+    roots = snapshot.roots
+    if len(roots) != 1:
+        violations.append(f"expected exactly one root, found {roots}")
+    else:
+        root = roots[0]
+        root_view = heads[root]
+        # The root must be the big node itself unless the big node has
+        # stepped aside (big_slide / big_move), in which case its cell's
+        # head deputises.
+        big_view = snapshot.views.get(snapshot.big_id)
+        if big_view is not None and big_view.is_head and root != snapshot.big_id:
+            violations.append(
+                f"big node {snapshot.big_id} is a head but root is {root}"
+            )
+        if root_view.hops_to_root != 0:
+            violations.append(f"root {root} has hops_to_root != 0")
+    # Every head must reach a root through parent pointers, acyclically.
+    for head_id in heads:
+        seen: Set[NodeId] = set()
+        current = head_id
+        while True:
+            if current in seen:
+                violations.append(f"parent cycle through head {head_id}")
+                break
+            seen.add(current)
+            view = heads.get(current)
+            if view is None:
+                violations.append(
+                    f"head {head_id} has ancestor {current} that is not a live head"
+                )
+                break
+            if view.parent_id == current:
+                break  # reached a root
+            if view.parent_id is None:
+                violations.append(f"head {current} has no parent")
+                break
+            current = view.parent_id
+    return violations
+
+
+def check_i1_physical_connectivity(
+    snapshot: StructureSnapshot, network: Network
+) -> List[str]:
+    """I1.1: heads connected in G_h are connected in G_p.
+
+    Since G_h is a tree containing every head, pairwise connectivity
+    reduces to: every head is G_p-connected to the root.
+    """
+    violations = []
+    roots = snapshot.roots
+    if not roots:
+        return ["no root to check physical connectivity against"]
+    reachable = network.connected_to(roots[0])
+    for head_id in snapshot.heads:
+        if head_id not in reachable:
+            violations.append(
+                f"head {head_id} is not physically connected to root {roots[0]}"
+            )
+    return violations
+
+
+def check_i2_neighbors(snapshot: StructureSnapshot) -> List[str]:
+    """I2.1/I2.2 distance bounds between neighbouring heads.
+
+    Same ``<ICC, ICP>``: physical distance within
+    ``[sqrt(3)R - 2R_t, sqrt(3)R + 2R_t]``.  Different ``<ICC, ICP>``
+    (mid-slide): distance within ``2R_t`` of the current-IL distance.
+    """
+    violations = []
+    r = snapshot.ideal_radius
+    rt = snapshot.radius_tolerance
+    sqrt3r = math.sqrt(3.0) * r
+    for a, b in snapshot.neighbor_head_pairs:
+        distance = a.position.distance_to(b.position)
+        if a.icc_icp == b.icc_icp:
+            low, high = sqrt3r - 2 * rt, sqrt3r + 2 * rt
+        else:
+            if a.current_il is None or b.current_il is None:
+                violations.append(
+                    f"heads {a.node_id},{b.node_id} missing current IL"
+                )
+                continue
+            il_distance = a.current_il.distance_to(b.current_il)
+            if not 0.0 < il_distance <= 2.0 * sqrt3r + _EPS:
+                violations.append(
+                    f"heads {a.node_id},{b.node_id}: IL distance "
+                    f"{il_distance:.2f} outside (0, 2*sqrt(3)R]"
+                )
+            low, high = il_distance - 2 * rt, il_distance + 2 * rt
+        if not low - _EPS <= distance <= high + _EPS:
+            violations.append(
+                f"neighbour heads {a.node_id},{b.node_id}: distance "
+                f"{distance:.2f} outside [{low:.2f}, {high:.2f}]"
+            )
+    return violations
+
+
+def inner_head_ids(
+    snapshot: StructureSnapshot,
+    field: Disk,
+    gap_axials: Iterable[Axial] = (),
+) -> Set[NodeId]:
+    """Heads of *inner* cells.
+
+    A cell is inner when it is neither on the boundary of the system's
+    geographic coverage nor adjacent to an R_t-gap perturbed cell
+    (Section 3.3 notation).  Geometrically we require the cell's IL to
+    sit at least one full lattice spacing plus slack inside the field.
+    """
+    margin = snapshot.lattice.spacing + 2.0 * snapshot.radius_tolerance
+    gap_set = set(gap_axials)
+    inner: Set[NodeId] = set()
+    for head_id, view in snapshot.heads.items():
+        if view.current_il is None or view.cell_axial is None:
+            continue
+        if view.current_il.distance_to(field.center) > field.radius - margin:
+            continue
+        if any(
+            hex_distance(view.cell_axial, gap) <= 1 for gap in gap_set
+        ):
+            continue
+        inner.add(head_id)
+    return inner
+
+
+def check_i2_inner_six(
+    snapshot: StructureSnapshot,
+    field: Disk,
+    gap_axials: Iterable[Axial] = (),
+) -> List[str]:
+    """I2.1: each inner head has exactly six neighbouring heads."""
+    violations = []
+    for head_id in inner_head_ids(snapshot, field, gap_axials):
+        neighbors = snapshot.neighbor_heads_of(head_id)
+        if len(neighbors) != 6:
+            violations.append(
+                f"inner head {head_id} has {len(neighbors)} neighbours, "
+                "expected 6"
+            )
+    return violations
+
+
+def check_i2_children(
+    snapshot: StructureSnapshot, dynamic: bool = False
+) -> List[str]:
+    """I2.3 children bounds.
+
+    Static: small heads have at most 3 children; the big node at most
+    6.  Dynamic (GS3-D): small heads at most 5.
+    """
+    violations = []
+    small_bound = 5 if dynamic else 3
+    for head_id, children in snapshot.children_of.items():
+        view = snapshot.heads[head_id]
+        bound = 6 if view.parent_id == head_id else small_bound
+        if len(children) > bound:
+            violations.append(
+                f"head {head_id} has {len(children)} children, bound {bound}"
+            )
+    return violations
+
+
+def check_i2_cell_radius(
+    snapshot: StructureSnapshot,
+    field: Optional[Disk] = None,
+    gap_axials: Iterable[Axial] = (),
+    gap_diameter: float = 0.0,
+) -> List[str]:
+    """I2.4 cell-radius bounds.
+
+    Inner cells: radius at most ``R + 2 R_t / sqrt(3)``.  Boundary
+    cells (on the coverage boundary or adjoining an R_t-gap): the
+    paper's relaxed bound ``sqrt(3) R + 2 R_t + d_p`` where ``d_p`` is
+    the diameter of the adjoining perturbed area (``gap_diameter``).
+    Without a ``field`` every cell is held to the inner bound.
+    """
+    violations = []
+    r = snapshot.ideal_radius
+    rt = snapshot.radius_tolerance
+    inner_bound = r + 2.0 * rt / math.sqrt(3.0)
+    # I2.4 (dynamic): while a cell's <ICC, ICP> differs from a
+    # neighbour's (mid-slide), its radius may reach 2R + R_t.
+    sliding_bound = 2.0 * r + rt
+    boundary_bound = math.sqrt(3.0) * r + 2.0 * rt + gap_diameter
+    inner = (
+        inner_head_ids(snapshot, field, gap_axials)
+        if field is not None
+        else set(snapshot.heads)
+    )
+    for head_id in snapshot.heads:
+        if head_id in inner:
+            view = snapshot.heads[head_id]
+            mid_slide = any(
+                n.icc_icp != view.icc_icp
+                for n in snapshot.neighbor_heads_of(head_id)
+            )
+            bound = sliding_bound if mid_slide else inner_bound
+        else:
+            bound = boundary_bound
+        radius = snapshot.cell_radius_of(head_id)
+        if radius > bound + _EPS:
+            violations.append(
+                f"cell of head {head_id}: radius {radius:.2f} exceeds "
+                f"bound {bound:.2f}"
+            )
+    return violations
+
+
+def check_i3_associate_optimality(
+    snapshot: StructureSnapshot,
+    restrict_to_inner: bool = False,
+    field: Optional[Disk] = None,
+) -> List[str]:
+    """I3 / F3: each associate chooses the closest head.
+
+    With ``restrict_to_inner`` (I3) only associates of inner cells are
+    checked; otherwise all associates (F3).
+    """
+    violations = []
+    heads = list(snapshot.heads.values())
+    if not heads:
+        return violations
+    inner = (
+        inner_head_ids(snapshot, field) if restrict_to_inner and field else None
+    )
+    for associate in snapshot.associates.values():
+        if associate.head_id not in snapshot.heads:
+            violations.append(
+                f"associate {associate.node_id} has dead/unknown head "
+                f"{associate.head_id}"
+            )
+            continue
+        if inner is not None and associate.head_id not in inner:
+            continue
+        chosen = snapshot.heads[associate.head_id]
+        chosen_distance = associate.position.distance_to(chosen.position)
+        best_distance = min(
+            associate.position.distance_to(h.position) for h in heads
+        )
+        if chosen_distance > best_distance + _EPS:
+            violations.append(
+                f"associate {associate.node_id} chose head "
+                f"{associate.head_id} at {chosen_distance:.2f} but a head "
+                f"exists at {best_distance:.2f}"
+            )
+    return violations
+
+
+def check_f4_coverage(
+    snapshot: StructureSnapshot, network: Network
+) -> List[str]:
+    """F4: the cells cover every node connected to the big node."""
+    violations = []
+    if snapshot.big_id is None:
+        return ["network has no big node"]
+    visible = network.connected_to(snapshot.big_id)
+    for node_id in visible:
+        view = snapshot.views.get(node_id)
+        if view is None:
+            violations.append(f"visible node {node_id} not in snapshot")
+            continue
+        in_cell = view.is_head or (
+            view.status.name == "ASSOCIATE" and view.head_id in snapshot.heads
+        )
+        if not in_cell:
+            violations.append(
+                f"visible node {node_id} (status {view.status.value}) "
+                "belongs to no cell"
+            )
+    return violations
+
+
+def check_static_invariant(
+    snapshot: StructureSnapshot,
+    network: Network,
+    field: Optional[Disk] = None,
+    gap_axials: Iterable[Axial] = (),
+    dynamic: bool = False,
+    gap_diameter: float = 0.0,
+) -> List[str]:
+    """The conjunction SI = I1 and I2 and I3 (DI with ``dynamic``).
+
+    ``gap_diameter`` is the paper's ``d_p`` — the diameter of the
+    R_t-gap perturbed area adjoining boundary cells, which relaxes the
+    boundary cell-radius bound (I2.4, dynamic form).
+    """
+    violations = []
+    violations += check_i1_tree(snapshot)
+    violations += check_i1_physical_connectivity(snapshot, network)
+    violations += check_i2_neighbors(snapshot)
+    if field is not None:
+        violations += check_i2_inner_six(snapshot, field, gap_axials)
+    violations += check_i2_children(snapshot, dynamic=dynamic)
+    violations += check_i2_cell_radius(
+        snapshot, field, gap_axials, gap_diameter=gap_diameter
+    )
+    violations += check_i3_associate_optimality(
+        snapshot, restrict_to_inner=True, field=field
+    )
+    return violations
+
+
+def check_static_fixpoint(
+    snapshot: StructureSnapshot,
+    network: Network,
+    field: Optional[Disk] = None,
+    gap_axials: Iterable[Axial] = (),
+    dynamic: bool = False,
+    gap_diameter: float = 0.0,
+) -> List[str]:
+    """The conjunction SF = F1 and F2 and F3 and F4 (DF with ``dynamic``)."""
+    violations = check_static_invariant(
+        snapshot,
+        network,
+        field,
+        gap_axials,
+        dynamic=dynamic,
+        gap_diameter=gap_diameter,
+    )
+    violations += check_i3_associate_optimality(snapshot)
+    violations += check_f4_coverage(snapshot, network)
+    return violations

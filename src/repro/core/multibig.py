@@ -1,0 +1,134 @@
+"""Multiple big nodes (Section 7, extension 1).
+
+The paper: "in a mobile dynamic network where there are multiple big
+nodes, GS3 enables each small node to choose the best (e.g. closest)
+big node to communicate, by letting each small node maintain the
+current big node it chooses."
+
+``MultiBigSimulation`` realises the fixpoint of that choice for
+stationary big nodes: small nodes partition into the Voronoi regions of
+the big nodes, and each region self-configures independently with its
+own GR-anchored lattice rooted at its big node.  Regions evolve
+independently thereafter (perturbations included), exactly as K
+disjoint GS3 instances — radio interference across region borders is
+not modelled (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from ..geometry import Disk, Vec2
+from ..net import Deployment, NodeId
+from .config import GS3Config
+from .dynamic import Gs3DynamicSimulation
+from .gs3d import Gs3DynamicNode
+from .gs3s import Gs3StaticNode
+from .snapshot import StructureSnapshot
+
+__all__ = ["RegionAssignment", "MultiBigSimulation", "partition_by_big"]
+
+
+@dataclass(frozen=True)
+class RegionAssignment:
+    """The small nodes served by one big node."""
+
+    big_position: Vec2
+    small_positions: Tuple[Vec2, ...]
+
+    @property
+    def node_count(self) -> int:
+        return len(self.small_positions) + 1
+
+
+def partition_by_big(
+    small_positions: Sequence[Vec2],
+    big_positions: Sequence[Vec2],
+) -> List[RegionAssignment]:
+    """Assign every small node to its closest big node (Voronoi).
+
+    Ties break toward the earlier big node in the list, which makes the
+    partition deterministic.
+    """
+    if not big_positions:
+        raise ValueError("at least one big node is required")
+    buckets: List[List[Vec2]] = [[] for _ in big_positions]
+    for position in small_positions:
+        best_index = min(
+            range(len(big_positions)),
+            key=lambda i: (position.distance_to(big_positions[i]), i),
+        )
+        buckets[best_index].append(position)
+    return [
+        RegionAssignment(big, tuple(bucket))
+        for big, bucket in zip(big_positions, buckets)
+    ]
+
+
+class MultiBigSimulation:
+    """K independent GS3 regions, one per big node."""
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        big_positions: Sequence[Vec2],
+        config: GS3Config,
+        seed: int = 0,
+        node_class: Type[Gs3StaticNode] = Gs3DynamicNode,
+    ):
+        self.config = config
+        self.assignments = partition_by_big(
+            deployment.small_positions, big_positions
+        )
+        self.regions: List[Gs3DynamicSimulation] = []
+        for index, assignment in enumerate(self.assignments):
+            region_deployment = Deployment(
+                small_positions=assignment.small_positions,
+                big_position=assignment.big_position,
+                field=deployment.field,
+            )
+            self.regions.append(
+                Gs3DynamicSimulation.from_deployment(
+                    region_deployment,
+                    config,
+                    seed=seed + index,
+                    node_class=node_class,
+                )
+            )
+
+    @property
+    def region_count(self) -> int:
+        return len(self.regions)
+
+    def run_until_stable(
+        self, window: float = 60.0, max_time: float = 100_000.0
+    ) -> List[float]:
+        """Stabilise every region; returns per-region convergence times."""
+        return [
+            region.run_until_stable(window=window, max_time=max_time)
+            for region in self.regions
+        ]
+
+    def run_for(self, duration: float) -> None:
+        """Advance every region by ``duration`` ticks."""
+        for region in self.regions:
+            region.run_for(duration)
+
+    def snapshots(self) -> List[StructureSnapshot]:
+        """Per-region structure snapshots."""
+        return [region.snapshot() for region in self.regions]
+
+    def total_heads(self) -> int:
+        """Cells across all regions."""
+        return sum(len(s.heads) for s in self.snapshots())
+
+    def region_of_point(self, point: Vec2) -> int:
+        """Index of the region whose big node is closest to ``point``."""
+        return min(
+            range(len(self.assignments)),
+            key=lambda i: (
+                point.distance_to(self.assignments[i].big_position),
+                i,
+            ),
+        )

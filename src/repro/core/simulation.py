@@ -1,0 +1,175 @@
+"""High-level driver for GS3 protocol runs.
+
+``Gs3Simulation`` wires a deployment (or a prebuilt network) to a node
+program class, runs the diffusing computation, and exposes snapshots
+and convergence measurement.  This is the main entry point of the
+public API::
+
+    from repro import GS3Config, Gs3Simulation, uniform_disk
+    from repro.sim import RngStreams
+
+    deployment = uniform_disk(500.0, 2000, RngStreams(1))
+    sim = Gs3Simulation.from_deployment(deployment, GS3Config())
+    sim.run_to_quiescence()
+    snapshot = sim.snapshot()
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Type
+
+from ..net import Deployment, Network
+from ..sim import Tracer
+from .config import GS3Config
+from .gs3s import Gs3StaticNode
+from .runtime import Gs3Runtime
+from .snapshot import StructureSnapshot, take_snapshot
+
+__all__ = ["Gs3Simulation", "STRUCTURE_CHANGE_CATEGORIES"]
+
+#: Trace categories that indicate the head-level structure changed.
+#: ``run_until_stable`` declares convergence when none of these have
+#: fired for a full window.
+STRUCTURE_CHANGE_CATEGORIES = (
+    "head.become",
+    "head.selected",
+    "head.claim",
+    "head.retreat",
+    "associate.join",
+    "parent.change",
+    "cell.shift",
+    "cell.abandoned",
+    "node.bootup",
+    "sanity.reset",
+)
+
+
+class Gs3Simulation:
+    """One protocol run: network + runtime + node programs."""
+
+    def __init__(
+        self,
+        network: Network,
+        config: GS3Config,
+        seed: int = 0,
+        node_class: Type[Gs3StaticNode] = Gs3StaticNode,
+        keep_trace_records: bool = True,
+    ):
+        self.config = config
+        self.network = network
+        self.node_class = node_class
+        self.runtime = Gs3Runtime.build(
+            network, config, seed=seed, keep_trace_records=keep_trace_records
+        )
+        for node_id in network.node_ids():
+            node_class(self.runtime, node_id)
+
+    @classmethod
+    def from_deployment(
+        cls,
+        deployment: Deployment,
+        config: GS3Config,
+        seed: int = 0,
+        node_class: Type[Gs3StaticNode] = Gs3StaticNode,
+        keep_trace_records: bool = True,
+    ) -> "Gs3Simulation":
+        """Build a network from a deployment and wrap it in a run.
+
+        Node radio range defaults to the configuration's recommended
+        maximum (enough for all local coordination).
+        """
+        network = deployment.build_network(
+            max_range=config.recommended_max_range
+        )
+        return cls(
+            network,
+            config,
+            seed=seed,
+            node_class=node_class,
+            keep_trace_records=keep_trace_records,
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Boot every node program (idempotent per node)."""
+        if getattr(self, "_started", False):
+            return
+        self._started = True
+        for node in list(self.runtime.nodes.values()):
+            node.start()
+
+    def run_to_quiescence(self, max_time: Optional[float] = None) -> float:
+        """Run until the event queue drains (or ``max_time``).
+
+        Appropriate for GS3-S, which has no periodic timers: an empty
+        queue means the diffusing computation terminated.  Returns the
+        virtual time reached.
+        """
+        self.start()
+        return self.runtime.sim.run(until=max_time)
+
+    def run_for(self, duration: float) -> float:
+        """Advance the run by ``duration`` ticks."""
+        self.start()
+        return self.runtime.sim.run_for(duration)
+
+    def run_until_stable(
+        self,
+        window: float = 50.0,
+        max_time: float = 100_000.0,
+        categories: Iterable[str] = STRUCTURE_CHANGE_CATEGORIES,
+    ) -> float:
+        """Run until no structure-changing event fires for ``window``.
+
+        Appropriate for GS3-D/M, whose heartbeat timers keep the event
+        queue busy forever.  Returns the time of the *last* structure
+        change (the convergence instant), or the current time if no
+        change ever occurred.
+
+        Raises:
+            TimeoutError: when ``max_time`` passes without stability.
+        """
+        self.start()
+        sim = self.runtime.sim
+        tracer = self.runtime.tracer
+        categories = tuple(categories)
+        while sim.now < max_time:
+            sim.run_for(window)
+            last_change = tracer.last_time(*categories)
+            if last_change is None or last_change <= sim.now - window:
+                return last_change if last_change is not None else sim.now
+            if sim.next_event_time() is None:
+                return tracer.last_time(*categories) or sim.now
+        raise TimeoutError(
+            f"structure did not stabilise within {max_time} ticks"
+        )
+
+    # -- observation -------------------------------------------------------------
+
+    def snapshot(self) -> StructureSnapshot:
+        """The current structure."""
+        return take_snapshot(self.runtime)
+
+    def gap_axials(self) -> set:
+        """Cells currently known to be R_t-gap perturbed.
+
+        The union of every head's gap findings, minus any cell that has
+        since been headed.  Pass to the invariant checkers so cells
+        adjoining a gap are classified as boundary cells (Section 3.3).
+        """
+        gaps = set()
+        for node in self.runtime.nodes.values():
+            gaps |= getattr(node, "gap_axials", set())
+        occupied = set(self.snapshot().head_by_axial)
+        return gaps - occupied
+
+    @property
+    def tracer(self) -> Tracer:
+        """The run's trace sink."""
+        return self.runtime.tracer
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.runtime.sim.now

@@ -1,0 +1,58 @@
+"""Planar geometry substrate for the GS3 reproduction.
+
+Provides 2D vectors, the hexagonal lattice of ideal locations, angular
+sector (search region) tests, and the intra-cell <ICC, ICP> candidate
+area ordering of Figure 5.
+"""
+
+from .angles import (
+    DEG_60,
+    TWO_PI,
+    angle_in_sector,
+    clockwise_rank_key,
+    normalize_angle,
+    signed_angle_from,
+)
+from .hexgrid import (
+    AXIAL_DIRECTIONS,
+    Axial,
+    HexLattice,
+    hex_distance,
+    ring_axials,
+    spiral_axials,
+)
+from .icc import IccIcp, IntraCellLattice
+from .regions import (
+    Disk,
+    SearchRegion,
+    min_enclosing_radius,
+    points_in_disk,
+    search_alpha,
+    search_radius,
+)
+from .vec import ORIGIN, Vec2
+
+__all__ = [
+    "ORIGIN",
+    "Vec2",
+    "DEG_60",
+    "TWO_PI",
+    "angle_in_sector",
+    "clockwise_rank_key",
+    "normalize_angle",
+    "signed_angle_from",
+    "AXIAL_DIRECTIONS",
+    "Axial",
+    "HexLattice",
+    "hex_distance",
+    "ring_axials",
+    "spiral_axials",
+    "IccIcp",
+    "IntraCellLattice",
+    "Disk",
+    "SearchRegion",
+    "min_enclosing_radius",
+    "points_in_disk",
+    "search_alpha",
+    "search_radius",
+]

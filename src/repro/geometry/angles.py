@@ -1,0 +1,94 @@
+"""Angle utilities for GS3's angular bookkeeping.
+
+GS3 orders candidate nodes around an ideal location by the *signed*
+angle between the global reference direction ``GR`` and the vector from
+the ideal location to the node (negative when clockwise with respect to
+``GR``), and restricts head search to angular sectors (the *search
+region*).  This module centralises those conventions so that every
+protocol module uses the same normalisation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from .vec import Vec2
+
+__all__ = [
+    "TWO_PI",
+    "DEG_60",
+    "normalize_angle",
+    "signed_angle_from",
+    "angle_in_sector",
+    "clockwise_rank_key",
+]
+
+TWO_PI = 2.0 * math.pi
+
+#: Sixty degrees in radians; the angular pitch of the hexagonal lattice.
+DEG_60 = math.pi / 3.0
+
+
+def normalize_angle(radians: float) -> float:
+    """Normalize an angle to the half-open interval ``(-pi, pi]``.
+
+    The paper measures angles ``A`` in ``(-180, 180]`` degrees with the
+    sign carrying the clockwise/counter-clockwise distinction, so we
+    keep ``pi`` (not ``-pi``) representable.
+    """
+    wrapped = math.fmod(radians, TWO_PI)
+    if wrapped > math.pi:
+        wrapped -= TWO_PI
+    elif wrapped <= -math.pi:
+        wrapped += TWO_PI
+    return wrapped
+
+
+def signed_angle_from(reference: Vec2, vector: Vec2) -> float:
+    """Signed angle from ``reference`` to ``vector`` in ``(-pi, pi]``.
+
+    Positive when ``vector`` lies counter-clockwise of ``reference``;
+    negative when clockwise.  This is exactly the ``A`` used by the
+    lexicographic candidate ranking in module HEAD_SELECT (Figure 3 of
+    the paper), with ``reference`` playing the role of ``GR``.
+    """
+    return normalize_angle(vector.angle() - reference.angle())
+
+
+def angle_in_sector(angle: float, low: float, high: float) -> bool:
+    """Whether ``angle`` lies in the sector ``[low, high]``.
+
+    ``low`` and ``high`` are offsets (radians) relative to the same
+    reference the angle was measured against; a full circle (width
+    ``>= 2*pi``) always contains the angle.  Inputs need not be
+    normalised.
+    """
+    if high - low >= TWO_PI:
+        return True
+    # Shift so the sector starts at zero, then wrap the angle into
+    # [0, 2*pi) for a single comparison.
+    width = high - low
+    shifted = math.fmod(angle - low, TWO_PI)
+    if shifted < 0.0:
+        shifted += TWO_PI
+    return shifted <= width + 1e-12
+
+
+def clockwise_rank_key(
+    reference: Vec2, origin: Vec2, point: Vec2
+) -> Tuple[float, float, float]:
+    """Ranking key ``<d, |A|, A>`` from HEAD_SELECT, step 4.
+
+    Candidates for a cell head are ordered lexicographically by
+    distance ``d`` from the ideal location ``origin``, then by the
+    magnitude of the signed angle ``A`` between ``reference`` (``GR``)
+    and the vector from ``origin`` to the candidate, then by ``A``
+    itself (so, at equal magnitude, the clockwise candidate — negative
+    ``A`` — wins).  The *smallest* key is the highest-ranked candidate.
+    """
+    d = origin.distance_to(point)
+    if d == 0.0:
+        return (0.0, 0.0, 0.0)
+    a = signed_angle_from(reference, point - origin)
+    return (d, abs(a), a)

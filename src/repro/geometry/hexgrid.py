@@ -1,0 +1,257 @@
+"""The hexagonal lattice of ideal locations (ILs).
+
+GS3 covers the plane with the *cellular hexagonal structure* of
+Figure 1: cell centers (ideal locations) form a triangular lattice with
+spacing ``sqrt(3) * R`` whose Voronoi cells are regular hexagons of
+circumradius ``R``.  The big node's IL is the lattice origin and the
+global reference direction ``GR`` fixes the lattice orientation, which
+is what makes IL computation *drift free*: every head derives its
+neighbours' ILs from its own exact IL, so deviations of physical head
+positions never accumulate (Section 3.2 of the paper).
+
+The same lattice (with spacing ``sqrt(3) * R_t``) describes the
+intra-cell candidate areas of Figure 5, which is why this module is
+parameterised by spacing rather than hard-coding ``R``.
+
+Axial coordinates
+-----------------
+Lattice points are addressed by axial coordinates ``(q, r)``::
+
+    point(q, r) = origin + q * a1 + r * a2
+
+with basis vectors ``a1`` at the lattice orientation angle and ``a2``
+rotated +60 degrees from ``a1``, both of length ``spacing``.  The six
+lattice directions, in counter-clockwise order starting from ``a1``,
+are::
+
+    (+1, 0), (0, +1), (-1, +1), (-1, 0), (0, -1), (+1, -1)
+
+The *band* of a cell (its hexagonal ring distance from the central
+cell, Section 3.1) equals the standard hex distance
+``(|q| + |r| + |q + r|) / 2``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from .vec import Vec2
+
+__all__ = [
+    "Axial",
+    "AXIAL_DIRECTIONS",
+    "HexLattice",
+    "hex_distance",
+    "ring_axials",
+    "spiral_axials",
+]
+
+#: Axial coordinate pair ``(q, r)``.
+Axial = Tuple[int, int]
+
+#: The six lattice directions in counter-clockwise order, starting at
+#: the ``a1`` basis direction (the lattice orientation / ``GR``).
+AXIAL_DIRECTIONS: Tuple[Axial, ...] = (
+    (1, 0),
+    (0, 1),
+    (-1, 1),
+    (-1, 0),
+    (0, -1),
+    (1, -1),
+)
+
+
+def hex_distance(a: Axial, b: Axial = (0, 0)) -> int:
+    """Hexagonal ring distance between two axial coordinates.
+
+    For a cell this is its *band* number: the number of cells between
+    it and the central cell, plus one (the central cell alone forms the
+    0-band).
+    """
+    dq = a[0] - b[0]
+    dr = a[1] - b[1]
+    return (abs(dq) + abs(dr) + abs(dq + dr)) // 2
+
+
+def axial_add(a: Axial, b: Axial) -> Axial:
+    """Component-wise sum of two axial coordinates."""
+    return (a[0] + b[0], a[1] + b[1])
+
+
+def axial_scale(a: Axial, k: int) -> Axial:
+    """Axial coordinate scaled by an integer."""
+    return (a[0] * k, a[1] * k)
+
+
+def ring_axials(band: int, center: Axial = (0, 0)) -> List[Axial]:
+    """All axial coordinates at hex distance ``band`` from ``center``.
+
+    The 0-ring is the center itself; the ``k``-ring has ``6 * k``
+    members.  Members are returned in a fixed walk order (starting from
+    the ``+a1`` direction, proceeding counter-clockwise); callers that
+    need the paper's clockwise-from-GR numbering should sort with
+    :meth:`HexLattice.clockwise_ring`.
+    """
+    if band < 0:
+        raise ValueError(f"band must be non-negative, got {band}")
+    if band == 0:
+        return [center]
+    results: List[Axial] = []
+    # Start at the corner in the +a1 direction and walk the ring.
+    current = axial_add(center, axial_scale(AXIAL_DIRECTIONS[0], band))
+    # Walk directions: to traverse the ring counter-clockwise we step
+    # in each direction rotated +120 degrees from the corner direction.
+    for side in range(6):
+        step = AXIAL_DIRECTIONS[(side + 2) % 6]
+        for _ in range(band):
+            results.append(current)
+            current = axial_add(current, step)
+    return results
+
+
+def spiral_axials(max_band: int, center: Axial = (0, 0)) -> Iterator[Axial]:
+    """Axial coordinates of all cells with band ``<= max_band``.
+
+    Yields the center first, then each ring outward.
+    """
+    for band in range(max_band + 1):
+        for axial in ring_axials(band, center):
+            yield axial
+
+
+@dataclass(frozen=True)
+class HexLattice:
+    """A triangular lattice of hexagon centers on the plane.
+
+    Attributes:
+        origin: position of the ``(0, 0)`` lattice point (the big
+            node's IL for the cell lattice; a cell's original ideal
+            location for the intra-cell lattice).
+        spacing: distance between adjacent lattice points
+            (``sqrt(3) * R`` for cells, ``sqrt(3) * R_t`` for
+            intra-cell candidate areas).
+        orientation: angle (radians) of the ``a1`` basis vector — the
+            global reference direction ``GR``.
+    """
+
+    origin: Vec2
+    spacing: float
+    orientation: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.spacing <= 0.0:
+            raise ValueError(f"spacing must be positive, got {self.spacing}")
+
+    # -- basis ---------------------------------------------------------
+
+    @property
+    def a1(self) -> Vec2:
+        """First basis vector (along ``GR``)."""
+        return Vec2.from_polar(self.spacing, self.orientation)
+
+    @property
+    def a2(self) -> Vec2:
+        """Second basis vector (``a1`` rotated +60 degrees)."""
+        return Vec2.from_polar(self.spacing, self.orientation + math.pi / 3.0)
+
+    # -- coordinate conversion ------------------------------------------
+
+    def point(self, axial: Axial) -> Vec2:
+        """Planar position of the lattice point ``(q, r)``."""
+        q, r = axial
+        return self.origin + self.a1 * q + self.a2 * r
+
+    def fractional_axial(self, point: Vec2) -> Tuple[float, float]:
+        """Real-valued axial coordinates of an arbitrary point."""
+        rel = point - self.origin
+        a1 = self.a1
+        a2 = self.a2
+        det = a1.cross(a2)
+        q = rel.cross(a2) / det
+        r = a1.cross(rel) / det
+        return (q, r)
+
+    def nearest_axial(self, point: Vec2) -> Axial:
+        """Axial coordinates of the lattice point nearest to ``point``.
+
+        Uses cube rounding, which is exact for hexagonal Voronoi cells:
+        the returned lattice point is the center of the hexagonal cell
+        containing ``point``.
+        """
+        qf, rf = self.fractional_axial(point)
+        sf = -qf - rf
+        q = round(qf)
+        r = round(rf)
+        s = round(sf)
+        dq = abs(q - qf)
+        dr = abs(r - rf)
+        ds = abs(s - sf)
+        if dq > dr and dq > ds:
+            q = -r - s
+        elif dr > ds:
+            r = -q - s
+        return (int(q), int(r))
+
+    def nearest_point(self, point: Vec2) -> Vec2:
+        """Position of the lattice point nearest to ``point``."""
+        return self.point(self.nearest_axial(point))
+
+    def band_of_point(self, point: Vec2) -> int:
+        """Band number of the cell containing ``point``."""
+        return hex_distance(self.nearest_axial(point))
+
+    # -- neighbourhood ---------------------------------------------------
+
+    def neighbors(self, axial: Axial) -> List[Axial]:
+        """The six axial neighbours of a lattice point."""
+        return [axial_add(axial, d) for d in AXIAL_DIRECTIONS]
+
+    def neighbor_points(self, axial: Axial) -> List[Vec2]:
+        """Positions of the six neighbouring lattice points."""
+        return [self.point(n) for n in self.neighbors(axial)]
+
+    def clockwise_ring(self, band: int, center: Axial = (0, 0)) -> List[Axial]:
+        """Ring members ordered clockwise starting from ``GR``.
+
+        This is the paper's *Intra Cycle Position* (ICP) order of
+        Figure 5: the member whose direction from ``center`` is closest
+        to ``GR`` (ties broken clockwise) comes first, and the walk
+        proceeds clockwise.  Used both for intra-cell IL ordering and
+        anywhere a deterministic, globally consistent ring ordering is
+        needed.
+        """
+        members = ring_axials(band, center)
+        if band == 0:
+            return members
+        center_pt = self.point(center)
+
+        def clockwise_angle(axial: Axial) -> float:
+            direction = self.point(axial) - center_pt
+            # Angle measured clockwise from GR, in [0, 2*pi).
+            rel = self.orientation - direction.angle()
+            rel = math.fmod(rel, 2.0 * math.pi)
+            if rel < 0.0:
+                rel += 2.0 * math.pi
+            # Guard against -0.0 / 2*pi float wrap for the GR member.
+            if rel > 2.0 * math.pi - 1e-9:
+                rel = 0.0
+            return rel
+
+        return sorted(members, key=clockwise_angle)
+
+    # -- geometry of the cells --------------------------------------------
+
+    @property
+    def cell_circumradius(self) -> float:
+        """Circumradius ``R`` of the hexagonal Voronoi cell.
+
+        For lattice spacing ``s = sqrt(3) * R`` the hexagonal cell
+        around each lattice point has circumradius ``R = s / sqrt(3)``.
+        """
+        return self.spacing / math.sqrt(3.0)
+
+    def cell_contains(self, axial: Axial, point: Vec2) -> bool:
+        """Whether ``point`` lies in the hexagonal cell of ``axial``."""
+        return self.nearest_axial(point) == axial

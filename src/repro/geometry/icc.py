@@ -1,0 +1,167 @@
+"""Intra-cell candidate areas and the <ICC, ICP> ordering (Figure 5).
+
+GS3-D's *cell shift* mechanism keeps a cell alive after the nodes near
+its ideal location (IL) exhaust their energy: the cell's IL is moved to
+another point within the cell whose ``R_t``-disk (*candidate area*, CA)
+still contains live nodes.  To make independent per-cell shifts
+coherent — so that the whole head-level structure "slides as a whole
+yet maintains consistent relative location among cells and heads" —
+every cell steps through the *same* deterministic sequence of candidate
+areas.
+
+The candidate areas of a cell tile the cell exactly the way cells tile
+the plane (self-similar, Figure 5): they form a hexagonal lattice of
+spacing ``sqrt(3) * R_t`` centered on the cell's *original ideal
+location* (OIL) and oriented along the global reference direction
+``GR``.  Each CA is addressed by:
+
+* ``ICC`` (Intra Cell Cycle): its ring distance from the OIL, and
+* ``ICP`` (Intra Cycle Position): its position on the ring, numbered
+  clockwise with respect to ``GR`` in ``[0, 6 * ICC - 1]``.
+
+Candidate areas are totally ordered lexicographically by
+``<ICC, ICP>``; a cell's *current* IL is the lowest CA in that order
+whose candidate set is non-empty.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from .hexgrid import Axial, HexLattice, hex_distance
+from .vec import Vec2
+
+__all__ = ["IccIcp", "IntraCellLattice"]
+
+#: A candidate-area address: ``(ICC, ICP)``.
+IccIcp = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class IntraCellLattice:
+    """The lattice of candidate areas inside one cell.
+
+    Attributes:
+        oil: the cell's original ideal location (lattice origin).
+        radius_tolerance: ``R_t`` — the CA radius.
+        orientation: angle of the global reference direction ``GR``.
+        cell_radius: the cell circumradius ``R``; candidate areas whose
+            centers fall outside the cell's coverage (distance > R from
+            the OIL) are excluded from the ordering.
+    """
+
+    oil: Vec2
+    radius_tolerance: float
+    orientation: float
+    cell_radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius_tolerance <= 0.0:
+            raise ValueError(
+                f"radius_tolerance must be positive, got {self.radius_tolerance}"
+            )
+        if self.cell_radius < self.radius_tolerance:
+            raise ValueError(
+                "cell_radius must be at least radius_tolerance, got "
+                f"R={self.cell_radius}, R_t={self.radius_tolerance}"
+            )
+
+    @property
+    def lattice(self) -> HexLattice:
+        """The underlying hexagonal lattice of CA centers."""
+        return HexLattice(
+            origin=self.oil,
+            spacing=math.sqrt(3.0) * self.radius_tolerance,
+            orientation=self.orientation,
+        )
+
+    @property
+    def max_icc(self) -> int:
+        """Largest ring whose members can still lie inside the cell."""
+        spacing = math.sqrt(3.0) * self.radius_tolerance
+        return int(math.floor(self.cell_radius / spacing)) + 1
+
+    # -- ordering -------------------------------------------------------
+
+    def ordered_addresses(self) -> List[IccIcp]:
+        """All CA addresses inside the cell, in ``<ICC, ICP>`` order."""
+        return [address for address, _ in self.ordered_locations()]
+
+    def ordered_locations(self) -> List[Tuple[IccIcp, Vec2]]:
+        """``(<ICC, ICP>, center)`` pairs in ``<ICC, ICP>`` order.
+
+        Only candidate areas whose center lies within ``cell_radius``
+        of the OIL are included, since a CA outside the cell's
+        geographic coverage cannot host the cell's head.
+        """
+        lattice = self.lattice
+        results: List[Tuple[IccIcp, Vec2]] = []
+        for icc in range(self.max_icc + 1):
+            ring = lattice.clockwise_ring(icc)
+            for icp, axial in enumerate(ring):
+                center = lattice.point(axial)
+                if center.distance_to(self.oil) <= self.cell_radius + 1e-9:
+                    results.append(((icc, icp), center))
+        return results
+
+    def iter_from(self, start: IccIcp) -> Iterator[Tuple[IccIcp, Vec2]]:
+        """Ordered CAs strictly after ``start`` in ``<ICC, ICP>`` order.
+
+        This is the sequence STRENGTHEN_CELL walks when looking for the
+        next IL with a non-empty candidate set.
+        """
+        for address, center in self.ordered_locations():
+            if address > start:
+                yield (address, center)
+
+    # -- address/location conversion --------------------------------------
+
+    def location_of(self, address: IccIcp) -> Vec2:
+        """Center of the candidate area at ``address``.
+
+        Raises:
+            KeyError: if the address does not exist inside the cell.
+        """
+        icc, icp = address
+        if icc < 0 or icp < 0:
+            raise KeyError(f"invalid <ICC, ICP> address {address}")
+        lattice = self.lattice
+        ring = lattice.clockwise_ring(icc)
+        if icp >= len(ring):
+            raise KeyError(f"ICP {icp} out of range for ICC {icc}")
+        center = lattice.point(ring[icp])
+        if center.distance_to(self.oil) > self.cell_radius + 1e-9:
+            raise KeyError(f"candidate area {address} lies outside the cell")
+        return center
+
+    def address_of(self, location: Vec2) -> Optional[IccIcp]:
+        """``<ICC, ICP>`` address of the CA containing ``location``.
+
+        Returns ``None`` if the location falls outside the cell's
+        candidate-area lattice.
+        """
+        lattice = self.lattice
+        axial = lattice.nearest_axial(location)
+        icc = hex_distance(axial)
+        if icc > self.max_icc:
+            return None
+        ring = lattice.clockwise_ring(icc)
+        try:
+            icp = ring.index(axial)
+        except ValueError:  # pragma: no cover - ring always contains axial
+            return None
+        center = lattice.point(axial)
+        if center.distance_to(self.oil) > self.cell_radius + 1e-9:
+            return None
+        return (icc, icp)
+
+    def offset_of(self, address: IccIcp) -> Vec2:
+        """Displacement from the OIL to the CA at ``address``.
+
+        Because every cell uses the same ``R_t``, ``GR`` and ordering,
+        applying the same address at every cell displaces all current
+        ILs by this same vector — the "slide as a whole" property.
+        """
+        return self.location_of(address) - self.oil

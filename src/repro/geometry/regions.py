@@ -1,0 +1,156 @@
+"""Search regions and other planar regions used by GS3.
+
+A head ``i`` organising its neighbourhood (module HEAD_ORG) only
+considers nodes inside its *search region*: the disk sector of radius
+``sqrt(3)*R + 2*R_t`` around ``IL(i)``, spanning from the L direction
+to the R direction relative to the reference direction
+``IL(P(i)) -> IL(i)``.  The big node searches the full circle; every
+other head searches ``[-60 - alpha, +60 + alpha]`` degrees where
+``alpha = asin(R_t / (sqrt(3) * R))`` absorbs the possible ``R_t``
+deviation of head positions from their ILs (Section 3.2).
+
+This module also provides simple circle/disk helpers used by the
+deployment generator (R_t-gap detection) and the analysis package.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from .angles import angle_in_sector, normalize_angle
+from .vec import Vec2
+
+__all__ = [
+    "search_alpha",
+    "search_radius",
+    "SearchRegion",
+    "Disk",
+    "points_in_disk",
+    "min_enclosing_radius",
+]
+
+
+def search_alpha(ideal_radius: float, radius_tolerance: float) -> float:
+    """The angular margin ``alpha = asin(R_t / (sqrt(3) R))`` in radians.
+
+    Guarantees that a head deviating up to ``R_t`` from its IL is still
+    covered by the angular window of its parent's search region.
+    """
+    ratio = radius_tolerance / (math.sqrt(3.0) * ideal_radius)
+    if not 0.0 <= ratio <= 1.0:
+        raise ValueError(
+            "radius_tolerance must satisfy 0 <= R_t <= sqrt(3) * R, got "
+            f"R={ideal_radius}, R_t={radius_tolerance}"
+        )
+    return math.asin(ratio)
+
+
+def search_radius(ideal_radius: float, radius_tolerance: float) -> float:
+    """The search / coordination radius ``sqrt(3)*R + 2*R_t``.
+
+    This is the maximum distance over which GS3 ever requires nodes to
+    communicate directly — the paper's *local coordination* bound.
+    """
+    return math.sqrt(3.0) * ideal_radius + 2.0 * radius_tolerance
+
+
+@dataclass(frozen=True)
+class SearchRegion:
+    """The disk sector a head searches during HEAD_ORG.
+
+    Attributes:
+        apex: the ideal location ``IL(i)`` of the searching head.
+        reference_angle: angle (radians) of the reference direction
+            ``IL(P(i)) -> IL(i)``; arbitrary for the big node.
+        low: sector start, radians relative to ``reference_angle``
+            (the paper's ``LD``; negative values open clockwise).
+        high: sector end, radians relative to ``reference_angle``
+            (the paper's ``RD``).
+        radius: sector radius, normally ``sqrt(3)*R + 2*R_t``.
+    """
+
+    apex: Vec2
+    reference_angle: float
+    low: float
+    high: float
+    radius: float
+
+    @staticmethod
+    def full_circle(apex: Vec2, radius: float) -> "SearchRegion":
+        """The big node's search region: the whole disk."""
+        return SearchRegion(apex, 0.0, 0.0, 2.0 * math.pi, radius)
+
+    @staticmethod
+    def forward_sector(
+        apex: Vec2,
+        reference_angle: float,
+        ideal_radius: float,
+        radius_tolerance: float,
+    ) -> "SearchRegion":
+        """A small head's search region ``[-60 - alpha, +60 + alpha]``."""
+        alpha = search_alpha(ideal_radius, radius_tolerance)
+        half_width = math.pi / 3.0 + alpha
+        return SearchRegion(
+            apex,
+            reference_angle,
+            -half_width,
+            half_width,
+            search_radius(ideal_radius, radius_tolerance),
+        )
+
+    @property
+    def is_full_circle(self) -> bool:
+        """Whether the sector spans the whole circle."""
+        return self.high - self.low >= 2.0 * math.pi - 1e-12
+
+    def contains(self, point: Vec2) -> bool:
+        """Whether ``point`` lies inside the sector (inclusive)."""
+        offset = point - self.apex
+        if offset.norm() > self.radius + 1e-9:
+            return False
+        if self.is_full_circle:
+            return True
+        if offset.norm() == 0.0:
+            return True
+        relative = normalize_angle(offset.angle() - self.reference_angle)
+        return angle_in_sector(relative, self.low, self.high)
+
+    def filter(self, points: Iterable[Vec2]) -> List[Vec2]:
+        """The subset of ``points`` inside the region."""
+        return [p for p in points if self.contains(p)]
+
+
+@dataclass(frozen=True)
+class Disk:
+    """A closed disk on the plane."""
+
+    center: Vec2
+    radius: float
+
+    def contains(self, point: Vec2) -> bool:
+        """Whether ``point`` lies in the disk (inclusive)."""
+        return self.center.distance_sq_to(point) <= self.radius * self.radius + 1e-12
+
+    def overlaps(self, other: "Disk") -> bool:
+        """Whether the two disks intersect."""
+        gap = self.radius + other.radius
+        return self.center.distance_sq_to(other.center) <= gap * gap
+
+
+def points_in_disk(points: Sequence[Vec2], center: Vec2, radius: float) -> List[Vec2]:
+    """Points of ``points`` within ``radius`` of ``center`` (inclusive)."""
+    r_sq = radius * radius + 1e-12
+    return [p for p in points if center.distance_sq_to(p) <= r_sq]
+
+
+def min_enclosing_radius(center: Vec2, points: Sequence[Vec2]) -> float:
+    """Radius of the smallest disk centered at ``center`` covering ``points``.
+
+    Used to measure the *cell radius* (max head-to-associate distance);
+    zero for an empty collection.
+    """
+    if not points:
+        return 0.0
+    return max(center.distance_to(p) for p in points)

@@ -1,0 +1,136 @@
+"""2D vector algebra used throughout the GS3 reproduction.
+
+The whole of GS3 lives on a Euclidean plane: node positions, ideal
+locations (ILs) of cells, search regions, and the global reference
+direction are all planar geometric objects.  ``Vec2`` is an immutable
+value type so vectors can be used as dictionary keys, members of sets,
+and fields of frozen dataclasses without defensive copying.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+__all__ = ["Vec2", "ORIGIN"]
+
+
+@dataclass(frozen=True)
+class Vec2:
+    """An immutable 2D point / vector.
+
+    The same type is used for points and displacement vectors; the
+    distinction is carried by context, exactly as in the paper's
+    geometric reasoning.
+    """
+
+    x: float
+    y: float
+
+    # -- arithmetic ---------------------------------------------------
+
+    def __add__(self, other: "Vec2") -> "Vec2":
+        return Vec2(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Vec2") -> "Vec2":
+        return Vec2(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Vec2":
+        return Vec2(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "Vec2":
+        return Vec2(self.x / scalar, self.y / scalar)
+
+    def __neg__(self) -> "Vec2":
+        return Vec2(-self.x, -self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    # -- metrics ------------------------------------------------------
+
+    def dot(self, other: "Vec2") -> float:
+        """Dot product with ``other``."""
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: "Vec2") -> float:
+        """Z-component of the 3D cross product (signed area)."""
+        return self.x * other.y - self.y * other.x
+
+    def norm(self) -> float:
+        """Euclidean length."""
+        return math.hypot(self.x, self.y)
+
+    def norm_sq(self) -> float:
+        """Squared Euclidean length (avoids the sqrt)."""
+        return self.x * self.x + self.y * self.y
+
+    def distance_to(self, other: "Vec2") -> float:
+        """Euclidean distance between two points."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def distance_sq_to(self, other: "Vec2") -> float:
+        """Squared Euclidean distance between two points."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    # -- directions ---------------------------------------------------
+
+    def angle(self) -> float:
+        """Angle of the vector in radians, in ``(-pi, pi]``."""
+        return math.atan2(self.y, self.x)
+
+    def normalized(self) -> "Vec2":
+        """Unit vector in the same direction.
+
+        Raises:
+            ZeroDivisionError: for the zero vector.
+        """
+        length = self.norm()
+        if length == 0.0:
+            raise ZeroDivisionError("cannot normalize the zero vector")
+        return Vec2(self.x / length, self.y / length)
+
+    def rotated(self, radians: float) -> "Vec2":
+        """The vector rotated counter-clockwise by ``radians``."""
+        c = math.cos(radians)
+        s = math.sin(radians)
+        return Vec2(c * self.x - s * self.y, s * self.x + c * self.y)
+
+    def perpendicular(self) -> "Vec2":
+        """The vector rotated counter-clockwise by 90 degrees."""
+        return Vec2(-self.y, self.x)
+
+    # -- constructors -------------------------------------------------
+
+    @staticmethod
+    def from_polar(radius: float, radians: float) -> "Vec2":
+        """Vector of length ``radius`` at angle ``radians``."""
+        return Vec2(radius * math.cos(radians), radius * math.sin(radians))
+
+    @staticmethod
+    def unit(radians: float) -> "Vec2":
+        """Unit vector at angle ``radians``."""
+        return Vec2(math.cos(radians), math.sin(radians))
+
+    # -- misc ---------------------------------------------------------
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Plain ``(x, y)`` tuple, e.g. for numpy interop."""
+        return (self.x, self.y)
+
+    def midpoint(self, other: "Vec2") -> "Vec2":
+        """Midpoint of the segment between the two points."""
+        return Vec2((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def is_close(self, other: "Vec2", tol: float = 1e-9) -> bool:
+        """Whether the two points coincide within ``tol``."""
+        return self.distance_to(other) <= tol
+
+
+ORIGIN = Vec2(0.0, 0.0)

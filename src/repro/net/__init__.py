@@ -1,0 +1,37 @@
+"""Wireless network substrate: nodes, radio, channel, deployments."""
+
+from .channel import ChannelLease, ChannelManager
+from .deployment import (
+    Deployment,
+    carve_gaps,
+    grid_jitter,
+    poisson_disk,
+    rt_gap_cells,
+    uniform_disk,
+)
+from .energy import EnergyConfig, EnergyTracker
+from .mobility import MoveListener, PathMobility, RandomWalkMobility
+from .node import NodeId, PhysicalNode
+from .radio import DeliveryError, Radio
+from .topology import Network
+
+__all__ = [
+    "ChannelLease",
+    "ChannelManager",
+    "Deployment",
+    "carve_gaps",
+    "grid_jitter",
+    "poisson_disk",
+    "rt_gap_cells",
+    "uniform_disk",
+    "EnergyConfig",
+    "EnergyTracker",
+    "MoveListener",
+    "PathMobility",
+    "RandomWalkMobility",
+    "NodeId",
+    "PhysicalNode",
+    "DeliveryError",
+    "Radio",
+    "Network",
+]

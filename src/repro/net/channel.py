@@ -1,0 +1,145 @@
+"""Channel reservation for mutually exclusive HEAD_ORG execution.
+
+GS3 requires that two heads within ``sqrt(3)*R + 2*R_t`` of each other
+never run HEAD_ORG concurrently (the proof of Theorem 4 relies on it).
+The paper models this as the head "reserving the wireless channel"
+before broadcasting *org* and revoking the reservation afterwards; the
+underlying MAC mechanism is left unspecified.
+
+``ChannelManager`` reproduces those semantics: a head requests an area
+lease (a disk around its IL); the lease is granted as soon as no
+overlapping lease is active, in FIFO arrival order among conflicting
+requests.  This is a centralised stand-in for a distributed reservation
+protocol — legitimate because only the *mutual exclusion* behaviour is
+observable to GS3, not the mechanism (see DESIGN.md, substitution
+table).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..geometry import Vec2
+from ..sim import Simulator
+from .node import NodeId
+
+__all__ = ["ChannelLease", "ChannelManager"]
+
+
+@dataclass
+class ChannelLease:
+    """An exclusive-area channel reservation."""
+
+    lease_id: int
+    node_id: NodeId
+    center: Vec2
+    radius: float
+    active: bool = False
+    released: bool = False
+
+    def conflicts_with(self, other: "ChannelLease") -> bool:
+        """Whether the two reservation areas overlap."""
+        reach = self.radius + other.radius
+        return self.center.distance_sq_to(other.center) <= reach * reach
+
+
+class ChannelManager:
+    """Grants non-overlapping area leases in FIFO order.
+
+    Grant callbacks run as simulator events (never synchronously inside
+    :meth:`request`/:meth:`release`), matching the paper's model where
+    reservation takes channel time.
+    """
+
+    def __init__(self, sim: Simulator, grant_delay: float = 1.0):
+        self.sim = sim
+        self.grant_delay = grant_delay
+        self._next_id = itertools.count()
+        self._active: Dict[int, ChannelLease] = {}
+        self._waiting: List[
+            tuple[ChannelLease, Callable[[ChannelLease], None]]
+        ] = []
+
+    # -- API --------------------------------------------------------------
+
+    def request(
+        self,
+        node_id: NodeId,
+        center: Vec2,
+        radius: float,
+        on_grant: Callable[[ChannelLease], None],
+    ) -> ChannelLease:
+        """Request an exclusive lease on the disk ``(center, radius)``.
+
+        ``on_grant(lease)`` is called (as a simulator event) when the
+        lease becomes active.  Cancel by calling :meth:`release` on the
+        returned lease before it is granted.
+        """
+        lease = ChannelLease(next(self._next_id), node_id, center, radius)
+        self._waiting.append((lease, on_grant))
+        self.sim.schedule(self.grant_delay, self._pump)
+        return lease
+
+    def release(self, lease: ChannelLease) -> None:
+        """Release (or cancel) a lease."""
+        if lease.released:
+            return
+        lease.released = True
+        if lease.active:
+            lease.active = False
+            del self._active[lease.lease_id]
+            self.sim.call_soon(self._pump)
+
+    @property
+    def active_count(self) -> int:
+        """Number of currently active leases."""
+        return len(self._active)
+
+    @property
+    def waiting_count(self) -> int:
+        """Number of requests still queued."""
+        return sum(1 for lease, _ in self._waiting if not lease.released)
+
+    def holder_near(self, center: Vec2, radius: float) -> Optional[NodeId]:
+        """Id of a node holding a lease overlapping the given disk."""
+        probe = ChannelLease(-1, -1, center, radius)
+        for lease in self._active.values():
+            if lease.conflicts_with(probe):
+                return lease.node_id
+        return None
+
+    # -- internals -------------------------------------------------------------
+
+    def _pump(self) -> None:
+        """Grant every queued lease that no longer conflicts (FIFO)."""
+        still_waiting: List[
+            tuple[ChannelLease, Callable[[ChannelLease], None]]
+        ] = []
+        granted_now: List[ChannelLease] = []
+        for lease, on_grant in self._waiting:
+            if lease.released:
+                continue
+            conflict = any(
+                lease.conflicts_with(active)
+                for active in self._active.values()
+            ) or any(lease.conflicts_with(g) for g in granted_now)
+            if conflict:
+                still_waiting.append((lease, on_grant))
+                continue
+            lease.active = True
+            self._active[lease.lease_id] = lease
+            granted_now.append(lease)
+            self.sim.call_soon(self._make_grant_callback(lease, on_grant))
+        self._waiting = still_waiting
+
+    @staticmethod
+    def _make_grant_callback(
+        lease: ChannelLease, on_grant: Callable[[ChannelLease], None]
+    ) -> Callable[[], None]:
+        def fire() -> None:
+            if lease.active and not lease.released:
+                on_grant(lease)
+
+        return fire

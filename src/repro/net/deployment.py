@@ -1,0 +1,244 @@
+"""Node deployment generators.
+
+The paper assumes nodes "distributed uniformly in the plane [such that]
+the number of nodes in a circular area of certain radius is a Poisson
+random variable" (Section 4.3.4), parameterised by the density
+``lambda`` — the expected number of nodes in any circular area of
+radius 1.  The corresponding planar Poisson process has intensity
+``lambda / pi`` nodes per unit area.
+
+Deployments are plain data (positions + the big node's position) so
+they can be generated once and reused across protocol variants and
+baselines, keeping comparisons paired.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence
+
+from ..geometry import Disk, HexLattice, Vec2
+from ..sim import RngStreams
+from .topology import Network
+
+__all__ = [
+    "Deployment",
+    "uniform_disk",
+    "poisson_disk",
+    "grid_jitter",
+    "carve_gaps",
+    "rt_gap_cells",
+]
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """An immutable node placement.
+
+    Attributes:
+        small_positions: positions of the small nodes.
+        big_position: position of the big node.
+        field: the deployment region (used by analysis to classify
+            boundary cells).
+    """
+
+    small_positions: tuple
+    big_position: Vec2
+    field: Disk
+
+    @property
+    def node_count(self) -> int:
+        """Total number of nodes including the big node."""
+        return len(self.small_positions) + 1
+
+    def all_positions(self) -> List[Vec2]:
+        """Big-node position first, then the small nodes."""
+        return [self.big_position, *self.small_positions]
+
+    def build_network(
+        self,
+        max_range: float,
+        cell_size: Optional[float] = None,
+    ) -> Network:
+        """Materialise a :class:`Network` from this deployment.
+
+        The big node always gets id 0.
+        """
+        network = Network(cell_size=cell_size or max(max_range, 1.0))
+        network.add_node(self.big_position, max_range, is_big=True)
+        for position in self.small_positions:
+            network.add_node(position, max_range)
+        return network
+
+    def density_lambda(self) -> float:
+        """Empirical ``lambda``: expected nodes per unit-radius disk."""
+        area = math.pi * self.field.radius**2
+        if area == 0.0:
+            return 0.0
+        intensity = self.node_count / area
+        return intensity * math.pi
+
+
+def _random_point_in_disk(rng, center: Vec2, radius: float) -> Vec2:
+    """Uniform sample from a disk (inverse-CDF on the radius)."""
+    r = radius * math.sqrt(rng.random())
+    theta = rng.random() * 2.0 * math.pi
+    return center + Vec2.from_polar(r, theta)
+
+
+def uniform_disk(
+    field_radius: float,
+    n_nodes: int,
+    rng_streams: RngStreams,
+    big_position: Optional[Vec2] = None,
+) -> Deployment:
+    """``n_nodes`` small nodes uniform in a disk centered at the origin.
+
+    The big node defaults to the field center, matching the paper's
+    figures where the central cell surrounds the big node.
+    """
+    if n_nodes < 0:
+        raise ValueError(f"n_nodes must be non-negative, got {n_nodes}")
+    rng = rng_streams.stream("deploy.uniform")
+    center = Vec2(0.0, 0.0)
+    positions = tuple(
+        _random_point_in_disk(rng, center, field_radius)
+        for _ in range(n_nodes)
+    )
+    return Deployment(
+        small_positions=positions,
+        big_position=big_position or center,
+        field=Disk(center, field_radius),
+    )
+
+
+def poisson_disk(
+    field_radius: float,
+    density_lambda: float,
+    rng_streams: RngStreams,
+    big_position: Optional[Vec2] = None,
+) -> Deployment:
+    """A planar Poisson process of density ``lambda`` on a disk.
+
+    ``density_lambda`` is the paper's ``lambda``: the expected node
+    count in any unit-radius circular area, so the total count is
+    Poisson with mean ``lambda * field_radius**2``.
+    """
+    if density_lambda < 0:
+        raise ValueError(
+            f"density_lambda must be non-negative, got {density_lambda}"
+        )
+    rng = rng_streams.stream("deploy.poisson")
+    mean_count = density_lambda * field_radius * field_radius
+    # Sample a Poisson count via inversion for small means or normal
+    # approximation for large ones (adequate for deployment sizes).
+    n_nodes = _sample_poisson(rng, mean_count)
+    center = Vec2(0.0, 0.0)
+    positions = tuple(
+        _random_point_in_disk(rng, center, field_radius)
+        for _ in range(n_nodes)
+    )
+    return Deployment(
+        small_positions=positions,
+        big_position=big_position or center,
+        field=Disk(center, field_radius),
+    )
+
+
+def _sample_poisson(rng, mean: float) -> int:
+    """Poisson sample; exact inversion below 500, normal approx above."""
+    if mean <= 0.0:
+        return 0
+    if mean < 500.0:
+        # Knuth/inversion in the log domain for numerical safety.
+        total = 0.0
+        count = 0
+        while True:
+            total += -math.log(1.0 - rng.random())
+            if total >= mean:
+                return count
+            count += 1
+    sample = rng.gauss(mean, math.sqrt(mean))
+    return max(0, int(round(sample)))
+
+
+def grid_jitter(
+    field_radius: float,
+    spacing: float,
+    jitter: float,
+    rng_streams: RngStreams,
+    big_position: Optional[Vec2] = None,
+) -> Deployment:
+    """Square-grid placement with uniform jitter.
+
+    A convenient near-uniform deployment with guaranteed minimum
+    density (no R_t-gaps when ``spacing`` is small enough), used for
+    deterministic protocol tests.
+    """
+    if spacing <= 0.0:
+        raise ValueError(f"spacing must be positive, got {spacing}")
+    rng = rng_streams.stream("deploy.grid")
+    center = Vec2(0.0, 0.0)
+    positions: List[Vec2] = []
+    steps = int(math.ceil(field_radius / spacing))
+    for ix in range(-steps, steps + 1):
+        for iy in range(-steps, steps + 1):
+            base = Vec2(ix * spacing, iy * spacing)
+            offset = Vec2(
+                (rng.random() * 2.0 - 1.0) * jitter,
+                (rng.random() * 2.0 - 1.0) * jitter,
+            )
+            point = base + offset
+            if point.distance_to(center) <= field_radius:
+                positions.append(point)
+    return Deployment(
+        small_positions=tuple(positions),
+        big_position=big_position or center,
+        field=Disk(center, field_radius),
+    )
+
+
+def carve_gaps(deployment: Deployment, gaps: Sequence[Disk]) -> Deployment:
+    """Remove all small nodes inside the given disks.
+
+    Used to inject R_t-gaps (areas of radius >= R_t with no node) for
+    the Figure 7/8 experiments and the cell-abandonment tests.
+    """
+    survivors = tuple(
+        p
+        for p in deployment.small_positions
+        if not any(gap.contains(p) for gap in gaps)
+    )
+    return replace(deployment, small_positions=survivors)
+
+
+def rt_gap_cells(
+    deployment: Deployment,
+    lattice: HexLattice,
+    radius_tolerance: float,
+) -> List[Vec2]:
+    """ILs of the virtual structure whose R_t-disk contains no node.
+
+    These are the paper's *R_t-gap perturbed cells*: cells of the ideal
+    virtual structure (Figure 1) that cannot host a head because no
+    node lies within ``R_t`` of the ideal location.  Only ILs inside
+    the deployment field are considered.
+    """
+    field = deployment.field
+    # A throwaway spatial index makes the scan O(ILs) instead of
+    # O(ILs * nodes).
+    index = Network(cell_size=max(radius_tolerance, field.radius / 64.0))
+    for position in deployment.all_positions():
+        index.add_node(position, max_range=1.0)
+    max_band = int(math.ceil(field.radius / lattice.spacing)) + 2
+    gaps: List[Vec2] = []
+    from ..geometry import spiral_axials  # local import to avoid cycle
+
+    for axial in spiral_axials(max_band):
+        il = lattice.point(axial)
+        if il.distance_to(field.center) > field.radius:
+            continue
+        if not index.nodes_within(il, radius_tolerance):
+            gaps.append(il)
+    return gaps

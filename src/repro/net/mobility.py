@@ -1,0 +1,117 @@
+"""Node mobility models.
+
+Section 5 of the paper models node movement as a correlated *leave*
+(from the old location) and *join* (at the new location), with the
+probability of a move decreasing in its distance.  We model movement as
+discrete relocations at scheduled virtual times; the protocol layer is
+notified through a callback so the moving node can run its join logic
+(or, for the big node, BIG_MOVE).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..geometry import Vec2
+from ..sim import RngStreams, Simulator
+from .node import NodeId
+from .topology import Network
+
+__all__ = ["MoveListener", "PathMobility", "RandomWalkMobility"]
+
+#: Called after a node is relocated: ``listener(node_id, old, new)``.
+MoveListener = Callable[[NodeId, Vec2, Vec2], None]
+
+
+@dataclass
+class PathMobility:
+    """Moves one node along an explicit timed path.
+
+    Attributes:
+        network: the node population.
+        sim: event scheduler.
+        node_id: the mobile node.
+        waypoints: ``(time, position)`` pairs, strictly increasing in
+            time.
+        listener: notified after each relocation.
+    """
+
+    network: Network
+    sim: Simulator
+    node_id: NodeId
+    waypoints: Sequence[Tuple[float, Vec2]]
+    listener: Optional[MoveListener] = None
+
+    def start(self) -> "PathMobility":
+        """Schedule every waypoint move."""
+        last_time = -math.inf
+        for move_time, position in self.waypoints:
+            if move_time <= last_time:
+                raise ValueError("waypoints must be strictly increasing in time")
+            last_time = move_time
+            self.sim.schedule_at(
+                move_time, self._make_move(position)
+            )
+        return self
+
+    def _make_move(self, position: Vec2) -> Callable[[], None]:
+        def move() -> None:
+            if not self.network.has_node(self.node_id):
+                return
+            node = self.network.node(self.node_id)
+            if not node.alive:
+                return
+            old = node.position
+            self.network.move_node(self.node_id, position)
+            if self.listener is not None:
+                self.listener(self.node_id, old, position)
+
+        return move
+
+
+@dataclass
+class RandomWalkMobility:
+    """Moves a node by random steps at a fixed interval.
+
+    Step lengths are exponentially distributed (short moves are more
+    probable than long ones — the paper's perturbation-frequency
+    assumption) with configurable mean, in a uniformly random
+    direction.  Steps that would exit ``max_radius`` from the origin
+    are reflected back inside.
+    """
+
+    network: Network
+    sim: Simulator
+    node_id: NodeId
+    interval: float
+    mean_step: float
+    rng_streams: RngStreams
+    max_radius: Optional[float] = None
+    listener: Optional[MoveListener] = None
+
+    def start(self) -> "RandomWalkMobility":
+        """Begin stepping after one interval."""
+        if self.interval <= 0:
+            raise ValueError(f"interval must be positive, got {self.interval}")
+        self._rng = self.rng_streams.stream(f"mobility.{self.node_id}")
+        self.sim.schedule(self.interval, self._step)
+        return self
+
+    def _step(self) -> None:
+        if not self.network.has_node(self.node_id):
+            return
+        node = self.network.node(self.node_id)
+        if not node.alive:
+            return
+        step = self._rng.expovariate(1.0 / self.mean_step)
+        angle = self._rng.random() * 2.0 * math.pi
+        target = node.position + Vec2.from_polar(step, angle)
+        if self.max_radius is not None and target.norm() > self.max_radius:
+            target = target * (self.max_radius / target.norm())
+        old = node.position
+        self.network.move_node(self.node_id, target)
+        if self.listener is not None:
+            self.listener(self.node_id, old, target)
+        self.sim.schedule(self.interval, self._step)

@@ -1,0 +1,70 @@
+"""Physical network nodes.
+
+The paper's system model (Section 2.1) has two kinds of nodes on a 2D
+plane: one *big* node (the initiator and gateway) and many *small*
+nodes.  Nodes can adjust their transmission range and detect relative
+location.  This module models exactly that physical layer; protocol
+state lives in ``repro.core`` and energy bookkeeping in
+``repro.net.energy``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..geometry import Vec2
+
+__all__ = ["NodeId", "PhysicalNode"]
+
+#: Node identifier (unique, stable; stands in for a MAC address).
+NodeId = int
+
+
+@dataclass
+class PhysicalNode:
+    """One radio node on the plane.
+
+    Attributes:
+        node_id: unique identifier.
+        position: current location on the plane.
+        max_range: the radio's maximum transmission range.  GS3 only
+            requires communication within ``sqrt(3)*R + 2*R_t``; nodes
+            adjust their effective range per transmission, bounded by
+            this maximum.
+        is_big: whether this is the big node.
+        alive: ``False`` once the node has left, died, or crashed.
+    """
+
+    node_id: NodeId
+    position: Vec2
+    max_range: float
+    is_big: bool = False
+    alive: bool = True
+
+    def distance_to(self, other: "PhysicalNode") -> float:
+        """Euclidean distance to another node."""
+        return self.position.distance_to(other.position)
+
+    def in_mutual_range(self, other: "PhysicalNode") -> bool:
+        """Whether the two nodes can exchange messages directly.
+
+        The paper's physical graph ``G_p`` joins nodes that are "within
+        transmission range of each other", i.e. the link must work in
+        both directions.
+        """
+        distance = self.distance_to(other)
+        return distance <= self.max_range and distance <= other.max_range
+
+    def can_reach(self, point: Vec2, tx_range: Optional[float] = None) -> bool:
+        """Whether a transmission at ``tx_range`` covers ``point``.
+
+        Args:
+            point: target location.
+            tx_range: requested transmission range; defaults to (and is
+                capped at) ``max_range``.
+        """
+        effective = self.max_range if tx_range is None else min(
+            tx_range, self.max_range
+        )
+        return self.position.distance_to(point) <= effective

@@ -1,0 +1,158 @@
+"""The wireless channel: range-limited broadcast and unicast.
+
+Transmission semantics follow Section 2.1 of the paper:
+
+* *destination-aware* transmission (unicast to a known node) is
+  reliable — acknowledgement and retransmission are assumed below this
+  layer;
+* *destination-unaware* transmission (broadcast) may be unreliable —
+  each potential receiver independently drops the frame with a
+  configurable probability.
+
+Every delivery costs one virtual-time tick by default (``hop_latency``)
+so that protocol convergence measured in ticks corresponds to message
+diffusion time, the unit of the paper's convergence bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from ..sim import RngStreams, Simulator, Tracer
+from .node import NodeId
+from .topology import Network
+
+__all__ = ["Radio", "DeliveryError"]
+
+#: Message handler signature: ``handler(payload, sender_id)``.
+Handler = Callable[[Any, NodeId], None]
+
+
+class DeliveryError(RuntimeError):
+    """Raised for unicast to an unreachable or unknown destination."""
+
+
+class Radio:
+    """Delivers messages between nodes of a :class:`Network`.
+
+    Args:
+        network: the node population.
+        sim: discrete-event simulator driving deliveries.
+        tracer: trace sink for message accounting.
+        rng: random streams (used for broadcast loss); optional when
+            ``broadcast_loss`` is zero.
+        broadcast_loss: per-receiver drop probability for broadcasts.
+        hop_latency: virtual-time delay of one transmission.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        sim: Simulator,
+        tracer: Optional[Tracer] = None,
+        rng: Optional[RngStreams] = None,
+        broadcast_loss: float = 0.0,
+        hop_latency: float = 1.0,
+    ):
+        if not 0.0 <= broadcast_loss < 1.0:
+            raise ValueError(
+                f"broadcast_loss must be in [0, 1), got {broadcast_loss}"
+            )
+        if hop_latency <= 0.0:
+            raise ValueError(
+                f"hop_latency must be positive, got {hop_latency}"
+            )
+        self.network = network
+        self.sim = sim
+        self.tracer = tracer or Tracer(keep_records=False)
+        self.broadcast_loss = broadcast_loss
+        self.hop_latency = hop_latency
+        self._loss_rng = (rng or RngStreams(0)).stream("radio.loss")
+        self._handlers: Dict[NodeId, Handler] = {}
+
+    # -- handler registry -----------------------------------------------
+
+    def register(self, node_id: NodeId, handler: Handler) -> None:
+        """Install the receive handler for a node (replacing any)."""
+        self._handlers[node_id] = handler
+
+    def unregister(self, node_id: NodeId) -> None:
+        """Remove a node's receive handler."""
+        self._handlers.pop(node_id, None)
+
+    # -- transmission -----------------------------------------------------
+
+    def broadcast(
+        self,
+        sender_id: NodeId,
+        payload: Any,
+        tx_range: float,
+    ) -> int:
+        """Broadcast ``payload`` to every live node within ``tx_range``.
+
+        Returns:
+            The number of deliveries scheduled (after loss).
+        """
+        sender = self.network.node(sender_id)
+        if not sender.alive:
+            return 0
+        effective = min(tx_range, sender.max_range)
+        self.tracer.emit(
+            self.sim.now, "msg.broadcast", node=sender_id, tx_range=effective
+        )
+        scheduled = 0
+        for receiver in self.network.nodes_within(sender.position, effective):
+            if receiver.node_id == sender_id:
+                continue
+            if self.broadcast_loss and (
+                self._loss_rng.random() < self.broadcast_loss
+            ):
+                self.tracer.emit(
+                    self.sim.now, "msg.lost", node=receiver.node_id
+                )
+                continue
+            self._schedule_delivery(sender_id, receiver.node_id, payload)
+            scheduled += 1
+        return scheduled
+
+    def unicast(self, sender_id: NodeId, dest_id: NodeId, payload: Any) -> bool:
+        """Reliably send ``payload`` to a known destination.
+
+        Returns:
+            ``True`` if delivery was scheduled; ``False`` when the
+            destination is dead, unknown, or out of range (the sender
+            learns this through the absence of an acknowledgement — in
+            simulation we surface it immediately as a return value).
+        """
+        sender = self.network.node(sender_id)
+        if not sender.alive:
+            return False
+        if not self.network.has_node(dest_id):
+            self.tracer.emit(self.sim.now, "msg.unreachable", node=sender_id)
+            return False
+        dest = self.network.node(dest_id)
+        if not dest.alive or not sender.can_reach(dest.position):
+            self.tracer.emit(self.sim.now, "msg.unreachable", node=sender_id)
+            return False
+        self.tracer.emit(self.sim.now, "msg.unicast", node=sender_id)
+        self._schedule_delivery(sender_id, dest_id, payload)
+        return True
+
+    # -- internals -----------------------------------------------------------
+
+    def _schedule_delivery(
+        self, sender_id: NodeId, dest_id: NodeId, payload: Any
+    ) -> None:
+        def deliver() -> None:
+            if not self.network.has_node(dest_id):
+                return
+            receiver = self.network.node(dest_id)
+            if not receiver.alive:
+                return
+            handler = self._handlers.get(dest_id)
+            if handler is None:
+                return
+            self.tracer.emit(self.sim.now, "msg.deliver", node=dest_id)
+            handler(payload, sender_id)
+
+        self.sim.schedule(self.hop_latency, deliver)

@@ -1,0 +1,228 @@
+"""The physical network and its spatial index.
+
+``Network`` owns the population of :class:`~repro.net.node.PhysicalNode`
+objects and answers the geometric queries the protocols need — "which
+live nodes are within distance d of this point?" — in (amortised)
+constant time per result via a uniform grid hash.  It also exposes the
+paper's physical graph ``G_p`` (nodes joined when within mutual
+transmission range) for connectivity checks used by requirement (c)
+and invariant I1.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..geometry import Vec2
+from .node import NodeId, PhysicalNode
+
+__all__ = ["Network"]
+
+_GridKey = Tuple[int, int]
+
+
+class Network:
+    """Population of nodes plus a uniform-grid spatial index.
+
+    Args:
+        cell_size: grid bin edge length for the spatial index.  Choose
+            on the order of the typical query radius (the protocol's
+            ``sqrt(3)*R + 2*R_t``); correctness does not depend on it.
+    """
+
+    def __init__(self, cell_size: float = 100.0):
+        if cell_size <= 0:
+            raise ValueError(f"cell_size must be positive, got {cell_size}")
+        self._cell_size = cell_size
+        self._nodes: Dict[NodeId, PhysicalNode] = {}
+        self._grid: Dict[_GridKey, Set[NodeId]] = {}
+        self._big_id: Optional[NodeId] = None
+        self._next_id: NodeId = 0
+
+    # -- population -------------------------------------------------------
+
+    def add_node(
+        self,
+        position: Vec2,
+        max_range: float,
+        is_big: bool = False,
+        node_id: Optional[NodeId] = None,
+    ) -> PhysicalNode:
+        """Create and index a node; returns it."""
+        if node_id is None:
+            node_id = self._next_id
+        if node_id in self._nodes:
+            raise ValueError(f"duplicate node id {node_id}")
+        self._next_id = max(self._next_id, node_id + 1)
+        node = PhysicalNode(node_id, position, max_range, is_big=is_big)
+        self._nodes[node_id] = node
+        self._grid.setdefault(self._key(position), set()).add(node_id)
+        if is_big:
+            if self._big_id is not None:
+                raise ValueError("network already has a big node")
+            self._big_id = node_id
+        return node
+
+    def remove_node(self, node_id: NodeId) -> None:
+        """Remove a node entirely (a permanent *leave*)."""
+        node = self._nodes.pop(node_id)
+        self._grid[self._key(node.position)].discard(node_id)
+        if self._big_id == node_id:
+            self._big_id = None
+
+    def kill_node(self, node_id: NodeId) -> None:
+        """Mark a node dead but keep it for post-mortem analysis."""
+        self._nodes[node_id].alive = False
+
+    def revive_node(self, node_id: NodeId) -> None:
+        """Mark a previously dead node alive again (a re-*join*)."""
+        self._nodes[node_id].alive = True
+
+    def move_node(self, node_id: NodeId, new_position: Vec2) -> None:
+        """Relocate a node, keeping the spatial index consistent."""
+        node = self._nodes[node_id]
+        old_key = self._key(node.position)
+        new_key = self._key(new_position)
+        if old_key != new_key:
+            self._grid[old_key].discard(node_id)
+            self._grid.setdefault(new_key, set()).add(node_id)
+        node.position = new_position
+
+    # -- access -------------------------------------------------------------
+
+    def node(self, node_id: NodeId) -> PhysicalNode:
+        """The node with the given id (KeyError if absent)."""
+        return self._nodes[node_id]
+
+    def has_node(self, node_id: NodeId) -> bool:
+        """Whether a node with this id exists."""
+        return node_id in self._nodes
+
+    @property
+    def big_node(self) -> PhysicalNode:
+        """The network's big node.
+
+        Raises:
+            LookupError: if no big node exists.
+        """
+        if self._big_id is None:
+            raise LookupError("network has no big node")
+        return self._nodes[self._big_id]
+
+    @property
+    def big_id(self) -> Optional[NodeId]:
+        """Id of the big node, or ``None``."""
+        return self._big_id
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[PhysicalNode]:
+        return iter(self._nodes.values())
+
+    def node_ids(self) -> List[NodeId]:
+        """All node ids (alive or not), sorted."""
+        return sorted(self._nodes)
+
+    def alive_nodes(self) -> Iterator[PhysicalNode]:
+        """All live nodes."""
+        return (n for n in self._nodes.values() if n.alive)
+
+    def alive_count(self) -> int:
+        """Number of live nodes."""
+        return sum(1 for _ in self.alive_nodes())
+
+    # -- spatial queries -----------------------------------------------------
+
+    def nodes_within(
+        self,
+        center: Vec2,
+        radius: float,
+        alive_only: bool = True,
+    ) -> List[PhysicalNode]:
+        """All nodes within ``radius`` of ``center`` (inclusive)."""
+        results: List[PhysicalNode] = []
+        r_sq = radius * radius + 1e-9
+        for node_id in self._candidate_ids(center, radius):
+            node = self._nodes[node_id]
+            if alive_only and not node.alive:
+                continue
+            if node.position.distance_sq_to(center) <= r_sq:
+                results.append(node)
+        return results
+
+    def nearest_node(
+        self,
+        center: Vec2,
+        max_radius: float,
+        alive_only: bool = True,
+        exclude: Iterable[NodeId] = (),
+    ) -> Optional[PhysicalNode]:
+        """The node nearest ``center`` within ``max_radius``, or None."""
+        excluded = set(exclude)
+        best: Optional[PhysicalNode] = None
+        best_d = math.inf
+        for node in self.nodes_within(center, max_radius, alive_only):
+            if node.node_id in excluded:
+                continue
+            d = node.position.distance_sq_to(center)
+            if d < best_d:
+                best = node
+                best_d = d
+        return best
+
+    def _key(self, position: Vec2) -> _GridKey:
+        return (
+            int(math.floor(position.x / self._cell_size)),
+            int(math.floor(position.y / self._cell_size)),
+        )
+
+    def _candidate_ids(self, center: Vec2, radius: float) -> Iterator[NodeId]:
+        k_min_x = int(math.floor((center.x - radius) / self._cell_size))
+        k_max_x = int(math.floor((center.x + radius) / self._cell_size))
+        k_min_y = int(math.floor((center.y - radius) / self._cell_size))
+        k_max_y = int(math.floor((center.y + radius) / self._cell_size))
+        for kx in range(k_min_x, k_max_x + 1):
+            for ky in range(k_min_y, k_max_y + 1):
+                bucket = self._grid.get((kx, ky))
+                if bucket:
+                    yield from bucket
+
+    # -- the physical graph G_p ------------------------------------------------
+
+    def physical_neighbors(self, node_id: NodeId) -> List[PhysicalNode]:
+        """Live nodes within mutual transmission range of ``node_id``."""
+        node = self._nodes[node_id]
+        neighbors = []
+        for other in self.nodes_within(node.position, node.max_range):
+            if other.node_id != node_id and node.in_mutual_range(other):
+                neighbors.append(other)
+        return neighbors
+
+    def connected_to(self, source_id: NodeId) -> Set[NodeId]:
+        """Ids of live nodes connected to ``source_id`` in ``G_p``.
+
+        Breadth-first search over mutual-range links; includes the
+        source itself.  This realises the paper's *visible node*
+        notion: a node is visible iff it is connected to the big node.
+        """
+        source = self._nodes[source_id]
+        if not source.alive:
+            return set()
+        seen: Set[NodeId] = {source_id}
+        frontier = deque([source_id])
+        while frontier:
+            current = frontier.popleft()
+            for neighbor in self.physical_neighbors(current):
+                if neighbor.node_id not in seen:
+                    seen.add(neighbor.node_id)
+                    frontier.append(neighbor.node_id)
+        return seen
+
+    def is_connected_to_big(self, node_id: NodeId) -> bool:
+        """Whether a node is connected to the big node in ``G_p``."""
+        if self._big_id is None:
+            return False
+        return node_id in self.connected_to(self._big_id)

@@ -1,0 +1,26 @@
+"""Perturbation model: event types, injector, and workload generators."""
+
+from .events import (
+    NodeJoin,
+    NodeLeave,
+    NodeMove,
+    NodeRejoin,
+    PerturbationEvent,
+    RegionKill,
+    StateCorruption,
+)
+from .injector import PerturbationInjector
+from .workloads import churn_workload, mobility_workload
+
+__all__ = [
+    "NodeJoin",
+    "NodeLeave",
+    "NodeMove",
+    "NodeRejoin",
+    "PerturbationEvent",
+    "RegionKill",
+    "StateCorruption",
+    "PerturbationInjector",
+    "churn_workload",
+    "mobility_workload",
+]

@@ -1,0 +1,80 @@
+"""Perturbation event types (the system model of Section 2.1).
+
+Dynamic perturbations: node joins, leaves, deaths, state corruptions.
+Mobile perturbation: node movements.  Each event is plain data with a
+virtual firing time; :mod:`repro.perturb.injector` applies them to a
+running :class:`~repro.core.dynamic.Gs3DynamicSimulation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..geometry import Vec2
+from ..net import NodeId
+
+__all__ = [
+    "NodeJoin",
+    "NodeLeave",
+    "NodeRejoin",
+    "StateCorruption",
+    "NodeMove",
+    "RegionKill",
+    "PerturbationEvent",
+]
+
+
+@dataclass(frozen=True)
+class NodeJoin:
+    """A brand-new node appears at ``position``."""
+
+    time: float
+    position: Vec2
+
+
+@dataclass(frozen=True)
+class NodeLeave:
+    """Node ``node_id`` fail-stops (unanticipated leave or death)."""
+
+    time: float
+    node_id: NodeId
+
+
+@dataclass(frozen=True)
+class NodeRejoin:
+    """A previously left node comes back at its old position."""
+
+    time: float
+    node_id: NodeId
+
+
+@dataclass(frozen=True)
+class StateCorruption:
+    """Node ``node_id``'s protocol state is corrupted in place."""
+
+    time: float
+    node_id: NodeId
+
+
+@dataclass(frozen=True)
+class NodeMove:
+    """Node ``node_id`` relocates to ``position`` (mobile networks)."""
+
+    time: float
+    node_id: NodeId
+    position: Vec2
+
+
+@dataclass(frozen=True)
+class RegionKill:
+    """Every node in the disk dies simultaneously (mass perturbation)."""
+
+    time: float
+    center: Vec2
+    radius: float
+
+
+PerturbationEvent = Union[
+    NodeJoin, NodeLeave, NodeRejoin, StateCorruption, NodeMove, RegionKill
+]

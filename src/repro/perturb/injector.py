@@ -1,0 +1,63 @@
+"""Applies perturbation schedules to a running protocol simulation."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .events import (
+    NodeJoin,
+    NodeLeave,
+    NodeMove,
+    NodeRejoin,
+    PerturbationEvent,
+    RegionKill,
+    StateCorruption,
+)
+
+__all__ = ["PerturbationInjector"]
+
+
+class PerturbationInjector:
+    """Schedules perturbation events against a simulation.
+
+    Usage::
+
+        injector = PerturbationInjector(sim)
+        injector.schedule([NodeLeave(time=500.0, node_id=42), ...])
+        sim.run_for(...)
+    """
+
+    def __init__(self, simulation):
+        self.simulation = simulation
+        self.applied: List[PerturbationEvent] = []
+
+    def schedule(self, events: Iterable[PerturbationEvent]) -> int:
+        """Arm every event on the simulator; returns the count."""
+        count = 0
+        for event in events:
+            self.simulation.runtime.sim.schedule_at(
+                event.time, self._make_apply(event)
+            )
+            count += 1
+        return count
+
+    def _make_apply(self, event: PerturbationEvent):
+        def apply() -> None:
+            self.applied.append(event)
+            sim = self.simulation
+            if isinstance(event, NodeJoin):
+                sim.add_node(event.position)
+            elif isinstance(event, NodeLeave):
+                sim.kill_node(event.node_id)
+            elif isinstance(event, NodeRejoin):
+                sim.revive_node(event.node_id)
+            elif isinstance(event, StateCorruption):
+                sim.corrupt_node(event.node_id)
+            elif isinstance(event, NodeMove):
+                sim.move_node(event.node_id, event.position)
+            elif isinstance(event, RegionKill):
+                sim.kill_region(event.center, event.radius)
+            else:  # pragma: no cover - exhaustive union
+                raise TypeError(f"unknown perturbation {event!r}")
+
+        return apply

@@ -1,0 +1,107 @@
+"""Random perturbation workload generators.
+
+Produces event schedules matching the paper's perturbation-frequency
+model (Section 2.1): joins/leaves/corruptions are rare and independent;
+move distances are (exponentially) biased towards short moves.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from ..geometry import Vec2
+from ..net import NodeId
+from ..sim import RngStreams
+from .events import (
+    NodeJoin,
+    NodeLeave,
+    NodeMove,
+    PerturbationEvent,
+    StateCorruption,
+)
+
+__all__ = ["churn_workload", "mobility_workload"]
+
+
+def _poisson_times(rng, rate: float, start: float, end: float) -> List[float]:
+    """Event times of a Poisson process of ``rate`` on [start, end)."""
+    times = []
+    t = start
+    if rate <= 0.0:
+        return times
+    while True:
+        t += rng.expovariate(rate)
+        if t >= end:
+            return times
+        times.append(t)
+
+
+def churn_workload(
+    node_ids: Sequence[NodeId],
+    field_radius: float,
+    rng_streams: RngStreams,
+    start: float,
+    end: float,
+    join_rate: float = 0.0,
+    leave_rate: float = 0.0,
+    corruption_rate: float = 0.0,
+) -> List[PerturbationEvent]:
+    """A random join/leave/corruption schedule.
+
+    Rates are events per tick across the whole network.  Leave and
+    corruption victims are drawn uniformly from ``node_ids`` (the big
+    node, id 0, is never chosen); join positions are uniform in the
+    field.
+    """
+    rng = rng_streams.stream("perturb.churn")
+    victims = [n for n in node_ids if n != 0]
+    events: List[PerturbationEvent] = []
+    for t in _poisson_times(rng, join_rate, start, end):
+        radius = field_radius * math.sqrt(rng.random())
+        angle = rng.random() * 2.0 * math.pi
+        events.append(NodeJoin(time=t, position=Vec2.from_polar(radius, angle)))
+    if victims:
+        for t in _poisson_times(rng, leave_rate, start, end):
+            events.append(NodeLeave(time=t, node_id=rng.choice(victims)))
+        for t in _poisson_times(rng, corruption_rate, start, end):
+            events.append(
+                StateCorruption(time=t, node_id=rng.choice(victims))
+            )
+    return sorted(events, key=lambda e: e.time)
+
+
+def mobility_workload(
+    node_ids: Sequence[NodeId],
+    positions: Sequence[Vec2],
+    rng_streams: RngStreams,
+    start: float,
+    end: float,
+    move_rate: float,
+    mean_step: float,
+    field_radius: Optional[float] = None,
+) -> List[PerturbationEvent]:
+    """A random movement schedule (GS3-M).
+
+    Step lengths are exponential with ``mean_step`` — the paper's
+    "probability of moving distance d decreases as d increases" — in a
+    uniform direction, clamped to the field when given.
+    """
+    rng = rng_streams.stream("perturb.mobility")
+    if len(node_ids) != len(positions):
+        raise ValueError("node_ids and positions must align")
+    current = {n: p for n, p in zip(node_ids, positions)}
+    movers = [n for n in node_ids if n != 0]
+    events: List[PerturbationEvent] = []
+    if not movers:
+        return events
+    for t in _poisson_times(rng, move_rate, start, end):
+        node_id = rng.choice(movers)
+        step = rng.expovariate(1.0 / mean_step)
+        angle = rng.random() * 2.0 * math.pi
+        target = current[node_id] + Vec2.from_polar(step, angle)
+        if field_radius is not None and target.norm() > field_radius:
+            target = target * (field_radius / target.norm())
+        current[node_id] = target
+        events.append(NodeMove(time=t, node_id=node_id, position=target))
+    return events

@@ -1,0 +1,11 @@
+"""Services on top of the GS3 structure: routing and convergecast."""
+
+from .aggregation import ConvergecastReport, simulate_convergecast
+from .hierarchy import HierarchicalRouter, Route
+
+__all__ = [
+    "ConvergecastReport",
+    "simulate_convergecast",
+    "HierarchicalRouter",
+    "Route",
+]

@@ -1,0 +1,222 @@
+"""Hierarchical routing over the GS3 structure.
+
+The paper's abstract positions GS3 as "a stable communication
+infrastructure for other services, such as routing".  This module
+implements the canonical such service: cell-by-cell geographic routing
+over the head graph, using **only the local state GS3 already
+maintains** at each node —
+
+* an associate knows its head;
+* a head knows its neighbouring heads (positions and ILs), its parent,
+  and its own associates (positions).
+
+A packet from ``src`` to ``dst``:
+
+1. ``src`` hands the packet to its cell head (one hop);
+2. each head forwards greedily to the neighbouring head whose IL is
+   closest to the destination's position; when greedy progress stalls
+   (a structural hole), the packet escalates to the parent — the
+   hierarchy guarantees eventual progress because the root's subtree
+   spans every cell;
+3. the head whose cell contains the destination delivers it (one hop).
+
+No global state, no routing tables beyond GS3's own neighbourhood
+knowledge.  ``route()`` computes the path against a protocol runtime
+and reports hop-by-hop metadata so benchmarks can measure stretch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from ..core.runtime import Gs3Runtime
+from ..core.state import NodeStatus
+from ..geometry import Vec2
+from ..net import NodeId
+
+__all__ = ["Route", "HierarchicalRouter"]
+
+
+@dataclass(frozen=True)
+class Route:
+    """The outcome of one routing attempt."""
+
+    source: NodeId
+    destination: NodeId
+    #: Node ids visited, source first, destination last (on success).
+    path: Tuple[NodeId, ...]
+    delivered: bool
+    #: Why the route failed (``None`` on success).
+    failure: Optional[str] = None
+
+    @property
+    def hop_count(self) -> int:
+        """Number of radio hops taken."""
+        return max(0, len(self.path) - 1)
+
+    def geographic_length(self, runtime: Gs3Runtime) -> float:
+        """Total geographic distance travelled along the path."""
+        total = 0.0
+        for a, b in zip(self.path, self.path[1:]):
+            total += runtime.network.node(a).position.distance_to(
+                runtime.network.node(b).position
+            )
+        return total
+
+    def stretch(self, runtime: Gs3Runtime) -> float:
+        """Geographic length over the straight-line distance."""
+        direct = runtime.network.node(self.source).position.distance_to(
+            runtime.network.node(self.destination).position
+        )
+        if direct == 0.0:
+            return 1.0
+        return self.geographic_length(runtime) / direct
+
+
+class HierarchicalRouter:
+    """Routes packets over a configured GS3 structure."""
+
+    def __init__(self, runtime: Gs3Runtime, max_hops: int = 200):
+        self.runtime = runtime
+        self.max_hops = max_hops
+
+    # -- local views ----------------------------------------------------
+
+    def _node(self, node_id: NodeId):
+        return self.runtime.nodes.get(node_id)
+
+    def _head_of(self, node_id: NodeId) -> Optional[NodeId]:
+        """The cell head serving ``node_id`` (itself if it is a head)."""
+        node = self._node(node_id)
+        if node is None or not node.alive:
+            return None
+        state = node.state
+        if state.status.is_head_like:
+            return node_id
+        if state.status is NodeStatus.ASSOCIATE:
+            return state.head_id
+        return None
+
+    def _neighbor_heads(self, head_id: NodeId) -> List[Tuple[NodeId, Vec2]]:
+        """(id, IL) of the heads adjacent to ``head_id`` — exactly what
+        HEAD_INTER_CELL maintains."""
+        node = self._node(head_id)
+        if node is None:
+            return []
+        results = []
+        for info in node.state.neighbor_heads.values():
+            results.append((info.node_id, info.il))
+        return results
+
+    def _serves(self, head_id: NodeId, node_id: NodeId) -> bool:
+        """Whether ``node_id`` is in ``head_id``'s cell (local check)."""
+        head = self._node(head_id)
+        if head is None:
+            return False
+        if node_id == head_id:
+            return True
+        if node_id in head.state.associate_positions:
+            return True
+        target = self._node(node_id)
+        return (
+            target is not None
+            and target.state.status is NodeStatus.ASSOCIATE
+            and target.state.head_id == head_id
+        )
+
+    # -- routing ---------------------------------------------------------
+
+    def route(self, source: NodeId, destination: NodeId) -> Route:
+        """Compute the hierarchical route from ``source`` to
+        ``destination`` using only node-local state."""
+        if source == destination:
+            return Route(source, destination, (source,), True)
+        dst_node = self._node(destination)
+        if dst_node is None or not dst_node.alive:
+            return Route(
+                source, destination, (source,), False, "destination dead"
+            )
+        target_position = dst_node.position
+        src_head = self._head_of(source)
+        if src_head is None:
+            return Route(
+                source, destination, (source,), False, "source has no cell"
+            )
+        path: List[NodeId] = [source]
+        if src_head != source:
+            path.append(src_head)
+        current = src_head
+        visited: Set[NodeId] = {current}
+        while len(path) < self.max_hops:
+            if self._serves(current, destination):
+                if destination != current:
+                    path.append(destination)
+                return Route(source, destination, tuple(path), True)
+            hop = self._next_hop(current, target_position, visited)
+            if hop is None:
+                return Route(
+                    source,
+                    destination,
+                    tuple(path),
+                    False,
+                    f"stuck at head {current}",
+                )
+            path.append(hop)
+            visited.add(hop)
+            current = hop
+        return Route(
+            source, destination, tuple(path), False, "hop limit exceeded"
+        )
+
+    def _next_hop(
+        self,
+        head_id: NodeId,
+        target: Vec2,
+        visited: Set[NodeId],
+    ) -> Optional[NodeId]:
+        """Greedy-with-parent-fallback next head."""
+        head = self._node(head_id)
+        if head is None:
+            return None
+        own_il = head.state.current_il
+        own_distance = (
+            own_il.distance_to(target) if own_il is not None else float("inf")
+        )
+        best: Optional[Tuple[float, NodeId]] = None
+        for neighbor_id, il in self._neighbor_heads(head_id):
+            if neighbor_id in visited:
+                continue
+            neighbor = self._node(neighbor_id)
+            if neighbor is None or not neighbor.alive:
+                continue
+            distance = il.distance_to(target)
+            if best is None or (distance, neighbor_id) < best:
+                best = (distance, neighbor_id)
+        if best is not None and best[0] < own_distance - 1e-9:
+            return best[1]
+        # Greedy is stuck: escalate to the parent (hierarchy fallback).
+        parent = head.state.parent_id
+        if (
+            parent is not None
+            and parent != head_id
+            and parent not in visited
+        ):
+            parent_node = self._node(parent)
+            if parent_node is not None and parent_node.alive:
+                return parent
+        # Last resort: the best unvisited neighbour even without
+        # progress (perimeter step).
+        return best[1] if best is not None else None
+
+    # -- bulk evaluation -------------------------------------------------------
+
+    def evaluate(
+        self, pairs: List[Tuple[NodeId, NodeId]]
+    ) -> Tuple[float, List[Route]]:
+        """Route many pairs; returns (delivery rate, routes)."""
+        routes = [self.route(s, d) for s, d in pairs]
+        if not routes:
+            return (0.0, [])
+        delivered = sum(1 for r in routes if r.delivered)
+        return (delivered / len(routes), routes)

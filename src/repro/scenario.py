@@ -1,0 +1,214 @@
+"""Declarative scenario runner.
+
+Encodes a complete experiment — deployment, protocol configuration,
+perturbation schedule, and measurement points — as plain data (JSON-
+compatible dictionaries), so that experiments can be stored in files,
+shared, and replayed exactly.  Used by the CLI's ``scenario`` command.
+
+Example scenario::
+
+    {
+      "seed": 7,
+      "config": {"ideal_radius": 100.0, "radius_tolerance": 25.0},
+      "deployment": {"kind": "uniform", "field_radius": 300.0,
+                      "n_nodes": 1000},
+      "mobile": false,
+      "perturbations": [
+        {"kind": "kill_head", "at": 200.0},
+        {"kind": "region_kill", "at": 600.0,
+         "center": [150.0, 0.0], "radius": 80.0},
+        {"kind": "join", "at": 900.0, "position": [10.0, 20.0]},
+        {"kind": "corrupt_head", "at": 1200.0},
+        {"kind": "move_big", "at": 1500.0, "to": [173.2, 0.0]}
+      ],
+      "settle_window": 120.0
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from .analysis import changed_cells
+from .core import (
+    GS3Config,
+    Gs3DynamicNode,
+    Gs3DynamicSimulation,
+    Gs3MobileNode,
+    check_static_invariant,
+)
+from .geometry import Vec2
+from .net import grid_jitter, poisson_disk, uniform_disk
+from .sim import RngStreams
+
+__all__ = ["Scenario", "ScenarioResult", "run_scenario"]
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Outcome of one scenario run."""
+
+    #: Virtual time when initial configuration stabilised.
+    configured_at: float
+    #: One entry per perturbation: kind, healing time, cells changed.
+    perturbation_log: List[Dict[str, Any]]
+    #: Invariant violations at the end (should be empty).
+    final_violations: List[str]
+    #: Final cell count.
+    final_cells: int
+
+    def ok(self) -> bool:
+        """Whether the scenario ended in a healthy state."""
+        return not self.final_violations
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A declarative experiment description."""
+
+    seed: int
+    config: GS3Config
+    deployment_spec: Dict[str, Any]
+    perturbations: Sequence[Dict[str, Any]]
+    mobile: bool = False
+    settle_window: float = 120.0
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "Scenario":
+        """Parse a scenario from plain data (e.g. loaded JSON)."""
+        config = GS3Config(**data.get("config", {}))
+        perturbations = list(data.get("perturbations", []))
+        for p in perturbations:
+            if "kind" not in p or "at" not in p:
+                raise ValueError(
+                    f"perturbation needs 'kind' and 'at': {p!r}"
+                )
+        return Scenario(
+            seed=int(data.get("seed", 0)),
+            config=config,
+            deployment_spec=dict(data["deployment"]),
+            perturbations=perturbations,
+            mobile=bool(data.get("mobile", False)),
+            settle_window=float(data.get("settle_window", 120.0)),
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "Scenario":
+        """Parse a scenario from a JSON string."""
+        return Scenario.from_dict(json.loads(text))
+
+    def build_deployment(self):
+        spec = dict(self.deployment_spec)
+        kind = spec.pop("kind", "uniform")
+        streams = RngStreams(self.seed)
+        if kind == "uniform":
+            return uniform_disk(
+                spec["field_radius"], spec["n_nodes"], streams
+            )
+        if kind == "poisson":
+            return poisson_disk(
+                spec["field_radius"], spec["density_lambda"], streams
+            )
+        if kind == "grid":
+            return grid_jitter(
+                spec["field_radius"],
+                spec["spacing"],
+                spec.get("jitter", 0.0),
+                streams,
+            )
+        raise ValueError(f"unknown deployment kind {kind!r}")
+
+
+def _apply_perturbation(
+    sim: Gs3DynamicSimulation, spec: Dict[str, Any]
+) -> str:
+    kind = spec["kind"]
+    if kind == "kill_head":
+        victim = next(
+            v for v in sim.snapshot().heads.values() if not v.is_big
+        )
+        sim.kill_node(victim.node_id)
+        return f"killed head {victim.node_id}"
+    if kind == "kill_node":
+        sim.kill_node(int(spec["node_id"]))
+        return f"killed node {spec['node_id']}"
+    if kind == "region_kill":
+        center = Vec2(*spec["center"])
+        victims = sim.kill_region(center, float(spec["radius"]))
+        return f"killed {len(victims)} nodes"
+    if kind == "join":
+        node_id = sim.add_node(Vec2(*spec["position"]))
+        return f"joined node {node_id}"
+    if kind == "corrupt_head":
+        victim = next(
+            v for v in sim.snapshot().heads.values() if not v.is_big
+        )
+        sim.corrupt_node(victim.node_id)
+        return f"corrupted head {victim.node_id}"
+    if kind == "move_big":
+        sim.move_node(sim.network.big_id, Vec2(*spec["to"]))
+        return "moved big node"
+    if kind == "move_node":
+        sim.move_node(int(spec["node_id"]), Vec2(*spec["to"]))
+        return f"moved node {spec['node_id']}"
+    raise ValueError(f"unknown perturbation kind {kind!r}")
+
+
+def run_scenario(scenario: Scenario) -> ScenarioResult:
+    """Execute a scenario: configure, perturb, heal, measure."""
+    deployment = scenario.build_deployment()
+    sim = Gs3DynamicSimulation.from_deployment(
+        deployment,
+        scenario.config,
+        seed=scenario.seed,
+        node_class=Gs3MobileNode if scenario.mobile else Gs3DynamicNode,
+    )
+    configured_at = sim.run_until_stable(
+        window=scenario.settle_window, max_time=50_000.0
+    )
+    log: List[Dict[str, Any]] = []
+    ordered = sorted(scenario.perturbations, key=lambda p: float(p["at"]))
+    for spec in ordered:
+        at = float(spec["at"])
+        if sim.now < at:
+            sim.run_for(at - sim.now)
+        before = sim.snapshot()
+        start = sim.now
+        what = _apply_perturbation(sim, spec)
+        healed_at = sim.run_until_stable(
+            window=scenario.settle_window, max_time=sim.now + 60_000.0
+        )
+        after = sim.snapshot()
+        log.append(
+            {
+                "kind": spec["kind"],
+                "detail": what,
+                "healing_time": max(0.0, healed_at - start),
+                "cells_changed": len(changed_cells(before, after)),
+            }
+        )
+    final = sim.snapshot()
+    violations = check_static_invariant(
+        final,
+        sim.network,
+        field=deployment.field,
+        gap_axials=sim.gap_axials(),
+        dynamic=True,
+        gap_diameter=2.0
+        * max(
+            (
+                float(p.get("radius", 0.0))
+                for p in scenario.perturbations
+                if p["kind"] == "region_kill"
+            ),
+            default=0.0,
+        ),
+    )
+    return ScenarioResult(
+        configured_at=configured_at,
+        perturbation_log=log,
+        final_violations=violations,
+        final_cells=len(final.heads),
+    )

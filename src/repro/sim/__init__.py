@@ -1,0 +1,20 @@
+"""Discrete-event simulation substrate for the GS3 reproduction."""
+
+from .engine import Event, EventHandle, PeriodicTimer, SimulationError, Simulator
+from .metrics import MetricSet, Summary
+from .rng import RngStreams, derive_seed
+from .tracing import TraceRecord, Tracer
+
+__all__ = [
+    "Event",
+    "EventHandle",
+    "PeriodicTimer",
+    "SimulationError",
+    "Simulator",
+    "MetricSet",
+    "Summary",
+    "RngStreams",
+    "derive_seed",
+    "TraceRecord",
+    "Tracer",
+]

@@ -1,0 +1,243 @@
+"""Discrete-event simulation engine.
+
+The GS3 protocols are specified as guarded-command programs whose
+modules execute atomically.  We reproduce that execution model with a
+classic discrete-event simulator: every module execution, message
+delivery, and timer expiry is an *event* at a virtual time, and events
+are executed one at a time in timestamp order (FIFO among equal
+timestamps), which preserves the paper's atomicity assumption.
+
+Virtual time is measured in abstract *ticks*; the network layer charges
+one tick per local message exchange, so convergence times measured in
+ticks are directly comparable to the paper's diffusion-time bounds
+(theta(D_b), O(D_p), ...).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+__all__ = [
+    "Event",
+    "EventHandle",
+    "PeriodicTimer",
+    "SimulationError",
+    "Simulator",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid scheduling requests or runaway simulations."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordered by ``(time, seq)``."""
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Cancellation handle for a scheduled event."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event):
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Scheduled execution time."""
+        return self._event.time
+
+    @property
+    def active(self) -> bool:
+        """Whether the event is still pending."""
+        return not self._event.cancelled
+
+    def cancel(self) -> None:
+        """Cancel the event; a no-op if it already ran or was cancelled."""
+        self._event.cancelled = True
+
+
+class Simulator:
+    """Event heap plus virtual clock.
+
+    The simulator is deliberately minimal: protocol logic lives in the
+    network and core packages and registers plain callbacks.  Fairness
+    (the paper's weak-fairness assumption on guarded commands) follows
+    from FIFO execution of equal-timestamp events.
+    """
+
+    def __init__(self, max_events: int = 50_000_000):
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._executed = 0
+        self._max_events = max_events
+        self._running = False
+
+    # -- clock -----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in ticks."""
+        return self._now
+
+    @property
+    def executed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still pending (including cancelled ones)."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule(
+        self, delay: float, callback: Callable[[], None]
+    ) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` ticks from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: delay={delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], None]
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before now={self._now}"
+            )
+        event = Event(time, next(self._seq), callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def call_soon(self, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at the current time (after pending
+        same-time events)."""
+        return self.schedule(0.0, callback)
+
+    # -- execution ---------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns:
+            ``True`` if an event was executed, ``False`` if the queue
+            was empty.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._executed += 1
+            if self._executed > self._max_events:
+                raise SimulationError(
+                    f"exceeded max_events={self._max_events}; "
+                    "likely a runaway protocol loop"
+                )
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains or virtual time passes ``until``.
+
+        Returns:
+            The virtual time when the run stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is not re-entrant")
+        self._running = True
+        try:
+            while self._queue:
+                next_event = self._peek()
+                if next_event is None:
+                    break
+                if until is not None and next_event.time > until:
+                    self._now = until
+                    break
+                self.step()
+        finally:
+            self._running = False
+        if until is not None and self._now < until and not self._queue:
+            self._now = until
+        return self._now
+
+    def run_for(self, duration: float) -> float:
+        """Run for ``duration`` ticks of virtual time."""
+        return self.run(until=self._now + duration)
+
+    def _peek(self) -> Optional[Event]:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None
+
+    def next_event_time(self) -> Optional[float]:
+        """Timestamp of the next pending event, or ``None``."""
+        event = self._peek()
+        return event.time if event else None
+
+
+@dataclass
+class PeriodicTimer:
+    """A repeating timer built on :class:`Simulator`.
+
+    Protocol heartbeats (HEAD_INTRA_CELL, HEAD_INTER_CELL, the periodic
+    SANITY_CHECK) all run on periodic timers.  The timer stops either
+    when :meth:`stop` is called or when the callback raises
+    ``StopIteration``.
+    """
+
+    sim: Simulator
+    interval: float
+    callback: Callable[[], None]
+    jitter: float = 0.0
+    _handle: Optional[EventHandle] = None
+    _stopped: bool = False
+
+    def start(self, initial_delay: Optional[float] = None) -> "PeriodicTimer":
+        """Arm the timer; first firing after ``initial_delay`` (default:
+        one interval)."""
+        if self.interval <= 0:
+            raise SimulationError(
+                f"timer interval must be positive, got {self.interval}"
+            )
+        delay = self.interval if initial_delay is None else initial_delay
+        self._stopped = False
+        self._handle = self.sim.schedule(delay, self._fire)
+        return self
+
+    def stop(self) -> None:
+        """Disarm the timer."""
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    @property
+    def active(self) -> bool:
+        """Whether the timer is armed."""
+        return not self._stopped and self._handle is not None
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        try:
+            self.callback()
+        except StopIteration:
+            self.stop()
+            return
+        if not self._stopped:
+            self._handle = self.sim.schedule(self.interval, self._fire)

@@ -1,0 +1,100 @@
+"""Lightweight metric accumulators for simulation runs."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["Summary", "MetricSet"]
+
+
+@dataclass
+class Summary:
+    """Streaming summary statistics (count/mean/min/max/stddev).
+
+    Uses Welford's online algorithm so benches can stream millions of
+    samples without storing them.
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one sample into the summary."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the samples seen so far."""
+        return self._m2 / self.count if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "Summary") -> "Summary":
+        """Combined summary of two sample streams."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.min = other.min
+            self.max = other.max
+            return self
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self.mean += delta * other.count / total
+        self.count = total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict rendering for reports."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "stddev": self.stddev,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+        }
+
+
+@dataclass
+class MetricSet:
+    """A named collection of :class:`Summary` objects."""
+
+    summaries: Dict[str, Summary] = field(default_factory=dict)
+
+    def observe(self, name: str, value: float) -> None:
+        """Add a sample to the named summary."""
+        if name not in self.summaries:
+            self.summaries[name] = Summary()
+        self.summaries[name].add(value)
+
+    def get(self, name: str) -> Optional[Summary]:
+        """The named summary, or ``None``."""
+        return self.summaries.get(name)
+
+    def names(self) -> List[str]:
+        """All metric names, sorted."""
+        return sorted(self.summaries)
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        """Plain-dict rendering for reports."""
+        return {name: s.as_dict() for name, s in self.summaries.items()}

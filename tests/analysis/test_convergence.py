@@ -1,0 +1,115 @@
+"""Unit tests for convergence/healing measurement helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis import changed_cells, impact_radius, tree_edges
+from repro.core import NodeStatus, NodeView, StructureSnapshot
+from repro.geometry import HexLattice, Vec2
+
+R = 100.0
+LATTICE = HexLattice(Vec2(0, 0), math.sqrt(3) * R)
+
+
+def head_view(node_id, axial, parent_id):
+    il = LATTICE.point(axial)
+    return NodeView(
+        node_id=node_id,
+        position=il,
+        status=NodeStatus.WORK,
+        alive=True,
+        is_big=(node_id == 0),
+        cell_axial=axial,
+        current_il=il,
+        oil=il,
+        icc_icp=(0, 0),
+        parent_id=parent_id,
+        hops_to_root=0 if parent_id == node_id else 1,
+        head_id=None,
+        is_candidate=False,
+    )
+
+
+def snapshot_of(views):
+    return StructureSnapshot(
+        time=0.0,
+        ideal_radius=R,
+        radius_tolerance=25.0,
+        lattice=LATTICE,
+        big_id=0,
+        views={v.node_id: v for v in views},
+    )
+
+
+def three_cell_snapshot(parent_of_two=1):
+    return snapshot_of(
+        [
+            head_view(0, (0, 0), 0),
+            head_view(1, (1, 0), 0),
+            head_view(2, (2, -1), parent_of_two),
+        ]
+    )
+
+
+class TestTreeEdges:
+    def test_edges_by_cell(self):
+        edges = tree_edges(three_cell_snapshot())
+        assert edges[(0, 0)] == (0, 0)  # root self-edge
+        assert edges[(1, 0)] == (0, 0)
+        assert edges[(2, -1)] == (1, 0)
+
+    def test_missing_parent_is_none(self):
+        snap = snapshot_of(
+            [head_view(0, (0, 0), 0), head_view(1, (1, 0), 99)]
+        )
+        assert tree_edges(snap)[(1, 0)] is None
+
+
+class TestChangedCells:
+    def test_no_change(self):
+        assert changed_cells(three_cell_snapshot(), three_cell_snapshot()) == []
+
+    def test_reparent_detected(self):
+        before = three_cell_snapshot(parent_of_two=1)
+        after = three_cell_snapshot(parent_of_two=0)
+        assert changed_cells(before, after) == [(2, -1)]
+
+    def test_disappeared_cell_detected(self):
+        before = three_cell_snapshot()
+        after = snapshot_of(
+            [head_view(0, (0, 0), 0), head_view(1, (1, 0), 0)]
+        )
+        assert changed_cells(before, after) == [(2, -1)]
+
+    def test_new_cell_detected(self):
+        before = snapshot_of([head_view(0, (0, 0), 0)])
+        after = snapshot_of(
+            [head_view(0, (0, 0), 0), head_view(1, (1, 0), 0)]
+        )
+        assert changed_cells(before, after) == [(1, 0)]
+
+
+class TestImpactRadius:
+    def test_zero_when_unchanged(self):
+        snap = three_cell_snapshot()
+        assert impact_radius(snap, snap, Vec2(0, 0)) == 0.0
+
+    def test_radius_of_changed_head(self):
+        before = three_cell_snapshot(parent_of_two=1)
+        after = three_cell_snapshot(parent_of_two=0)
+        center = Vec2(0, 0)
+        expected = LATTICE.point((2, -1)).distance_to(center)
+        assert impact_radius(before, after, center) == pytest.approx(
+            expected
+        )
+
+    def test_uses_before_position_for_dead_cells(self):
+        before = three_cell_snapshot()
+        after = snapshot_of(
+            [head_view(0, (0, 0), 0), head_view(1, (1, 0), 0)]
+        )
+        radius = impact_radius(before, after, Vec2(0, 0))
+        assert radius == pytest.approx(
+            LATTICE.point((2, -1)).distance_to(Vec2(0, 0))
+        )

@@ -1,0 +1,150 @@
+"""Tests for frequency reuse, networkx exports, and timelines."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    assign_channels,
+    build_timeline,
+    head_graph_nx,
+    head_neighboring_graph_nx,
+    ideal_channel_count,
+    physical_graph_nx,
+    render_timeline,
+)
+from repro.core import GS3Config, Gs3Simulation
+from repro.geometry import hex_distance
+from repro.net import uniform_disk
+from repro.sim import TraceRecord, Tracer
+
+CFG = GS3Config(ideal_radius=100.0, radius_tolerance=25.0)
+
+
+@pytest.fixture(scope="module")
+def run():
+    deployment = uniform_disk(300.0, 1000, RngStreams(95))
+    sim = Gs3Simulation.from_deployment(deployment, CFG, seed=95)
+    sim.run_to_quiescence()
+    return sim
+
+
+from repro.sim import RngStreams  # noqa: E402  (used in the fixture)
+
+
+class TestChannelAssignment:
+    def test_reuse_two_uses_three_channels(self, run):
+        plan = assign_channels(run.snapshot(), min_reuse_distance=2)
+        # GS3's lattice is the ideal hexagonal layout: the classic
+        # 3-channel plan suffices (boundary effects cannot raise it).
+        assert plan.channel_count == ideal_channel_count(2) == 3
+
+    def test_reuse_three_uses_seven_channels(self, run):
+        plan = assign_channels(run.snapshot(), min_reuse_distance=3)
+        assert plan.channel_count <= ideal_channel_count(3) + 1
+
+    def test_constraint_respected(self, run):
+        snapshot = run.snapshot()
+        plan = assign_channels(snapshot, min_reuse_distance=2)
+        axial_of = {
+            h: v.cell_axial for h, v in snapshot.heads.items()
+        }
+        for a, channel_a in plan.channel_of.items():
+            for b, channel_b in plan.channel_of.items():
+                if a < b and channel_a == channel_b:
+                    assert hex_distance(axial_of[a], axial_of[b]) >= 2
+
+    def test_reuse_factor(self, run):
+        plan = assign_channels(run.snapshot(), min_reuse_distance=2)
+        assert plan.reuse_factor == pytest.approx(
+            len(plan.channel_of) / plan.channel_count
+        )
+
+    def test_smaller_cells_more_reuse(self):
+        # The paper's claim: halving R quadruples the cell count over
+        # the same field, and the channel count stays constant, so the
+        # reuse factor grows.
+        small_cfg = GS3Config(ideal_radius=60.0, radius_tolerance=15.0)
+        deployment = uniform_disk(300.0, 1500, RngStreams(96))
+        big_run = Gs3Simulation.from_deployment(deployment, CFG, seed=96)
+        big_run.run_to_quiescence()
+        small_run = Gs3Simulation.from_deployment(
+            deployment, small_cfg, seed=96
+        )
+        small_run.run_to_quiescence()
+        big_plan = assign_channels(big_run.snapshot(), 2)
+        small_plan = assign_channels(small_run.snapshot(), 2)
+        assert small_plan.reuse_factor > big_plan.reuse_factor
+
+    def test_invalid_distance(self, run):
+        with pytest.raises(ValueError):
+            assign_channels(run.snapshot(), min_reuse_distance=0)
+        with pytest.raises(ValueError):
+            ideal_channel_count(9)
+
+
+class TestNetworkxExports:
+    def test_head_graph_is_tree(self, run):
+        import networkx as nx
+
+        graph = head_graph_nx(run.snapshot())
+        assert nx.is_arborescence(graph)
+
+    def test_head_neighboring_graph_edges(self, run):
+        snapshot = run.snapshot()
+        graph = head_neighboring_graph_nx(snapshot)
+        assert graph.number_of_edges() == len(snapshot.neighbor_head_pairs)
+        for _, _, data in graph.edges(data=True):
+            assert CFG.neighbor_distance_low - 1e-6 <= data["distance"]
+
+    def test_physical_graph_connected(self, run):
+        import networkx as nx
+
+        graph = physical_graph_nx(run.network)
+        assert nx.is_connected(graph)
+
+    def test_node_attributes(self, run):
+        graph = head_graph_nx(run.snapshot())
+        big = run.network.big_id
+        assert graph.nodes[big]["is_big"]
+        assert graph.nodes[big]["hops"] == 0
+
+
+class TestTimeline:
+    def make_records(self):
+        return [
+            TraceRecord(10.0, "msg.send", 1),
+            TraceRecord(12.0, "head.claim", 2),
+            TraceRecord(60.0, "head.claim", 3),
+            TraceRecord(61.0, "associate.join", 4),
+            TraceRecord(130.0, "perturb.kill", 5),
+        ]
+
+    def test_bucketing(self):
+        buckets = build_timeline(self.make_records(), bucket_width=50.0)
+        assert len(buckets) == 3
+        assert buckets[0].counts == {"messages": 1, "healing": 1}
+        assert buckets[1].counts == {"healing": 1, "membership": 1}
+        assert buckets[2].counts == {"perturbations": 1}
+
+    def test_empty(self):
+        assert build_timeline([]) == []
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            build_timeline(self.make_records(), bucket_width=0.0)
+
+    def test_render(self):
+        buckets = build_timeline(self.make_records(), bucket_width=50.0)
+        art = render_timeline(buckets, family="healing")
+        assert "healing" in art
+        assert "#" in art
+
+    def test_render_empty(self):
+        assert render_timeline([]) == "(no events)"
+
+    def test_real_run_timeline(self, run):
+        buckets = build_timeline(run.tracer.records, bucket_width=10.0)
+        assert buckets
+        # The configuration burst: organisation events in early buckets.
+        assert any("organisation" in b.counts for b in buckets)

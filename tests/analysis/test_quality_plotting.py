@@ -1,0 +1,155 @@
+"""Tests for quality metrics, structure helpers, and text plotting."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    ascii_chart,
+    ascii_table,
+    band_occupancy,
+    head_graph,
+    head_neighboring_graph,
+    neighbor_distance_statistics,
+    overlap_fraction,
+    radius_statistics,
+    render_structure_map,
+    snapshot_to_clusters,
+    structure_quality,
+    to_csv,
+    tree_depths,
+)
+from repro.baselines import Cluster, ClusterSet
+from repro.core import GS3Config, Gs3Simulation
+from repro.geometry import Vec2
+from repro.net import uniform_disk
+from repro.sim import RngStreams
+
+CFG = GS3Config(ideal_radius=100.0, radius_tolerance=25.0)
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    deployment = uniform_disk(350.0, 1500, RngStreams(13))
+    sim = Gs3Simulation.from_deployment(deployment, CFG, seed=13)
+    sim.run_to_quiescence()
+    return sim.snapshot()
+
+
+class TestSnapshotToClusters:
+    def test_covers_every_classified_node(self, snapshot):
+        clusters = snapshot_to_clusters(snapshot)
+        classified = set(snapshot.heads) | {
+            a
+            for a, v in snapshot.associates.items()
+            if v.head_id in snapshot.heads
+        }
+        assert clusters.covered_ids() == classified
+
+    def test_radii_within_gs3_bound(self, snapshot):
+        clusters = snapshot_to_clusters(snapshot)
+        # Boundary cells may reach sqrt(3)R + 2R_t.
+        bound = math.sqrt(3) * CFG.ideal_radius + 2 * CFG.radius_tolerance
+        assert max(clusters.radii()) <= bound + 1e-6
+
+
+class TestQualityMetrics:
+    def test_radius_statistics(self, snapshot):
+        stats = radius_statistics(snapshot_to_clusters(snapshot))
+        assert stats.count == len(snapshot.heads)
+        assert 0 < stats.mean < CFG.ideal_radius * 2.5
+
+    def test_neighbor_distance_statistics(self, snapshot):
+        stats = neighbor_distance_statistics(snapshot)
+        assert stats.min >= CFG.neighbor_distance_low - 1e-6
+        assert stats.max <= CFG.neighbor_distance_high + 1e-6
+
+    def test_gs3_overlap_is_low(self, snapshot):
+        clusters = snapshot_to_clusters(snapshot)
+        assert overlap_fraction(clusters) < 0.35
+
+    def test_overlapping_clusters_detected(self):
+        # Two co-located clusters: members of each lie inside the other.
+        a = Cluster(0, Vec2(0, 0), (1,), (Vec2(10, 0),))
+        b = Cluster(2, Vec2(1, 0), (3,), (Vec2(-9, 0),))
+        assert overlap_fraction(ClusterSet((a, b))) == 1.0
+
+    def test_structure_quality_scorecard(self, snapshot):
+        quality = structure_quality(
+            snapshot_to_clusters(snapshot),
+            radius_bound=math.sqrt(3) * CFG.ideal_radius
+            + 2 * CFG.radius_tolerance,
+        )
+        assert quality.head_count == len(snapshot.heads)
+        assert quality.radius_violations == 0
+        assert quality.as_dict()["head_count"] == quality.head_count
+
+
+class TestStructureHelpers:
+    def test_head_graph_edges_match_children(self, snapshot):
+        graph = head_graph(snapshot)
+        assert set(graph) == set(snapshot.heads)
+        total_edges = sum(len(v) for v in graph.values())
+        assert total_edges == len(snapshot.heads) - 1  # tree
+
+    def test_head_neighboring_graph_symmetric(self, snapshot):
+        graph = head_neighboring_graph(snapshot)
+        for node, neighbors in graph.items():
+            for other in neighbors:
+                assert node in graph[other]
+
+    def test_band_occupancy(self, snapshot):
+        occupancy = band_occupancy(snapshot)
+        assert occupancy[0] == 1
+        assert occupancy[1] == 6
+
+    def test_tree_depths(self, snapshot):
+        depths = tree_depths(snapshot)
+        assert sorted(d for d in depths.values() if d == 0) == [0]
+        assert all(d >= 0 for d in depths.values())
+
+
+class TestPlotting:
+    def test_ascii_chart_renders(self):
+        chart = ascii_chart(
+            {"theory": [(0, 1.0), (1, 0.5), (2, 0.1)]},
+            title="decay",
+            width=30,
+            height=8,
+        )
+        assert "decay" in chart
+        assert "*" in chart
+
+    def test_ascii_chart_empty(self):
+        assert "(no data)" in ascii_chart({"empty": []})
+
+    def test_ascii_chart_two_series(self):
+        chart = ascii_chart(
+            {"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]}
+        )
+        assert "*" in chart and "o" in chart
+
+    def test_ascii_table(self):
+        table = ascii_table(
+            ["name", "value"], [["x", 1.25], ["yy", 3]], title="t"
+        )
+        assert "name" in table
+        assert "1.25" in table
+
+    def test_render_structure_map(self, snapshot):
+        art = render_structure_map(
+            snapshot.head_positions(),
+            [v.position for v in snapshot.associates.values()],
+            title="figure 4",
+        )
+        assert "#" in art
+        assert "." in art
+
+    def test_render_empty_map(self):
+        assert "(empty structure)" in render_structure_map([])
+
+    def test_to_csv(self):
+        csv = to_csv(["a", "b"], [[1, 2.5], [3, 4.0]])
+        lines = csv.strip().split("\n")
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2.5"

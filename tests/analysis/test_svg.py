@@ -1,0 +1,59 @@
+"""Tests for the SVG structure renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.svg import structure_svg, write_structure_svg
+from repro.core import GS3Config, Gs3Simulation
+from repro.net import uniform_disk
+from repro.sim import RngStreams
+
+CFG = GS3Config(ideal_radius=100.0, radius_tolerance=25.0)
+
+
+@pytest.fixture(scope="module")
+def snapshot():
+    deployment = uniform_disk(280.0, 800, RngStreams(61))
+    sim = Gs3Simulation.from_deployment(deployment, CFG, seed=61)
+    sim.run_to_quiescence()
+    return sim.snapshot()
+
+
+class TestStructureSvg:
+    def test_valid_xml(self, snapshot):
+        svg = structure_svg(snapshot)
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_contains_cells_heads_and_edges(self, snapshot):
+        svg = structure_svg(snapshot)
+        assert svg.count("<polygon") == len(snapshot.heads)
+        # A circle per associate + per head (+ ring for the big node).
+        assert svg.count("<circle") >= len(snapshot.associates) + len(
+            snapshot.heads
+        )
+        assert svg.count("<line") == len(snapshot.head_graph_edges)
+
+    def test_title_rendered(self, snapshot):
+        svg = structure_svg(snapshot, title="hello world")
+        assert "hello world" in svg
+
+    def test_dimensions(self, snapshot):
+        svg = structure_svg(snapshot, width=400, height=300)
+        assert 'width="400"' in svg
+        assert 'height="300"' in svg
+
+    def test_write_to_file(self, snapshot, tmp_path):
+        path = tmp_path / "structure.svg"
+        returned = write_structure_svg(snapshot, str(path))
+        assert returned == str(path)
+        content = path.read_text()
+        ET.fromstring(content)
+
+    def test_empty_snapshot(self, snapshot):
+        from dataclasses import replace
+
+        empty = replace(snapshot, views={})
+        svg = structure_svg(empty)
+        ET.fromstring(svg)

@@ -1,0 +1,113 @@
+"""Tests for the closed-form Figure 7/8 results."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    empty_disk_probability,
+    expected_non_ideal_cells,
+    figure7_curve,
+    figure8_curve,
+    gap_region_diameter,
+    non_ideal_cell_ratio,
+    poisson_pmf,
+)
+
+
+class TestPoissonPmf:
+    def test_zero_mean(self):
+        assert poisson_pmf(0, 0.0) == 1.0
+        assert poisson_pmf(1, 0.0) == 0.0
+
+    def test_matches_formula(self):
+        assert poisson_pmf(3, 2.0) == pytest.approx(
+            math.exp(-2.0) * 2.0**3 / 6.0
+        )
+
+    def test_negative_k(self):
+        assert poisson_pmf(-1, 2.0) == 0.0
+
+    @given(st.floats(min_value=0.1, max_value=20.0))
+    def test_sums_to_one(self, mean):
+        total = sum(poisson_pmf(k, mean) for k in range(200))
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+
+class TestAlpha:
+    def test_formula(self):
+        assert empty_disk_probability(2.0, 10.0) == pytest.approx(
+            math.exp(-40.0)
+        )
+
+    def test_zero_tolerance(self):
+        assert empty_disk_probability(0.0, 10.0) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            empty_disk_probability(-1.0, 10.0)
+
+    @given(
+        st.floats(min_value=0.0, max_value=10.0),
+        st.floats(min_value=0.0, max_value=50.0),
+    )
+    def test_is_probability(self, rt, lam):
+        assert 0.0 <= empty_disk_probability(rt, lam) <= 1.0
+
+    @given(st.floats(min_value=0.1, max_value=5.0))
+    def test_decreasing_in_tolerance(self, rt):
+        assert empty_disk_probability(rt + 0.1, 10.0) < (
+            empty_disk_probability(rt, 10.0)
+        )
+
+
+class TestFigure7:
+    def test_ratio_equals_alpha(self):
+        assert non_ideal_cell_ratio(1.5, 10.0) == empty_disk_probability(
+            1.5, 10.0
+        )
+
+    def test_expected_count(self):
+        assert expected_non_ideal_cells(100, 1.0, 10.0) == pytest.approx(
+            100 * math.exp(-10.0)
+        )
+
+    def test_negative_cells_rejected(self):
+        with pytest.raises(ValueError):
+            expected_non_ideal_cells(-1, 1.0, 10.0)
+
+    def test_headline_claim(self):
+        # Paper: ratio ~ 0 once R_t / R >= 0.02 with R=100, lambda=10.
+        ratio_at_002 = non_ideal_cell_ratio(0.02 * 100.0, 10.0)
+        assert ratio_at_002 < 1e-15
+
+    def test_curve_shape(self):
+        curve = figure7_curve([0.005, 0.01, 0.02, 0.05])
+        ys = [y for _, y in curve]
+        assert ys == sorted(ys, reverse=True)  # monotone decreasing
+        assert ys[0] > 0.05  # visible at the left edge
+        assert ys[-1] < 1e-15
+
+
+class TestFigure8:
+    def test_formula(self):
+        alpha = empty_disk_probability(1.0, 10.0)
+        expected = 2.0 * 100.0 * alpha / (1 - alpha) ** 2
+        assert gap_region_diameter(100.0, 1.0, 10.0) == pytest.approx(
+            expected
+        )
+
+    def test_infinite_at_zero_tolerance(self):
+        assert gap_region_diameter(100.0, 0.0, 10.0) == math.inf
+
+    def test_headline_claim(self):
+        assert gap_region_diameter(100.0, 0.02 * 100.0, 10.0) < 1e-10
+
+    def test_curve_matches_pointwise(self):
+        curve = figure8_curve([0.01, 0.02])
+        for ratio, value in curve:
+            assert value == pytest.approx(
+                gap_region_diameter(100.0, ratio * 100.0, 10.0)
+            )

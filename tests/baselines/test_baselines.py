@@ -1,0 +1,194 @@
+"""Tests for the LEACH and hop-clustering baselines."""
+
+import math
+import random
+
+import pytest
+
+from repro.baselines import (
+    Cluster,
+    ClusterSet,
+    LeachClustering,
+    LeachConfig,
+    hop_clustering,
+)
+from repro.geometry import Vec2
+from repro.net import Network, uniform_disk
+from repro.sim import RngStreams
+
+
+def make_positions(n=200, radius=300.0, seed=1):
+    deployment = uniform_disk(radius, n, RngStreams(seed))
+    return {
+        i: p
+        for i, p in enumerate(deployment.all_positions())
+    }
+
+
+class TestClusterSet:
+    def test_radius(self):
+        cluster = Cluster(
+            head_id=0,
+            head_position=Vec2(0, 0),
+            member_ids=(1, 2),
+            member_positions=(Vec2(3, 4), Vec2(1, 0)),
+        )
+        assert cluster.radius() == pytest.approx(5.0)
+        assert cluster.size == 3
+
+    def test_empty_cluster_radius(self):
+        cluster = Cluster(0, Vec2(0, 0), (), ())
+        assert cluster.radius() == 0.0
+
+    def test_from_assignment(self):
+        positions = {0: Vec2(0, 0), 1: Vec2(1, 0), 2: Vec2(10, 0)}
+        cs = ClusterSet.from_assignment(
+            positions, {1: 0, 2: 0}, heads=[0]
+        )
+        assert cs.head_count == 1
+        assert cs.clusters[0].member_ids == (1, 2)
+        assert cs.covered_ids() == {0, 1, 2}
+
+
+class TestLeachConfig:
+    def test_epoch_length(self):
+        assert LeachConfig(head_fraction=0.05).epoch_length == 20
+        assert LeachConfig(head_fraction=0.3).epoch_length == 4
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            LeachConfig(head_fraction=0.0)
+        with pytest.raises(ValueError):
+            LeachConfig(head_fraction=1.0)
+
+
+class TestLeach:
+    def test_round_covers_everyone(self):
+        positions = make_positions()
+        leach = LeachClustering(
+            positions, LeachConfig(0.05), random.Random(1)
+        )
+        cs = leach.run_round()
+        assert cs.covered_ids() == set(positions)
+
+    def test_head_count_near_fraction(self):
+        positions = make_positions(n=2000)
+        leach = LeachClustering(
+            positions, LeachConfig(0.05), random.Random(2)
+        )
+        counts = [leach.run_round().head_count for _ in range(5)]
+        # ~100 heads expected; loose bounds.
+        assert all(20 <= c <= 250 for c in counts)
+
+    def test_rotation_every_node_serves_once_per_epoch(self):
+        positions = make_positions(n=60)
+        config = LeachConfig(head_fraction=0.2)
+        leach = LeachClustering(positions, config, random.Random(3))
+        served = []
+        for _ in range(config.epoch_length):
+            served.extend(c.head_id for c in leach.run_round().clusters)
+        # No node serves twice within one epoch.
+        assert len(served) == len(set(served))
+
+    def test_members_join_nearest_head(self):
+        positions = make_positions(n=300)
+        leach = LeachClustering(
+            positions, LeachConfig(0.1), random.Random(4)
+        )
+        cs = leach.run_round()
+        head_positions = {
+            c.head_id: c.head_position for c in cs.clusters
+        }
+        for cluster in cs.clusters:
+            for member_id, member_pos in zip(
+                cluster.member_ids, cluster.member_positions
+            ):
+                own = member_pos.distance_to(cluster.head_position)
+                best = min(
+                    member_pos.distance_to(p)
+                    for p in head_positions.values()
+                )
+                assert own == pytest.approx(best)
+
+    def test_degenerate_round_forces_one_head(self):
+        positions = {0: Vec2(0, 0), 1: Vec2(1, 0)}
+        leach = LeachClustering(
+            positions, LeachConfig(0.01), random.Random(5)
+        )
+        cs = leach.run_round()
+        assert cs.head_count >= 1
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            LeachClustering({}, LeachConfig(0.1), random.Random(1))
+
+    def test_messages_per_round(self):
+        positions = make_positions(n=50)
+        leach = LeachClustering(
+            positions, LeachConfig(0.1), random.Random(6)
+        )
+        assert leach.messages_per_round() == 51  # big node included
+
+    def test_radius_spread_wider_than_gs3_bound(self):
+        # LEACH gives no geographic radius guarantee: with typical
+        # parameters, some cluster exceeds the GS3 bound for the
+        # equivalent head density.
+        positions = make_positions(n=2000, radius=500.0)
+        leach = LeachClustering(
+            positions, LeachConfig(0.02), random.Random(7)
+        )
+        radii = []
+        for _ in range(3):
+            radii.extend(leach.run_round().radii())
+        spread = max(radii) / (sum(radii) / len(radii))
+        assert spread > 1.5
+
+
+class TestHopClustering:
+    def build_network(self, n=300, radius=300.0, max_range=60.0, seed=11):
+        deployment = uniform_disk(radius, n, RngStreams(seed))
+        return deployment.build_network(max_range=max_range)
+
+    def test_covers_component(self):
+        network = self.build_network()
+        cs = hop_clustering(network, max_hops=3)
+        reachable = network.connected_to(network.big_id)
+        assert cs.covered_ids() == reachable
+
+    def test_logical_radius_bound(self):
+        network = self.build_network()
+        k = 2
+        cs = hop_clustering(network, max_hops=k)
+        # Geographic consequence: members within k * max_range.
+        for cluster in cs.clusters:
+            assert cluster.radius() <= k * 60.0 + 1e-9
+
+    def test_more_hops_fewer_clusters(self):
+        network = self.build_network()
+        few = hop_clustering(network, max_hops=4).head_count
+        many = hop_clustering(network, max_hops=1).head_count
+        assert few < many
+
+    def test_invalid_hops(self):
+        network = self.build_network(n=10)
+        with pytest.raises(ValueError):
+            hop_clustering(network, max_hops=0)
+
+    def test_requires_seed(self):
+        network = Network(cell_size=10.0)
+        network.add_node(Vec2(0, 0), 10.0)
+        with pytest.raises(ValueError):
+            hop_clustering(network, max_hops=2)
+
+    def test_explicit_seed(self):
+        network = Network(cell_size=50.0)
+        a = network.add_node(Vec2(0, 0), 50.0)
+        network.add_node(Vec2(30, 0), 50.0)
+        cs = hop_clustering(network, max_hops=1, seed_id=a.node_id)
+        assert cs.covered_ids() == {0, 1}
+
+    def test_deterministic(self):
+        network = self.build_network()
+        a = hop_clustering(network, max_hops=2)
+        b = hop_clustering(network, max_hops=2)
+        assert a == b

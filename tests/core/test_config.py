@@ -1,0 +1,68 @@
+"""Tests for GS3Config validation and derived quantities."""
+
+import math
+
+import pytest
+
+from repro.core import GS3Config
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        GS3Config()
+
+    def test_negative_radius(self):
+        with pytest.raises(ValueError):
+            GS3Config(ideal_radius=-1.0)
+
+    def test_tolerance_too_large(self):
+        with pytest.raises(ValueError):
+            GS3Config(ideal_radius=100.0, radius_tolerance=90.0)
+
+    def test_tolerance_zero(self):
+        with pytest.raises(ValueError):
+            GS3Config(radius_tolerance=0.0)
+
+    def test_collect_window_too_small(self):
+        with pytest.raises(ValueError):
+            GS3Config(hop_latency=1.0, collect_window=1.5)
+
+
+class TestDerived:
+    def test_lattice_spacing(self):
+        cfg = GS3Config(ideal_radius=100.0, radius_tolerance=25.0)
+        assert cfg.lattice_spacing == pytest.approx(math.sqrt(3) * 100)
+
+    def test_search_radius(self):
+        cfg = GS3Config(ideal_radius=100.0, radius_tolerance=25.0)
+        assert cfg.search_radius == pytest.approx(math.sqrt(3) * 100 + 50)
+
+    def test_alpha(self):
+        cfg = GS3Config(ideal_radius=100.0, radius_tolerance=25.0)
+        assert cfg.alpha == pytest.approx(math.asin(25 / (math.sqrt(3) * 100)))
+
+    def test_max_cell_radius(self):
+        cfg = GS3Config(ideal_radius=100.0, radius_tolerance=25.0)
+        assert cfg.max_cell_radius == pytest.approx(100 + 50 / math.sqrt(3))
+
+    def test_neighbor_distance_band(self):
+        cfg = GS3Config(ideal_radius=100.0, radius_tolerance=25.0)
+        assert cfg.neighbor_distance_low == pytest.approx(
+            math.sqrt(3) * 100 - 50
+        )
+        assert cfg.neighbor_distance_high == pytest.approx(
+            math.sqrt(3) * 100 + 50
+        )
+
+    def test_failure_timeout(self):
+        cfg = GS3Config(heartbeat_interval=10.0, failure_timeout_beats=2.5)
+        assert cfg.failure_timeout == 25.0
+
+    def test_recommended_max_range_exceeds_search_radius(self):
+        cfg = GS3Config()
+        assert cfg.recommended_max_range > cfg.search_radius
+
+    def test_frozen(self):
+        cfg = GS3Config()
+        with pytest.raises(AttributeError):
+            cfg.ideal_radius = 5.0

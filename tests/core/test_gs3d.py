@@ -1,0 +1,299 @@
+"""Integration tests for GS3-D: self-healing in dynamic networks.
+
+Each test configures a network, injects one of the paper's
+perturbations (join, leave, death, region kill, corruption), lets the
+protocol heal, and asserts the invariant/fixpoint predicates plus the
+paper's locality claims.
+"""
+
+import math
+
+import pytest
+
+from repro.core import (
+    GS3Config,
+    Gs3DynamicSimulation,
+    NodeStatus,
+    check_i1_tree,
+    check_static_fixpoint,
+    check_static_invariant,
+)
+from repro.geometry import Vec2
+from repro.net import EnergyConfig, uniform_disk
+from repro.sim import RngStreams
+
+CFG = GS3Config(ideal_radius=100.0, radius_tolerance=25.0)
+
+
+def configure(seed=7, n_nodes=620, field_radius=230.0, config=CFG):
+    deployment = uniform_disk(field_radius, n_nodes, RngStreams(seed))
+    sim = Gs3DynamicSimulation.from_deployment(deployment, config, seed=seed)
+    sim.run_until_stable(window=60.0, max_time=5000.0)
+    return sim, deployment
+
+
+@pytest.fixture(scope="module")
+def configured():
+    return configure()
+
+
+class TestDynamicConfiguration:
+    def test_reaches_fixpoint(self, configured):
+        sim, deployment = configured
+        snap = sim.snapshot()
+        assert (
+            check_static_fixpoint(
+                snap, sim.network, field=deployment.field, dynamic=True
+            )
+            == []
+        )
+
+    def test_no_bootup_nodes(self, configured):
+        sim, _ = configured
+        assert len(sim.snapshot().bootup_ids) == 0
+
+    def test_heartbeats_flow(self, configured):
+        sim, _ = configured
+        before = sim.tracer.count("msg.broadcast")
+        sim.run_for(50.0)
+        assert sim.tracer.count("msg.broadcast") > before
+
+
+class TestHeadLeave:
+    def test_head_shift_masks_leave(self):
+        # Killing one head is healed *within the cell*: a candidate
+        # claims headship and the cell's axial stays occupied.
+        sim, deployment = configure(seed=21)
+        snap = sim.snapshot()
+        victim = next(v for v in snap.heads.values() if not v.is_big)
+        kill_time = sim.now
+        sim.kill_node(victim.node_id)
+        sim.run_until_stable(window=100.0, max_time=sim.now + 20000.0)
+        healed = sim.snapshot()
+        assert victim.cell_axial in healed.head_by_axial
+        new_head = healed.head_by_axial[victim.cell_axial]
+        assert new_head.node_id != victim.node_id
+        assert (
+            check_static_fixpoint(
+                healed, sim.network, field=deployment.field, dynamic=True
+            )
+            == []
+        )
+
+    def test_healing_is_local(self):
+        # Heads far from the victim keep their cell and parent cell.
+        sim, _ = configure(seed=22)
+        snap = sim.snapshot()
+        victim = next(v for v in snap.heads.values() if not v.is_big)
+
+        def tree_edges(s):
+            return {
+                v.cell_axial: (
+                    s.heads[v.parent_id].cell_axial
+                    if v.parent_id in s.heads
+                    else None
+                )
+                for v in s.heads.values()
+            }
+
+        before = tree_edges(snap)
+        sim.kill_node(victim.node_id)
+        sim.run_until_stable(window=100.0, max_time=sim.now + 20000.0)
+        after = tree_edges(sim.snapshot())
+        far_changed = []
+        from repro.geometry import hex_distance
+
+        for axial, parent in after.items():
+            if axial in before and before[axial] != parent:
+                if hex_distance(axial, victim.cell_axial) > 2:
+                    far_changed.append(axial)
+        assert far_changed == []
+
+    def test_associate_leave_invisible(self):
+        # A plain associate leaving changes nothing structural.
+        sim, _ = configure(seed=23)
+        snap = sim.snapshot()
+        victim = next(
+            v
+            for v in snap.associates.values()
+            if not v.is_candidate and v.head_id is not None
+        )
+        heads_before = set(snap.heads)
+        sim.kill_node(victim.node_id)
+        sim.run_for(300.0)
+        assert set(sim.snapshot().heads) == heads_before
+
+
+class TestRegionKill:
+    def test_region_heals_and_remains_covered(self):
+        sim, deployment = configure(seed=31, n_nodes=850, field_radius=270.0)
+        kill_radius = 80.0
+        sim.kill_region(Vec2(140.0, 0.0), kill_radius)
+        sim.run_until_stable(window=150.0, max_time=sim.now + 30000.0)
+        snap = sim.snapshot()
+        violations = check_static_fixpoint(
+            snap,
+            sim.network,
+            field=deployment.field,
+            gap_axials=sim.gap_axials(),
+            dynamic=True,
+            # I2.4's d_p: boundary cells adjoining the killed area may
+            # stretch by its diameter.
+            gap_diameter=2.0 * kill_radius,
+        )
+        assert violations == []
+        assert len(snap.bootup_ids) == 0
+
+
+class TestNodeJoin:
+    def test_new_node_joins_closest_head(self, configured):
+        sim, _ = configured
+        snap = sim.snapshot()
+        target = next(iter(snap.heads.values()))
+        position = target.position + Vec2(30.0, 10.0)
+        node_id = sim.add_node(position)
+        sim.run_for(5.0 * CFG.join_retry_interval)
+        state = sim.runtime.nodes[node_id].state
+        assert state.status is NodeStatus.ASSOCIATE
+        assert state.head_id is not None
+
+    def test_rejoin_after_leave(self):
+        sim, _ = configure(seed=41)
+        snap = sim.snapshot()
+        victim = next(
+            v for v in snap.associates.values() if not v.is_candidate
+        )
+        sim.kill_node(victim.node_id)
+        sim.run_for(100.0)
+        sim.revive_node(victim.node_id)
+        sim.run_for(10.0 * CFG.join_retry_interval)
+        state = sim.runtime.nodes[victim.node_id].state
+        assert state.status is NodeStatus.ASSOCIATE
+
+    def test_structure_unchanged_by_join(self, configured):
+        sim, _ = configured
+        heads_before = {
+            v.cell_axial for v in sim.snapshot().heads.values()
+        }
+        sim.add_node(Vec2(50.0, 50.0))
+        sim.run_for(200.0)
+        heads_after = {v.cell_axial for v in sim.snapshot().heads.values()}
+        assert heads_before == heads_after
+
+
+class TestStateCorruption:
+    def test_sanity_check_heals_corruption(self):
+        sim, deployment = configure(seed=51)
+        snap = sim.snapshot()
+        victim = next(v for v in snap.heads.values() if not v.is_big)
+        sim.corrupt_node(victim.node_id)
+        sim.run_until_stable(window=120.0, max_time=sim.now + 30000.0)
+        assert sim.tracer.count("sanity.reset") >= 1
+        healed = sim.snapshot()
+        assert (
+            check_static_invariant(
+                healed, sim.network, field=deployment.field, dynamic=True
+            )
+            == []
+        )
+
+    def test_corruption_not_healed_without_sanity_check(self):
+        config = GS3Config(
+            ideal_radius=100.0,
+            radius_tolerance=25.0,
+            enable_sanity_check=False,
+        )
+        sim, _ = configure(seed=52, config=config)
+        snap = sim.snapshot()
+        victim = next(v for v in snap.heads.values() if not v.is_big)
+        sim.corrupt_node(victim.node_id)
+        sim.run_for(1000.0)
+        assert sim.tracer.count("sanity.reset") == 0
+
+
+class TestEnergyDrivenDeath:
+    def make_energy_sim(self, enable_cell_shift):
+        config = GS3Config(
+            ideal_radius=100.0,
+            radius_tolerance=25.0,
+            enable_cell_shift=enable_cell_shift,
+        )
+        sim, deployment = configure(
+            seed=61, n_nodes=550, field_radius=210.0, config=config
+        )
+        sim.attach_energy(
+            EnergyConfig(
+                initial=2000.0,
+                head_drain=10.0,
+                candidate_drain=0.5,
+                associate_drain=0.2,
+            )
+        )
+        return sim
+
+    def test_cell_shift_slides_structure(self):
+        sim = self.make_energy_sim(enable_cell_shift=True)
+        sim.run_for(2500.0)
+        assert sim.tracer.count("cell.shift") > 0
+        snap = sim.snapshot()
+        # Cells that shifted share <ICC, ICP> addresses from the common
+        # deterministic spiral.
+        shifted = [v for v in snap.heads.values() if v.icc_icp != (0, 0)]
+        assert shifted
+        for view in shifted:
+            assert view.icc_icp[0] >= 1
+
+    def test_head_graph_survives_repeated_head_deaths(self):
+        sim = self.make_energy_sim(enable_cell_shift=True)
+        sim.run_for(2500.0)
+        # Pause the drain and let in-flight transitions settle before
+        # judging the tree (mid-churn snapshots are legitimately
+        # inconsistent for up to a failure timeout).
+        sim.detach_energy()
+        sim.run_until_stable(window=120.0, max_time=sim.now + 20000.0)
+        snap = sim.snapshot()
+        assert check_i1_tree(snap) == []
+        assert len(snap.heads) >= 5
+
+    def test_energy_roles_drain_heads_fastest(self):
+        sim = self.make_energy_sim(enable_cell_shift=True)
+        sim.run_for(500.0)
+        snap = sim.snapshot()
+        head_energy = [
+            sim.energy.remaining(h) for h in snap.heads if h != 0
+        ]
+        associate_energy = [
+            sim.energy.remaining(a)
+            for a, v in snap.associates.items()
+            if not v.is_candidate
+        ]
+        if head_energy and associate_energy:
+            assert min(associate_energy) > 0
+            # Continuing heads have drained more than the typical
+            # associate.
+            assert min(head_energy) < max(associate_energy)
+
+
+class TestBigSlide:
+    def test_big_node_hands_over_and_structure_survives(self):
+        config = GS3Config(
+            ideal_radius=100.0, radius_tolerance=25.0, min_candidates=1
+        )
+        sim, _ = configure(seed=71, n_nodes=550, field_radius=210.0, config=config)
+        big = sim.network.big_id
+        # Kill every candidate of the central cell so it must shift,
+        # putting the big node into BIG_SLIDE.
+        big_node = sim.runtime.nodes[big]
+        for candidate in list(big_node.state.candidate_ids):
+            sim.kill_node(candidate)
+        sim.run_for(2000.0)
+        snap = sim.snapshot()
+        big_view = snap.views[big]
+        if big_view.status is NodeStatus.BIG_SLIDE:
+            # The root role was delegated: exactly one root, big's cell
+            # still headed.
+            assert len(snap.roots) == 1
+            assert check_i1_tree(snap) == []
+        else:
+            # The big node kept or regained headship; tree must be sane.
+            assert check_i1_tree(snap) == []

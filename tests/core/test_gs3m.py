@@ -1,0 +1,168 @@
+"""Integration tests for GS3-M: mobile dynamic networks."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    GS3Config,
+    Gs3DynamicSimulation,
+    Gs3MobileNode,
+    NodeStatus,
+    check_i1_tree,
+    check_static_invariant,
+)
+from repro.geometry import Vec2, hex_distance
+from repro.net import uniform_disk
+from repro.sim import RngStreams
+
+CFG = GS3Config(ideal_radius=100.0, radius_tolerance=25.0)
+
+
+def configure(seed=9, n_nodes=750, field_radius=250.0):
+    deployment = uniform_disk(field_radius, n_nodes, RngStreams(seed))
+    sim = Gs3DynamicSimulation.from_deployment(
+        deployment, CFG, seed=seed, node_class=Gs3MobileNode
+    )
+    sim.run_until_stable(window=60.0, max_time=5000.0)
+    return sim, deployment
+
+
+def tree_edges(snapshot):
+    return {
+        v.cell_axial: (
+            snapshot.heads[v.parent_id].cell_axial
+            if v.parent_id in snapshot.heads
+            else None
+        )
+        for v in snapshot.heads.values()
+    }
+
+
+class TestBigNodeMove:
+    def test_big_retreats_beyond_tolerance(self):
+        sim, _ = configure(seed=81)
+        big = sim.network.big_id
+        old = sim.network.node(big).position
+        sim.move_node(big, old + Vec2(3 * CFG.radius_tolerance, 0))
+        sim.run_for(50.0)
+        status = sim.runtime.nodes[big].state.status
+        assert status in (NodeStatus.BIG_MOVE, NodeStatus.WORK)
+        assert sim.tracer.count("big.move_away") == 1
+
+    def test_small_move_keeps_headship(self):
+        sim, _ = configure(seed=82)
+        big = sim.network.big_id
+        old = sim.network.node(big).position
+        sim.move_node(big, old + Vec2(CFG.radius_tolerance * 0.5, 0))
+        sim.run_for(100.0)
+        assert sim.runtime.nodes[big].state.status is NodeStatus.WORK
+        assert sim.tracer.count("big.move_away") == 0
+
+    def test_big_resumes_at_new_cell(self):
+        sim, _ = configure(seed=83)
+        big = sim.network.big_id
+        old = sim.network.node(big).position
+        # Move exactly one lattice spacing: lands on a neighbouring IL.
+        sim.move_node(big, old + Vec2(CFG.lattice_spacing, 0))
+        sim.run_until_stable(window=120.0, max_time=sim.now + 30000.0)
+        snap = sim.snapshot()
+        assert snap.views[big].status is NodeStatus.WORK
+        assert snap.roots == [big]
+        assert snap.views[big].cell_axial == (1, 0)
+
+    def test_proxy_deputises_while_away(self):
+        sim, _ = configure(seed=84)
+        big = sim.network.big_id
+        old = sim.network.node(big).position
+        # Move to a cell corner: no IL within R_t, so the big node
+        # stays in BIG_MOVE with a proxy as root.
+        corner = old + Vec2(CFG.lattice_spacing / 2.0, CFG.ideal_radius / 2.0)
+        sim.move_node(big, corner)
+        sim.run_for(600.0)
+        snap = sim.snapshot()
+        big_view = snap.views[big]
+        assert big_view.status is NodeStatus.BIG_MOVE
+        assert len(snap.roots) == 1
+        root_view = snap.heads[snap.roots[0]]
+        # The proxy root is a head near the big node.
+        assert root_view.position.distance_to(corner) < 2 * CFG.ideal_radius
+        assert check_i1_tree(snap) == []
+
+    def test_invariant_holds_after_move(self):
+        sim, deployment = configure(seed=85)
+        big = sim.network.big_id
+        old = sim.network.node(big).position
+        sim.move_node(big, old + Vec2(CFG.lattice_spacing, 0))
+        sim.run_until_stable(window=120.0, max_time=sim.now + 30000.0)
+        snap = sim.snapshot()
+        assert (
+            check_static_invariant(
+                snap, sim.network, field=deployment.field, dynamic=True
+            )
+            == []
+        )
+
+    def test_impact_is_local(self):
+        # Theorem 11's shape: tree-edge changes concentrate near the
+        # move; cells more than a couple of bands from the move's
+        # midpoint keep their parent edge.
+        sim, _ = configure(seed=86)
+        before = tree_edges(sim.snapshot())
+        big = sim.network.big_id
+        old = sim.network.node(big).position
+        d = CFG.lattice_spacing
+        sim.move_node(big, old + Vec2(d, 0))
+        sim.run_until_stable(window=120.0, max_time=sim.now + 30000.0)
+        snap = sim.snapshot()
+        after = tree_edges(snap)
+        changed = [
+            axial
+            for axial, parent in after.items()
+            if axial in before and before[axial] != parent
+        ]
+        assert changed, "the move must affect at least the root's cells"
+        for axial in changed:
+            assert hex_distance(axial) <= 3
+
+
+class TestSmallNodeMobility:
+    def test_moved_associate_switches_cells(self):
+        sim, _ = configure(seed=87)
+        snap = sim.snapshot()
+        # Pick an associate and teleport it next to a *different* head.
+        associate = next(
+            v
+            for v in snap.associates.values()
+            if not v.is_candidate and v.head_id in snap.heads
+        )
+        other_head = next(
+            h
+            for h in snap.heads.values()
+            if h.node_id != associate.head_id
+        )
+        sim.move_node(
+            associate.node_id, other_head.position + Vec2(15.0, 0.0)
+        )
+        sim.run_for(400.0)
+        state = sim.runtime.nodes[associate.node_id].state
+        assert state.status is NodeStatus.ASSOCIATE
+        assert state.head_id == other_head.node_id
+
+    def test_moved_head_hands_over_cell(self):
+        sim, _ = configure(seed=88)
+        snap = sim.snapshot()
+        head = next(v for v in snap.heads.values() if not v.is_big)
+        sim.move_node(
+            head.node_id,
+            head.position + Vec2(3 * CFG.radius_tolerance, 0.0),
+        )
+        sim.run_until_stable(window=120.0, max_time=sim.now + 30000.0)
+        healed = sim.snapshot()
+        # The cell still exists with a head near its IL.
+        assert head.cell_axial in healed.head_by_axial
+        new_head = healed.head_by_axial[head.cell_axial]
+        assert (
+            new_head.position.distance_to(new_head.current_il)
+            <= CFG.radius_tolerance + 1e-6
+        )

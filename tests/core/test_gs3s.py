@@ -1,0 +1,260 @@
+"""Integration tests for GS3-S: static self-configuration.
+
+These tests run the full diffusing computation on generated
+deployments and assert the paper's invariant (SI), fixpoint (SF), and
+scalability properties.
+"""
+
+import math
+
+import pytest
+
+from repro.core import (
+    GS3Config,
+    Gs3Simulation,
+    NodeStatus,
+    check_f4_coverage,
+    check_i1_physical_connectivity,
+    check_i1_tree,
+    check_i2_cell_radius,
+    check_i2_children,
+    check_i2_inner_six,
+    check_i2_neighbors,
+    check_i3_associate_optimality,
+    check_static_fixpoint,
+)
+from repro.geometry import Vec2, hex_distance
+from repro.net import grid_jitter, uniform_disk
+from repro.sim import RngStreams
+
+CFG = GS3Config(ideal_radius=100.0, radius_tolerance=25.0)
+
+
+def run_static(deployment, config=CFG, seed=0):
+    sim = Gs3Simulation.from_deployment(deployment, config, seed=seed)
+    sim.run_to_quiescence()
+    return sim
+
+
+@pytest.fixture(scope="module")
+def converged():
+    """One converged medium-size run shared by read-only tests."""
+    deployment = uniform_disk(450.0, 2500, RngStreams(11))
+    sim = run_static(deployment, seed=11)
+    return sim, deployment, sim.snapshot()
+
+
+class TestConvergence:
+    def test_terminates(self, converged):
+        sim, _, _ = converged
+        assert sim.runtime.sim.pending_events == 0
+
+    def test_every_node_classified(self, converged):
+        _, _, snap = converged
+        assert len(snap.bootup_ids) == 0
+
+    def test_head_count_close_to_tiling(self, converged):
+        _, deployment, snap = converged
+        cell_area = 3 * math.sqrt(3) / 2 * (CFG.lattice_spacing / math.sqrt(3)) ** 2
+        expected = math.pi * deployment.field.radius**2 / cell_area
+        assert 0.6 * expected < len(snap.heads) < 1.6 * expected
+
+    def test_deterministic_given_seed(self):
+        deployment = uniform_disk(300.0, 900, RngStreams(5))
+        snap_a = run_static(deployment, seed=5).snapshot()
+        snap_b = run_static(deployment, seed=5).snapshot()
+        assert set(snap_a.heads) == set(snap_b.heads)
+        assert {
+            a: v.head_id for a, v in snap_a.associates.items()
+        } == {a: v.head_id for a, v in snap_b.associates.items()}
+
+
+class TestInvariantSI:
+    def test_i1_tree(self, converged):
+        _, _, snap = converged
+        assert check_i1_tree(snap) == []
+
+    def test_i1_physical(self, converged):
+        sim, _, snap = converged
+        assert check_i1_physical_connectivity(snap, sim.network) == []
+
+    def test_i2_neighbor_distances(self, converged):
+        _, _, snap = converged
+        assert check_i2_neighbors(snap) == []
+
+    def test_i2_inner_heads_have_six_neighbors(self, converged):
+        sim, deployment, snap = converged
+        assert (
+            check_i2_inner_six(
+                snap, deployment.field, gap_axials=sim.gap_axials()
+            )
+            == []
+        )
+
+    def test_i2_children_bound(self, converged):
+        _, _, snap = converged
+        assert check_i2_children(snap) == []
+
+    def test_i2_cell_radius(self, converged):
+        sim, deployment, snap = converged
+        assert (
+            check_i2_cell_radius(
+                snap, deployment.field, gap_axials=sim.gap_axials()
+            )
+            == []
+        )
+
+    def test_root_is_big_node(self, converged):
+        sim, _, snap = converged
+        assert snap.roots == [sim.network.big_id]
+
+    def test_big_node_children_six(self, converged):
+        sim, _, snap = converged
+        assert len(snap.children_of[sim.network.big_id]) == 6
+
+
+class TestFixpointSF:
+    def test_f3_associate_optimality(self, converged):
+        _, _, snap = converged
+        assert check_i3_associate_optimality(snap) == []
+
+    def test_f4_coverage(self, converged):
+        sim, _, snap = converged
+        assert check_f4_coverage(snap, sim.network) == []
+
+    def test_full_fixpoint(self, converged):
+        sim, deployment, snap = converged
+        assert (
+            check_static_fixpoint(
+                snap,
+                sim.network,
+                field=deployment.field,
+                gap_axials=sim.gap_axials(),
+            )
+            == []
+        )
+
+    @pytest.mark.parametrize("seed", [21, 22, 23])
+    def test_fixpoint_across_seeds(self, seed):
+        deployment = uniform_disk(350.0, 1500, RngStreams(seed))
+        sim = run_static(deployment, seed=seed)
+        snap = sim.snapshot()
+        assert (
+            check_static_fixpoint(
+                snap,
+                sim.network,
+                field=deployment.field,
+                gap_axials=sim.gap_axials(),
+            )
+            == []
+        )
+
+    def test_fixpoint_on_grid_deployment(self):
+        deployment = grid_jitter(350.0, 20.0, 6.0, RngStreams(31))
+        sim = run_static(deployment, seed=31)
+        snap = sim.snapshot()
+        assert (
+            check_static_fixpoint(snap, sim.network, field=deployment.field)
+            == []
+        )
+
+
+class TestHexagonalGeometry:
+    def test_heads_near_their_ils(self, converged):
+        _, _, snap = converged
+        for view in snap.heads.values():
+            assert view.position.distance_to(view.current_il) <= (
+                CFG.radius_tolerance + 1e-6
+            )
+
+    def test_neighbor_distance_band(self, converged):
+        _, _, snap = converged
+        for a, b in snap.neighbor_head_pairs:
+            d = a.position.distance_to(b.position)
+            assert CFG.neighbor_distance_low - 1e-6 <= d
+            assert d <= CFG.neighbor_distance_high + 1e-6
+
+    def test_cell_axials_unique(self, converged):
+        _, _, snap = converged
+        axials = [v.cell_axial for v in snap.heads.values()]
+        assert len(axials) == len(set(axials))
+
+    def test_band_matches_hops_near_root(self, converged):
+        # In the diffusing computation, a head's hop count equals its
+        # band except where diffusion speed differs; near the root they
+        # coincide.
+        _, _, snap = converged
+        for view in snap.heads.values():
+            band = hex_distance(view.cell_axial)
+            if band <= 1:
+                assert view.hops_to_root == band
+
+
+class TestScalability:
+    def test_constant_local_knowledge(self, converged):
+        # Local knowledge: nodes remember only heads within the
+        # coordination radius -> a constant with respect to network
+        # size (at most the ~13 cells within sqrt(3)R + 2R_t + slack).
+        sim, _, _ = converged
+        for node in sim.runtime.nodes.values():
+            assert len(node.known_heads) <= 14
+
+    def test_children_at_most_three_for_small_heads(self, converged):
+        sim, _, snap = converged
+        for head_id, children in snap.children_of.items():
+            if head_id != sim.network.big_id:
+                assert len(children) <= 3
+
+
+class TestDisconnectedNodes:
+    def test_unreachable_island_not_configured(self):
+        # Nodes beyond radio reach of the main field must stay bootup
+        # (requirement c: in a cell iff connected to the big node).
+        deployment = uniform_disk(250.0, 600, RngStreams(41))
+        island = tuple(
+            Vec2(2000.0 + dx, 2000.0 + dy)
+            for dx, dy in [(0, 0), (10, 0), (0, 10)]
+        )
+        from dataclasses import replace
+
+        deployment = replace(
+            deployment,
+            small_positions=deployment.small_positions + island,
+        )
+        sim = run_static(deployment, seed=41)
+        snap = sim.snapshot()
+        island_ids = [
+            v.node_id
+            for v in snap.views.values()
+            if v.position.x > 1000.0
+        ]
+        assert len(island_ids) == 3
+        for node_id in island_ids:
+            assert snap.views[node_id].status is NodeStatus.BOOTUP
+
+
+class TestAnchoringAblation:
+    def test_drift_grows_without_il_anchoring(self):
+        # With anchor_on_il=False, head placement error accumulates
+        # band by band; with the paper's IL anchoring it stays within
+        # R_t of the exact lattice.
+        deployment = uniform_disk(500.0, 3200, RngStreams(51))
+        exact_cfg = GS3Config(
+            ideal_radius=100.0, radius_tolerance=25.0, anchor_on_il=True
+        )
+        drift_cfg = GS3Config(
+            ideal_radius=100.0, radius_tolerance=25.0, anchor_on_il=False
+        )
+        exact_snap = run_static(deployment, exact_cfg, seed=51).snapshot()
+        drift_snap = run_static(deployment, drift_cfg, seed=51).snapshot()
+
+        def max_lattice_error(snap):
+            return max(
+                v.position.distance_to(snap.lattice.point(v.cell_axial))
+                for v in snap.heads.values()
+            )
+
+        exact_error = max_lattice_error(exact_snap)
+        drift_error = max_lattice_error(drift_snap)
+        assert exact_error <= 25.0 + 1e-6
+        assert drift_error > exact_error

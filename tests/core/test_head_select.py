@@ -1,0 +1,197 @@
+"""Unit tests for module HEAD_SELECT (Figure 3)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    drifted_candidate_ils,
+    head_select,
+    neighbor_candidate_ils,
+    rank_candidates,
+)
+from repro.geometry import HexLattice, Vec2
+
+R = 100.0
+RT = 25.0
+SPACING = math.sqrt(3) * R
+GR = Vec2(1, 0)
+
+
+@pytest.fixture
+def lattice():
+    return HexLattice(Vec2(0, 0), SPACING, orientation=0.0)
+
+
+class TestNeighborCandidateIls:
+    def test_root_gets_six(self, lattice):
+        ils = neighbor_candidate_ils(lattice, (0, 0), None)
+        assert len(ils) == 6
+        for _, il in ils:
+            assert il.norm() == pytest.approx(SPACING)
+
+    def test_root_by_self_parent(self, lattice):
+        assert len(neighbor_candidate_ils(lattice, (0, 0), (0, 0))) == 6
+
+    def test_non_root_gets_three_forward(self, lattice):
+        # Head at (1, 0) selected by parent at origin: forward is +q.
+        ils = neighbor_candidate_ils(lattice, (1, 0), (0, 0))
+        assert len(ils) == 3
+        axials = {axial for axial, _ in ils}
+        assert axials == {(2, -1), (2, 0), (1, 1)}
+
+    def test_forward_ils_at_sixty_degrees(self, lattice):
+        ils = neighbor_candidate_ils(lattice, (1, 0), (0, 0))
+        origin = lattice.point((1, 0))
+        angles = sorted(
+            round(math.degrees((il - origin).angle())) for _, il in ils
+        )
+        assert angles == [-60, 0, 60]
+
+    def test_ils_are_exact_lattice_points(self, lattice):
+        for axial, il in neighbor_candidate_ils(lattice, (2, -1), (1, 0)):
+            assert il.is_close(lattice.point(axial), tol=1e-9)
+
+    def test_non_adjacent_parent_rejected(self, lattice):
+        with pytest.raises(ValueError):
+            neighbor_candidate_ils(lattice, (2, 0), (0, 0))
+
+
+class TestDriftedCandidateIls:
+    def test_matches_exact_when_no_deviation(self, lattice):
+        exact = dict(neighbor_candidate_ils(lattice, (1, 0), (0, 0)))
+        drifted = dict(
+            drifted_candidate_ils(
+                lattice.point((1, 0)),
+                lattice.point((0, 0)),
+                (1, 0),
+                (0, 0),
+                SPACING,
+                GR,
+            )
+        )
+        assert exact.keys() == drifted.keys()
+        for axial in exact:
+            assert exact[axial].is_close(drifted[axial], tol=1e-6)
+
+    def test_root_matches_exact_when_no_deviation(self, lattice):
+        exact = dict(neighbor_candidate_ils(lattice, (0, 0), None))
+        drifted = dict(
+            drifted_candidate_ils(
+                Vec2(0, 0), None, (0, 0), None, SPACING, GR
+            )
+        )
+        for axial in exact:
+            assert exact[axial].is_close(drifted[axial], tol=1e-6)
+
+    def test_deviation_propagates(self, lattice):
+        # Head 10 units off its IL: drifted ILs shift by the same 10.
+        offset = Vec2(10.0, 0.0)
+        drifted = dict(
+            drifted_candidate_ils(
+                lattice.point((1, 0)) + offset,
+                lattice.point((0, 0)),
+                (1, 0),
+                (0, 0),
+                SPACING,
+                GR,
+            )
+        )
+        exact = dict(neighbor_candidate_ils(lattice, (1, 0), (0, 0)))
+        forward = (2, 0)
+        deviation = drifted[forward] - exact[forward]
+        assert deviation.norm() > 5.0
+
+
+class TestRankCandidates:
+    IL = Vec2(0, 0)
+
+    def test_closest_wins(self):
+        ranked = rank_candidates(
+            self.IL, [(1, Vec2(10, 0)), (2, Vec2(5, 0))], GR
+        )
+        assert ranked[0][0] == 2
+
+    def test_angle_magnitude_tiebreak(self):
+        ranked = rank_candidates(
+            self.IL, [(1, Vec2(0, 10)), (2, Vec2(10, 0))], GR
+        )
+        assert ranked[0][0] == 2  # aligned with GR beats 90 degrees off
+
+    def test_clockwise_preferred(self):
+        d = 10.0 / math.sqrt(2)
+        ranked = rank_candidates(
+            self.IL, [(1, Vec2(d, d)), (2, Vec2(d, -d))], GR
+        )
+        assert ranked[0][0] == 2  # negative angle (clockwise) wins
+
+    def test_id_breaks_exact_ties(self):
+        ranked = rank_candidates(
+            self.IL, [(5, Vec2(3, 0)), (2, Vec2(3, 0))], GR
+        )
+        assert ranked[0][0] == 2
+
+
+class TestHeadSelect:
+    def ils(self, lattice):
+        return neighbor_candidate_ils(lattice, (0, 0), None)
+
+    def test_selects_node_in_each_candidate_area(self, lattice):
+        small = []
+        expected = {}
+        for i, (axial, il) in enumerate(self.ils(lattice)):
+            node_id = 100 + i
+            small.append((node_id, il + Vec2(3.0, 0)))
+            expected[axial] = node_id
+        result = head_select(self.ils(lattice), set(), small, RT, GR)
+        assert {a: n for a, _, n, _ in result.assignments} == expected
+        assert result.gap_axials == ()
+
+    def test_empty_area_is_gap(self, lattice):
+        result = head_select(self.ils(lattice), set(), [], RT, GR)
+        assert len(result.gap_axials) == 6
+        assert result.assignments == ()
+
+    def test_occupied_axials_skipped(self, lattice):
+        candidate_ils = self.ils(lattice)
+        axial0, il0 = candidate_ils[0]
+        small = [(1, il0)]
+        result = head_select(candidate_ils, {axial0}, small, RT, GR)
+        assert all(a != axial0 for a, _, _, _ in result.assignments)
+        # Not reported as a gap either: it's occupied, not empty.
+        assert axial0 not in result.gap_axials
+
+    def test_node_out_of_tolerance_not_selected(self, lattice):
+        candidate_ils = self.ils(lattice)
+        _, il0 = candidate_ils[0]
+        small = [(1, il0 + Vec2(RT + 1.0, 0))]
+        result = head_select(candidate_ils[:1], set(), small, RT, GR)
+        assert result.assignments == ()
+        assert len(result.gap_axials) == 1
+
+    def test_highest_ranked_selected(self, lattice):
+        candidate_ils = self.ils(lattice)[:1]
+        _, il0 = candidate_ils[0]
+        small = [
+            (1, il0 + Vec2(10.0, 0)),
+            (2, il0 + Vec2(2.0, 0)),
+            (3, il0 + Vec2(20.0, 0)),
+        ]
+        result = head_select(candidate_ils, set(), small, RT, GR)
+        assert result.assignments[0][2] == 2
+
+    def test_node_not_selected_twice(self, lattice):
+        # One node within R_t of two candidate ILs can head only one cell.
+        il_a = Vec2(0, 0)
+        il_b = Vec2(RT, 0)  # artificially close ILs
+        shared = [(1, Vec2(RT / 2, 0))]
+        result = head_select(
+            [((1, 0), il_a), ((0, 1), il_b)], set(), shared, RT, GR
+        )
+        assert len(result.assignments) == 1
+
+    def test_selection_is_deterministic(self, lattice):
+        small = [(i, Vec2(170 + i, i)) for i in range(5)]
+        first = head_select(self.ils(lattice), set(), small, RT, GR)
+        second = head_select(self.ils(lattice), set(), small, RT, GR)
+        assert first == second

@@ -1,0 +1,84 @@
+"""Robustness under location estimation error.
+
+The paper assumes nodes detect relative location via signal strength;
+this is never exact.  With per-node error well below R_t, GS3 must
+still configure a covering structure whose bounds degrade by at most
+the error magnitude.
+"""
+
+import math
+
+import pytest
+
+from repro.core import (
+    GS3Config,
+    Gs3Simulation,
+    check_f4_coverage,
+    check_i1_tree,
+)
+from repro.net import uniform_disk
+from repro.sim import RngStreams
+
+ERROR = 6.0  # about R_t / 4
+
+
+@pytest.fixture(scope="module")
+def noisy_run():
+    config = GS3Config(
+        ideal_radius=100.0, radius_tolerance=25.0, location_error=ERROR
+    )
+    deployment = uniform_disk(280.0, 950, RngStreams(65))
+    sim = Gs3Simulation.from_deployment(deployment, config, seed=65)
+    sim.run_to_quiescence()
+    return sim, config
+
+
+class TestLocationError:
+    def test_structure_still_forms(self, noisy_run):
+        sim, _ = noisy_run
+        snap = sim.snapshot()
+        assert len(snap.heads) >= 10
+        assert len(snap.bootup_ids) == 0
+        assert check_i1_tree(snap) == []
+
+    def test_coverage_maintained(self, noisy_run):
+        sim, _ = noisy_run
+        assert check_f4_coverage(sim.snapshot(), sim.network) == []
+
+    def test_neighbor_band_degrades_gracefully(self, noisy_run):
+        sim, config = noisy_run
+        snap = sim.snapshot()
+        # True-position distances widen by at most ~2 worst-case errors
+        # per endpoint; 4-sigma slack keeps the test deterministic-ish.
+        slack = 8.0 * ERROR
+        for a, b in snap.neighbor_head_pairs:
+            d = a.position.distance_to(b.position)
+            assert config.neighbor_distance_low - slack <= d
+            assert d <= config.neighbor_distance_high + slack
+
+    def test_believed_position_is_offset(self, noisy_run):
+        sim, _ = noisy_run
+        small = next(
+            node
+            for node in sim.runtime.nodes.values()
+            if not node.is_big
+        )
+        assert not small.position.is_close(small.phys.position, tol=1e-9)
+
+    def test_big_node_estimate_exact(self, noisy_run):
+        sim, _ = noisy_run
+        big = sim.runtime.nodes[sim.network.big_id]
+        assert big.position == big.phys.position
+
+    def test_zero_error_means_exact(self):
+        config = GS3Config(ideal_radius=100.0, radius_tolerance=25.0)
+        deployment = uniform_disk(200.0, 300, RngStreams(66))
+        sim = Gs3Simulation.from_deployment(deployment, config, seed=66)
+        node = next(
+            n for n in sim.runtime.nodes.values() if not n.is_big
+        )
+        assert node.position == node.phys.position
+
+    def test_negative_error_rejected(self):
+        with pytest.raises(ValueError):
+            GS3Config(location_error=-1.0)

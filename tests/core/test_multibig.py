@@ -1,0 +1,106 @@
+"""Tests for the multi-big-node extension (Section 7)."""
+
+import pytest
+
+from repro.core import (
+    GS3Config,
+    MultiBigSimulation,
+    check_i1_tree,
+    check_i2_children,
+    check_i2_neighbors,
+    partition_by_big,
+)
+from repro.geometry import Vec2
+from repro.net import uniform_disk
+from repro.sim import RngStreams
+
+CFG = GS3Config(ideal_radius=100.0, radius_tolerance=25.0)
+
+
+class TestPartition:
+    def test_each_node_to_closest_big(self):
+        bigs = [Vec2(-100, 0), Vec2(100, 0)]
+        smalls = [Vec2(-90, 5), Vec2(90, -5), Vec2(-10, 0)]
+        regions = partition_by_big(smalls, bigs)
+        assert regions[0].small_positions == (Vec2(-90, 5), Vec2(-10, 0))
+        assert regions[1].small_positions == (Vec2(90, -5),)
+
+    def test_tie_breaks_to_first_big(self):
+        bigs = [Vec2(-10, 0), Vec2(10, 0)]
+        regions = partition_by_big([Vec2(0, 0)], bigs)
+        assert regions[0].small_positions == (Vec2(0, 0),)
+        assert regions[1].small_positions == ()
+
+    def test_requires_bigs(self):
+        with pytest.raises(ValueError):
+            partition_by_big([Vec2(0, 0)], [])
+
+    def test_node_count(self):
+        regions = partition_by_big([Vec2(0, 0)], [Vec2(1, 1)])
+        assert regions[0].node_count == 2
+
+
+class TestMultiBigSimulation:
+    @pytest.fixture(scope="class")
+    def multi(self):
+        deployment = uniform_disk(360.0, 1050, RngStreams(81))
+        sim = MultiBigSimulation(
+            deployment,
+            big_positions=[Vec2(-160.0, 0.0), Vec2(160.0, 0.0)],
+            config=CFG,
+            seed=81,
+        )
+        sim.run_until_stable(window=60.0, max_time=5000.0)
+        return sim
+
+    def test_two_regions(self, multi):
+        assert multi.region_count == 2
+
+    def test_both_regions_configure(self, multi):
+        for snapshot in multi.snapshots():
+            assert len(snapshot.heads) >= 3
+            assert len(snapshot.bootup_ids) == 0
+
+    def test_each_region_rooted_at_its_big(self, multi):
+        for region, snapshot in zip(multi.regions, multi.snapshots()):
+            assert snapshot.roots == [region.network.big_id]
+
+    def test_regions_satisfy_invariant(self, multi):
+        # Each region's coverage is a Voronoi half-plane cut of the
+        # disk, so the disk-based inner/boundary classifier does not
+        # apply; check the location-independent invariants plus the
+        # boundary-cell radius bound.
+        import math
+
+        boundary_bound = (
+            math.sqrt(3) * CFG.ideal_radius + 2 * CFG.radius_tolerance
+        )
+        for region, snapshot in zip(multi.regions, multi.snapshots()):
+            assert check_i1_tree(snapshot) == []
+            assert check_i2_neighbors(snapshot) == []
+            assert check_i2_children(snapshot, dynamic=True) == []
+            for head_id in snapshot.heads:
+                assert (
+                    snapshot.cell_radius_of(head_id)
+                    <= boundary_bound + 1e-6
+                )
+
+    def test_total_heads(self, multi):
+        assert multi.total_heads() == sum(
+            len(s.heads) for s in multi.snapshots()
+        )
+
+    def test_region_of_point(self, multi):
+        assert multi.region_of_point(Vec2(-300, 0)) == 0
+        assert multi.region_of_point(Vec2(300, 0)) == 1
+
+    def test_regions_heal_independently(self, multi):
+        region = multi.regions[0]
+        victim = next(
+            v for v in region.snapshot().heads.values() if not v.is_big
+        )
+        other_heads_before = set(multi.regions[1].snapshot().heads)
+        region.kill_node(victim.node_id)
+        region.run_until_stable(window=100.0, max_time=region.now + 20000.0)
+        assert victim.cell_axial in region.snapshot().head_by_axial
+        assert set(multi.regions[1].snapshot().heads) == other_heads_before

@@ -1,0 +1,90 @@
+"""Property-based tests: GS3-S invariants over random configurations.
+
+Hypothesis drives the geometric parameters and the deployment seed;
+after every configuration the paper's invariant must hold.  Networks
+are kept small so each example runs in well under a second.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    GS3Config,
+    Gs3Simulation,
+    check_i1_tree,
+    check_i2_children,
+    check_i2_neighbors,
+    check_i3_associate_optimality,
+)
+from repro.net import uniform_disk
+from repro.sim import RngStreams
+
+SMALL_EXAMPLES = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def configure(seed: int, ideal_radius: float, tolerance_ratio: float):
+    config = GS3Config(
+        ideal_radius=ideal_radius,
+        radius_tolerance=tolerance_ratio * ideal_radius,
+    )
+    # ~2.2 cell bands, dense enough that R_t-gaps are unlikely.
+    field_radius = 2.2 * ideal_radius
+    n_nodes = 400
+    deployment = uniform_disk(field_radius, n_nodes, RngStreams(seed))
+    sim = Gs3Simulation.from_deployment(deployment, config, seed=seed)
+    sim.run_to_quiescence()
+    return sim, config
+
+
+class TestConfigurationProperties:
+    @SMALL_EXAMPLES
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        ideal_radius=st.floats(min_value=40.0, max_value=150.0),
+        tolerance_ratio=st.floats(min_value=0.15, max_value=0.35),
+    )
+    def test_invariants_hold_for_any_configuration(
+        self, seed, ideal_radius, tolerance_ratio
+    ):
+        sim, config = configure(seed, ideal_radius, tolerance_ratio)
+        snapshot = sim.snapshot()
+        assert check_i1_tree(snapshot) == []
+        assert check_i2_neighbors(snapshot) == []
+        assert check_i2_children(snapshot) == []
+        assert check_i3_associate_optimality(snapshot) == []
+
+    @SMALL_EXAMPLES
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_every_head_within_tolerance_of_its_il(self, seed):
+        sim, config = configure(seed, 100.0, 0.25)
+        for view in sim.snapshot().heads.values():
+            assert view.position.distance_to(view.current_il) <= (
+                config.radius_tolerance + 1e-6
+            )
+
+    @SMALL_EXAMPLES
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_axials_unique_and_ils_on_lattice(self, seed):
+        sim, config = configure(seed, 100.0, 0.25)
+        snapshot = sim.snapshot()
+        axials = [v.cell_axial for v in snapshot.heads.values()]
+        assert len(axials) == len(set(axials))
+        for view in snapshot.heads.values():
+            assert view.current_il.is_close(
+                snapshot.lattice.point(view.cell_axial), tol=1e-6
+            )
+
+    @SMALL_EXAMPLES
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_every_classified_node_has_live_head(self, seed):
+        sim, _ = configure(seed, 100.0, 0.25)
+        snapshot = sim.snapshot()
+        for view in snapshot.associates.values():
+            assert view.head_id in snapshot.heads

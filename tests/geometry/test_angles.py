@@ -1,0 +1,126 @@
+"""Tests for angle normalisation, sector tests and the ranking key."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Vec2,
+    angle_in_sector,
+    clockwise_rank_key,
+    normalize_angle,
+    signed_angle_from,
+)
+
+angles = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestNormalizeAngle:
+    def test_identity_in_range(self):
+        assert normalize_angle(1.0) == pytest.approx(1.0)
+
+    def test_wraps_positive(self):
+        assert normalize_angle(2 * math.pi + 0.5) == pytest.approx(0.5)
+
+    def test_wraps_negative(self):
+        assert normalize_angle(-2 * math.pi - 0.5) == pytest.approx(-0.5)
+
+    def test_pi_is_kept(self):
+        assert normalize_angle(math.pi) == pytest.approx(math.pi)
+
+    def test_minus_pi_maps_to_pi(self):
+        assert normalize_angle(-math.pi) == pytest.approx(math.pi)
+
+    @given(angles)
+    def test_result_in_half_open_interval(self, a):
+        n = normalize_angle(a)
+        assert -math.pi < n <= math.pi + 1e-12
+
+    @given(angles)
+    def test_idempotent(self, a):
+        n = normalize_angle(a)
+        assert normalize_angle(n) == pytest.approx(n, abs=1e-9)
+
+    @given(angles)
+    def test_preserves_direction(self, a):
+        n = normalize_angle(a)
+        assert math.cos(n) == pytest.approx(math.cos(a), abs=1e-9)
+        assert math.sin(n) == pytest.approx(math.sin(a), abs=1e-9)
+
+
+class TestSignedAngle:
+    def test_counterclockwise_positive(self):
+        assert signed_angle_from(Vec2(1, 0), Vec2(0, 1)) == pytest.approx(
+            math.pi / 2
+        )
+
+    def test_clockwise_negative(self):
+        assert signed_angle_from(Vec2(1, 0), Vec2(0, -1)) == pytest.approx(
+            -math.pi / 2
+        )
+
+    def test_same_direction_zero(self):
+        assert signed_angle_from(Vec2(2, 2), Vec2(5, 5)) == pytest.approx(
+            0.0, abs=1e-12
+        )
+
+    def test_opposite_is_pi(self):
+        assert abs(signed_angle_from(Vec2(1, 0), Vec2(-1, 0))) == pytest.approx(
+            math.pi
+        )
+
+
+class TestAngleInSector:
+    def test_inside(self):
+        assert angle_in_sector(0.1, -0.5, 0.5)
+
+    def test_outside(self):
+        assert not angle_in_sector(1.0, -0.5, 0.5)
+
+    def test_boundary_inclusive(self):
+        assert angle_in_sector(0.5, -0.5, 0.5)
+        assert angle_in_sector(-0.5, -0.5, 0.5)
+
+    def test_full_circle_contains_everything(self):
+        assert angle_in_sector(2.7, 0.0, 2 * math.pi)
+        assert angle_in_sector(-2.7, 0.0, 2 * math.pi)
+
+    def test_wrap_around_sector(self):
+        # Sector from 170 to 190 degrees expressed around the wrap point.
+        low = math.radians(170)
+        high = math.radians(190)
+        assert angle_in_sector(math.radians(180), low, high)
+        assert angle_in_sector(math.radians(-175), low, high)
+        assert not angle_in_sector(0.0, low, high)
+
+
+class TestClockwiseRankKey:
+    GR = Vec2(1, 0)
+
+    def test_distance_dominates(self):
+        il = Vec2(0, 0)
+        near = clockwise_rank_key(self.GR, il, Vec2(1, 0))
+        far = clockwise_rank_key(self.GR, il, Vec2(0, 2))
+        assert near < far
+
+    def test_angle_magnitude_breaks_distance_tie(self):
+        il = Vec2(0, 0)
+        aligned = clockwise_rank_key(self.GR, il, Vec2(1, 0))
+        off_axis = clockwise_rank_key(self.GR, il, Vec2(0, 1))
+        assert aligned < off_axis
+
+    def test_clockwise_preferred_at_equal_magnitude(self):
+        il = Vec2(0, 0)
+        clockwise = clockwise_rank_key(self.GR, il, Vec2(1, -1))
+        counter = clockwise_rank_key(self.GR, il, Vec2(1, 1))
+        assert clockwise < counter
+
+    def test_point_at_origin_ranks_first(self):
+        il = Vec2(3, 3)
+        at_il = clockwise_rank_key(self.GR, il, Vec2(3, 3))
+        near = clockwise_rank_key(self.GR, il, Vec2(3.1, 3))
+        assert at_il < near

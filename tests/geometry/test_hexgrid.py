@@ -1,0 +1,177 @@
+"""Tests for the hexagonal lattice of ideal locations."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    AXIAL_DIRECTIONS,
+    HexLattice,
+    Vec2,
+    hex_distance,
+    ring_axials,
+    spiral_axials,
+)
+
+R = 100.0
+SPACING = math.sqrt(3.0) * R
+
+coords = st.integers(min_value=-30, max_value=30)
+axials = st.tuples(coords, coords)
+small_floats = st.floats(
+    min_value=-500.0, max_value=500.0, allow_nan=False, allow_infinity=False
+)
+
+
+@pytest.fixture
+def lattice():
+    return HexLattice(origin=Vec2(0, 0), spacing=SPACING, orientation=0.0)
+
+
+class TestHexDistance:
+    def test_origin(self):
+        assert hex_distance((0, 0)) == 0
+
+    def test_unit_neighbors(self):
+        for d in AXIAL_DIRECTIONS:
+            assert hex_distance(d) == 1
+
+    def test_known_values(self):
+        assert hex_distance((2, 0)) == 2
+        assert hex_distance((2, -1)) == 2
+        assert hex_distance((1, 1)) == 2
+        assert hex_distance((-3, 1)) == 3
+
+    @given(axials, axials)
+    def test_symmetric(self, a, b):
+        assert hex_distance(a, b) == hex_distance(b, a)
+
+    @given(axials, axials, axials)
+    def test_triangle_inequality(self, a, b, c):
+        assert hex_distance(a, c) <= hex_distance(a, b) + hex_distance(b, c)
+
+
+class TestRings:
+    def test_zero_ring_is_center(self):
+        assert ring_axials(0, (2, 3)) == [(2, 3)]
+
+    @pytest.mark.parametrize("band", [1, 2, 3, 5])
+    def test_ring_size(self, band):
+        assert len(ring_axials(band)) == 6 * band
+
+    @pytest.mark.parametrize("band", [1, 2, 4])
+    def test_ring_members_at_exact_distance(self, band):
+        for axial in ring_axials(band):
+            assert hex_distance(axial) == band
+
+    def test_ring_members_distinct(self):
+        ring = ring_axials(4)
+        assert len(set(ring)) == len(ring)
+
+    def test_negative_band_raises(self):
+        with pytest.raises(ValueError):
+            ring_axials(-1)
+
+    def test_spiral_counts(self):
+        # 1 + 6 + 12 + 18 = 37 cells within band 3.
+        assert len(list(spiral_axials(3))) == 37
+
+
+class TestLatticeGeometry:
+    def test_invalid_spacing_rejected(self):
+        with pytest.raises(ValueError):
+            HexLattice(Vec2(0, 0), 0.0)
+
+    def test_origin_point(self, lattice):
+        assert lattice.point((0, 0)) == Vec2(0, 0)
+
+    def test_basis_lengths(self, lattice):
+        assert lattice.a1.norm() == pytest.approx(SPACING)
+        assert lattice.a2.norm() == pytest.approx(SPACING)
+
+    def test_basis_angle(self, lattice):
+        from repro.geometry import signed_angle_from
+
+        assert signed_angle_from(lattice.a1, lattice.a2) == pytest.approx(
+            math.pi / 3
+        )
+
+    def test_neighbor_distance_is_spacing(self, lattice):
+        center = lattice.point((3, -2))
+        for neighbor in lattice.neighbor_points((3, -2)):
+            assert center.distance_to(neighbor) == pytest.approx(SPACING)
+
+    def test_six_distinct_neighbors(self, lattice):
+        assert len(set(lattice.neighbors((1, 1)))) == 6
+
+    def test_cell_circumradius(self, lattice):
+        assert lattice.cell_circumradius == pytest.approx(R)
+
+    def test_orientation_rotates_lattice(self):
+        rotated = HexLattice(Vec2(0, 0), SPACING, orientation=math.pi / 2)
+        p = rotated.point((1, 0))
+        assert p.x == pytest.approx(0.0, abs=1e-9)
+        assert p.y == pytest.approx(SPACING)
+
+
+class TestNearest:
+    @given(axials)
+    def test_roundtrip_axial(self, axial):
+        lattice = HexLattice(Vec2(10, -20), SPACING, orientation=0.7)
+        assert lattice.nearest_axial(lattice.point(axial)) == axial
+
+    @given(axials, small_floats, small_floats)
+    def test_nearest_is_truly_nearest(self, axial, dx, dy):
+        lattice = HexLattice(Vec2(0, 0), SPACING, orientation=0.3)
+        # Perturb within the cell (strictly inside the inradius).
+        inradius = SPACING / 2.0
+        offset = Vec2(dx, dy)
+        if offset.norm() >= inradius * 0.999:
+            offset = offset * (inradius * 0.9 / max(offset.norm(), 1e-9))
+        point = lattice.point(axial) + offset
+        assert lattice.nearest_axial(point) == axial
+
+    def test_band_of_point(self):
+        lattice = HexLattice(Vec2(0, 0), SPACING)
+        assert lattice.band_of_point(Vec2(1.0, 1.0)) == 0
+        assert lattice.band_of_point(lattice.point((2, -1))) == 2
+
+    def test_cell_contains(self):
+        lattice = HexLattice(Vec2(0, 0), SPACING)
+        assert lattice.cell_contains((0, 0), Vec2(10, 10))
+        assert not lattice.cell_contains((1, 0), Vec2(10, 10))
+
+    @given(small_floats, small_floats)
+    def test_fractional_axial_roundtrip(self, x, y):
+        lattice = HexLattice(Vec2(5, 5), SPACING, orientation=1.1)
+        point = Vec2(x, y)
+        qf, rf = lattice.fractional_axial(point)
+        reconstructed = lattice.origin + lattice.a1 * qf + lattice.a2 * rf
+        assert reconstructed.is_close(point, tol=1e-6)
+
+
+class TestClockwiseRing:
+    def test_first_member_is_along_gr(self):
+        lattice = HexLattice(Vec2(0, 0), SPACING, orientation=0.0)
+        ring = lattice.clockwise_ring(1)
+        first = lattice.point(ring[0])
+        assert first.angle() == pytest.approx(0.0, abs=1e-9)
+
+    def test_order_is_clockwise(self):
+        lattice = HexLattice(Vec2(0, 0), SPACING, orientation=0.0)
+        ring = lattice.clockwise_ring(1)
+        angles = [lattice.point(a).angle() for a in ring]
+        # Clockwise means angles decrease after the first (modulo wrap).
+        assert angles[1] == pytest.approx(-math.pi / 3)
+
+    def test_ring_two_has_twelve_members(self):
+        lattice = HexLattice(Vec2(0, 0), SPACING, orientation=0.4)
+        assert len(lattice.clockwise_ring(2)) == 12
+
+    def test_respects_orientation(self):
+        lattice = HexLattice(Vec2(0, 0), SPACING, orientation=math.pi / 2)
+        ring = lattice.clockwise_ring(1)
+        first = lattice.point(ring[0])
+        assert first.angle() == pytest.approx(math.pi / 2)

@@ -1,0 +1,123 @@
+"""Tests for the intra-cell <ICC, ICP> candidate-area ordering."""
+
+import math
+
+import pytest
+
+from repro.geometry import IntraCellLattice, Vec2
+
+R = 100.0
+RT = 10.0
+
+
+@pytest.fixture
+def cell():
+    return IntraCellLattice(
+        oil=Vec2(0, 0), radius_tolerance=RT, orientation=0.0, cell_radius=R
+    )
+
+
+class TestValidation:
+    def test_bad_tolerance(self):
+        with pytest.raises(ValueError):
+            IntraCellLattice(Vec2(0, 0), 0.0, 0.0, R)
+
+    def test_tolerance_exceeding_radius(self):
+        with pytest.raises(ValueError):
+            IntraCellLattice(Vec2(0, 0), 20.0, 0.0, 10.0)
+
+
+class TestOrdering:
+    def test_first_address_is_oil(self, cell):
+        addresses = cell.ordered_addresses()
+        assert addresses[0] == (0, 0)
+        assert cell.location_of((0, 0)) == Vec2(0, 0)
+
+    def test_addresses_sorted(self, cell):
+        addresses = cell.ordered_addresses()
+        assert addresses == sorted(addresses)
+
+    def test_ring_one_has_six_members(self, cell):
+        ring1 = [a for a in cell.ordered_addresses() if a[0] == 1]
+        assert ring1 == [(1, p) for p in range(6)]
+
+    def test_icp_zero_along_gr(self, cell):
+        loc = cell.location_of((1, 0))
+        assert (loc - cell.oil).angle() == pytest.approx(0.0, abs=1e-9)
+
+    def test_icp_numbering_clockwise(self, cell):
+        loc0 = cell.location_of((1, 0))
+        loc1 = cell.location_of((1, 1))
+        # Clockwise means the next position is at -60 degrees.
+        assert (loc1 - cell.oil).angle() == pytest.approx(-math.pi / 3)
+
+    def test_all_locations_inside_cell(self, cell):
+        for _, location in cell.ordered_locations():
+            assert location.distance_to(cell.oil) <= R + 1e-6
+
+    def test_spacing_between_adjacent_cas(self, cell):
+        # Neighbouring candidate areas tile like cells: spacing sqrt(3)*R_t.
+        loc_center = cell.location_of((0, 0))
+        loc_ring = cell.location_of((1, 0))
+        assert loc_center.distance_to(loc_ring) == pytest.approx(
+            math.sqrt(3) * RT
+        )
+
+    def test_iter_from_skips_earlier(self, cell):
+        following = list(cell.iter_from((1, 2)))
+        assert all(address > (1, 2) for address, _ in following)
+        assert following[0][0] == (1, 3)
+
+    def test_iter_from_start_of_sequence(self, cell):
+        first = next(cell.iter_from((-1, 0)))
+        assert first[0] == (0, 0)
+
+
+class TestAddressLookup:
+    def test_location_roundtrip(self, cell):
+        for address, location in cell.ordered_locations():
+            assert cell.address_of(location) == address
+
+    def test_address_of_perturbed_location(self, cell):
+        loc = cell.location_of((1, 3))
+        perturbed = loc + Vec2(RT * 0.4, -RT * 0.3)
+        assert cell.address_of(perturbed) == (1, 3)
+
+    def test_address_outside_cell_is_none(self, cell):
+        assert cell.address_of(Vec2(3 * R, 0)) is None
+
+    def test_unknown_address_raises(self, cell):
+        with pytest.raises(KeyError):
+            cell.location_of((1, 6))
+        with pytest.raises(KeyError):
+            cell.location_of((-1, 0))
+
+    def test_far_ring_outside_cell_raises(self, cell):
+        far_icc = cell.max_icc + 5
+        with pytest.raises(KeyError):
+            cell.location_of((far_icc, 0))
+
+
+class TestSlideCoherence:
+    def test_offset_identical_across_cells(self):
+        # Two cells at different OILs but identical R_t/GR must produce
+        # identical offsets for the same address: the structure slides
+        # as a whole.
+        cell_a = IntraCellLattice(Vec2(0, 0), RT, 0.5, R)
+        cell_b = IntraCellLattice(Vec2(500, -300), RT, 0.5, R)
+        for address in [(0, 0), (1, 0), (1, 4), (2, 7)]:
+            off_a = cell_a.offset_of(address)
+            off_b = cell_b.offset_of(address)
+            assert off_a.is_close(off_b, tol=1e-9)
+
+    def test_neighbor_il_distance_preserved_under_shift(self):
+        # If two neighbouring cells (sqrt(3)*R apart) both shift to the
+        # same <ICC, ICP>, their current ILs stay sqrt(3)*R apart.
+        oil_a = Vec2(0, 0)
+        oil_b = Vec2(math.sqrt(3) * R, 0)
+        cell_a = IntraCellLattice(oil_a, RT, 0.0, R)
+        cell_b = IntraCellLattice(oil_b, RT, 0.0, R)
+        address = (2, 3)
+        new_a = oil_a + cell_a.offset_of(address)
+        new_b = oil_b + cell_b.offset_of(address)
+        assert new_a.distance_to(new_b) == pytest.approx(math.sqrt(3) * R)

@@ -1,0 +1,139 @@
+"""Tests for search regions and disk helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Disk,
+    SearchRegion,
+    Vec2,
+    min_enclosing_radius,
+    points_in_disk,
+    search_alpha,
+    search_radius,
+)
+
+R = 100.0
+RT = 10.0
+
+floats = st.floats(
+    min_value=-400.0, max_value=400.0, allow_nan=False, allow_infinity=False
+)
+
+
+class TestSearchParameters:
+    def test_alpha_formula(self):
+        assert search_alpha(R, RT) == pytest.approx(
+            math.asin(RT / (math.sqrt(3) * R))
+        )
+
+    def test_alpha_zero_tolerance(self):
+        assert search_alpha(R, 0.0) == 0.0
+
+    def test_alpha_invalid(self):
+        with pytest.raises(ValueError):
+            search_alpha(1.0, 10.0)
+
+    def test_search_radius_formula(self):
+        assert search_radius(R, RT) == pytest.approx(math.sqrt(3) * R + 2 * RT)
+
+
+class TestFullCircle:
+    def test_contains_any_direction(self):
+        region = SearchRegion.full_circle(Vec2(0, 0), 10.0)
+        for angle in [0.0, 1.0, 2.0, 3.0, -2.0]:
+            assert region.contains(Vec2.from_polar(9.9, angle))
+
+    def test_respects_radius(self):
+        region = SearchRegion.full_circle(Vec2(0, 0), 10.0)
+        assert not region.contains(Vec2(10.5, 0))
+
+    def test_contains_apex(self):
+        region = SearchRegion.full_circle(Vec2(3, 3), 10.0)
+        assert region.contains(Vec2(3, 3))
+
+
+class TestForwardSector:
+    def make(self, reference_angle=0.0):
+        return SearchRegion.forward_sector(Vec2(0, 0), reference_angle, R, RT)
+
+    def test_contains_forward_direction(self):
+        region = self.make()
+        assert region.contains(Vec2(100, 0))
+
+    def test_contains_sixty_degrees_off(self):
+        region = self.make()
+        sqrt3r = math.sqrt(3) * R
+        for sign in (+1, -1):
+            p = Vec2.from_polar(sqrt3r, sign * math.pi / 3)
+            assert region.contains(p)
+
+    def test_excludes_backward_direction(self):
+        region = self.make()
+        assert not region.contains(Vec2(-100, 0))
+
+    def test_excludes_ninety_degrees(self):
+        region = self.make()
+        assert not region.contains(Vec2(0, 100))
+
+    def test_alpha_margin_included(self):
+        # A head deviating R_t from the IL at the 60-degree corner must
+        # still be covered (the raison d'etre of alpha).
+        region = self.make()
+        sqrt3r = math.sqrt(3) * R
+        corner = Vec2.from_polar(sqrt3r, math.pi / 3)
+        deviated = corner + Vec2.from_polar(RT * 0.99, math.pi / 2 + math.pi / 3)
+        assert region.contains(deviated)
+
+    def test_respects_reference_angle(self):
+        region = self.make(reference_angle=math.pi)
+        assert region.contains(Vec2(-100, 0))
+        assert not region.contains(Vec2(100, 0))
+
+    def test_radius_bound(self):
+        region = self.make()
+        assert not region.contains(Vec2(math.sqrt(3) * R + 2 * RT + 1, 0))
+
+    def test_filter(self):
+        region = self.make()
+        points = [Vec2(50, 0), Vec2(-50, 0), Vec2(0, 50)]
+        assert region.filter(points) == [Vec2(50, 0)]
+
+    @given(floats, floats)
+    def test_sector_subset_of_disk(self, x, y):
+        region = self.make()
+        p = Vec2(x, y)
+        if region.contains(p):
+            assert p.norm() <= region.radius + 1e-6
+
+
+class TestDisk:
+    def test_contains(self):
+        d = Disk(Vec2(0, 0), 5.0)
+        assert d.contains(Vec2(3, 4))
+        assert not d.contains(Vec2(4, 4))
+
+    def test_boundary_inclusive(self):
+        d = Disk(Vec2(0, 0), 5.0)
+        assert d.contains(Vec2(5, 0))
+
+    def test_overlaps(self):
+        assert Disk(Vec2(0, 0), 3.0).overlaps(Disk(Vec2(5, 0), 3.0))
+        assert not Disk(Vec2(0, 0), 2.0).overlaps(Disk(Vec2(5, 0), 2.0))
+
+
+class TestDiskHelpers:
+    def test_points_in_disk(self):
+        pts = [Vec2(0, 0), Vec2(1, 1), Vec2(10, 0)]
+        inside = points_in_disk(pts, Vec2(0, 0), 2.0)
+        assert inside == [Vec2(0, 0), Vec2(1, 1)]
+
+    def test_min_enclosing_radius(self):
+        pts = [Vec2(1, 0), Vec2(0, 3), Vec2(-2, 0)]
+        assert min_enclosing_radius(Vec2(0, 0), pts) == pytest.approx(3.0)
+
+    def test_min_enclosing_radius_empty(self):
+        assert min_enclosing_radius(Vec2(0, 0), []) == 0.0

@@ -1,0 +1,130 @@
+"""Unit and property tests for the Vec2 value type."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import ORIGIN, Vec2
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+vectors = st.builds(Vec2, finite, finite)
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert Vec2(1, 2) + Vec2(3, 4) == Vec2(4, 6)
+
+    def test_sub(self):
+        assert Vec2(3, 4) - Vec2(1, 2) == Vec2(2, 2)
+
+    def test_scalar_multiply(self):
+        assert Vec2(1, -2) * 3 == Vec2(3, -6)
+        assert 3 * Vec2(1, -2) == Vec2(3, -6)
+
+    def test_divide(self):
+        assert Vec2(2, 4) / 2 == Vec2(1, 2)
+
+    def test_negate(self):
+        assert -Vec2(1, -2) == Vec2(-1, 2)
+
+    def test_iteration_unpacks(self):
+        x, y = Vec2(5, 7)
+        assert (x, y) == (5, 7)
+
+
+class TestMetrics:
+    def test_norm(self):
+        assert Vec2(3, 4).norm() == pytest.approx(5.0)
+
+    def test_norm_sq(self):
+        assert Vec2(3, 4).norm_sq() == pytest.approx(25.0)
+
+    def test_distance(self):
+        assert Vec2(0, 0).distance_to(Vec2(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_sq(self):
+        assert Vec2(1, 1).distance_sq_to(Vec2(4, 5)) == pytest.approx(25.0)
+
+    def test_dot_orthogonal(self):
+        assert Vec2(1, 0).dot(Vec2(0, 1)) == 0.0
+
+    def test_cross_sign(self):
+        assert Vec2(1, 0).cross(Vec2(0, 1)) > 0
+        assert Vec2(0, 1).cross(Vec2(1, 0)) < 0
+
+
+class TestDirections:
+    def test_angle_axes(self):
+        assert Vec2(1, 0).angle() == pytest.approx(0.0)
+        assert Vec2(0, 1).angle() == pytest.approx(math.pi / 2)
+        assert Vec2(-1, 0).angle() == pytest.approx(math.pi)
+
+    def test_normalized(self):
+        v = Vec2(3, 4).normalized()
+        assert v.norm() == pytest.approx(1.0)
+        assert v.x == pytest.approx(0.6)
+
+    def test_normalized_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            ORIGIN.normalized()
+
+    def test_rotated_quarter_turn(self):
+        v = Vec2(1, 0).rotated(math.pi / 2)
+        assert v.x == pytest.approx(0.0, abs=1e-12)
+        assert v.y == pytest.approx(1.0)
+
+    def test_perpendicular(self):
+        assert Vec2(1, 0).perpendicular() == Vec2(0, 1)
+
+    def test_from_polar(self):
+        v = Vec2.from_polar(2.0, math.pi / 3)
+        assert v.norm() == pytest.approx(2.0)
+        assert v.angle() == pytest.approx(math.pi / 3)
+
+    def test_unit(self):
+        assert Vec2.unit(0.0) == Vec2(1.0, 0.0)
+
+
+class TestMisc:
+    def test_as_tuple(self):
+        assert Vec2(1, 2).as_tuple() == (1, 2)
+
+    def test_midpoint(self):
+        assert Vec2(0, 0).midpoint(Vec2(2, 4)) == Vec2(1, 2)
+
+    def test_is_close(self):
+        assert Vec2(0, 0).is_close(Vec2(1e-12, 0))
+        assert not Vec2(0, 0).is_close(Vec2(1, 0))
+
+    def test_hashable(self):
+        assert len({Vec2(1, 2), Vec2(1, 2), Vec2(2, 1)}) == 2
+
+
+class TestProperties:
+    @given(vectors, vectors)
+    def test_addition_commutes(self, a, b):
+        assert (a + b) == (b + a)
+
+    @given(vectors)
+    def test_add_neg_is_origin(self, v):
+        assert (v + (-v)).is_close(ORIGIN)
+
+    @given(vectors, vectors)
+    def test_triangle_inequality(self, a, b):
+        assert (a + b).norm() <= a.norm() + b.norm() + 1e-6
+
+    @given(vectors)
+    def test_rotation_preserves_norm(self, v):
+        assert v.rotated(1.234).norm() == pytest.approx(v.norm(), abs=1e-6)
+
+    @given(vectors, vectors)
+    def test_distance_symmetric(self, a, b):
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(vectors)
+    def test_perpendicular_is_orthogonal(self, v):
+        assert abs(v.dot(v.perpendicular())) <= 1e-6 * max(1.0, v.norm_sq())

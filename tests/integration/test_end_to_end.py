@@ -1,0 +1,162 @@
+"""End-to-end integration tests across the whole stack.
+
+These tests drive realistic multi-perturbation scenarios through the
+public API — deployment -> protocol -> perturbation workload ->
+analysis — and assert global health properties rather than single
+mechanisms.
+"""
+
+import math
+
+import pytest
+
+from repro import (
+    EnergyConfig,
+    GS3Config,
+    Gs3DynamicSimulation,
+    Gs3MobileNode,
+    NodeStatus,
+    uniform_disk,
+)
+from repro.analysis import (
+    snapshot_to_clusters,
+    structure_quality,
+)
+from repro.baselines import LeachClustering, LeachConfig, hop_clustering
+from repro.core import check_i1_tree, check_static_invariant
+from repro.geometry import Vec2
+from repro.perturb import PerturbationInjector, churn_workload
+from repro.sim import RngStreams
+
+CFG = GS3Config(ideal_radius=100.0, radius_tolerance=25.0)
+
+
+class TestChurnScenario:
+    def test_structure_survives_sustained_churn(self):
+        deployment = uniform_disk(230.0, 620, RngStreams(71))
+        sim = Gs3DynamicSimulation.from_deployment(deployment, CFG, seed=71)
+        sim.run_until_stable(window=60.0, max_time=5000.0)
+        initial_heads = len(sim.snapshot().heads)
+
+        events = churn_workload(
+            node_ids=sim.network.node_ids(),
+            field_radius=260.0,
+            rng_streams=RngStreams(72),
+            start=sim.now + 10.0,
+            end=sim.now + 1000.0,
+            join_rate=0.004,
+            leave_rate=0.004,
+            corruption_rate=0.0005,
+        )
+        assert events
+        PerturbationInjector(sim).schedule(events)
+        sim.run_for(1100.0)
+        # Let the tail of the churn heal out.
+        sim.run_until_stable(window=150.0, max_time=sim.now + 30000.0)
+        snapshot = sim.snapshot()
+        assert check_i1_tree(snapshot) == []
+        assert len(snapshot.heads) >= 0.7 * initial_heads
+        # Everyone alive ends up classified.
+        assert len(snapshot.bootup_ids) == 0
+
+    def test_message_traffic_is_bounded(self):
+        # Steady-state control traffic stays proportional to node count
+        # (heartbeats), not quadratic.
+        deployment = uniform_disk(210.0, 500, RngStreams(73))
+        sim = Gs3DynamicSimulation.from_deployment(
+            deployment, CFG, seed=73, keep_trace_records=False
+        )
+        sim.run_until_stable(window=60.0, max_time=5000.0)
+        start_msgs = sim.tracer.count_prefix("msg.")
+        duration = 500.0
+        sim.run_for(duration)
+        per_node_per_beat = (
+            (sim.tracer.count_prefix("msg.") - start_msgs)
+            / (duration / CFG.heartbeat_interval)
+            / len(sim.network)
+        )
+        # Each node sends/receives a bounded number of messages per
+        # heartbeat (broadcast receptions dominate).
+        assert per_node_per_beat < 60.0
+
+
+class TestFullStackComparison:
+    def test_gs3_beats_baselines_on_radius_tightness(self):
+        deployment = uniform_disk(260.0, 850, RngStreams(74))
+        # GS3
+        sim = Gs3DynamicSimulation.from_deployment(deployment, CFG, seed=74)
+        sim.run_until_stable(window=60.0, max_time=5000.0)
+        gs3 = structure_quality(snapshot_to_clusters(sim.snapshot()))
+        # LEACH with matched head count
+        import random
+
+        positions = {
+            i: p for i, p in enumerate(deployment.all_positions())
+        }
+        fraction = gs3.head_count / len(positions)
+        leach = LeachClustering(
+            positions, LeachConfig(fraction), random.Random(74)
+        )
+        leach_quality = structure_quality(leach.run_round())
+        assert gs3.radius.stddev < leach_quality.radius.stddev
+        assert gs3.overlap < leach_quality.overlap
+
+    def test_gs3_radius_implies_hop_bound(self):
+        # Paper Section 6: the geographic radius bound implies a bound
+        # on logical radius (all members one hop from the head under
+        # the recommended radio range), but not vice versa.
+        deployment = uniform_disk(260.0, 850, RngStreams(75))
+        sim = Gs3DynamicSimulation.from_deployment(deployment, CFG, seed=75)
+        sim.run_until_stable(window=60.0, max_time=5000.0)
+        snapshot = sim.snapshot()
+        for head_id, members in snapshot.cells.items():
+            head = snapshot.heads[head_id]
+            for member in members:
+                distance = snapshot.views[member].position.distance_to(
+                    head.position
+                )
+                assert distance <= CFG.recommended_max_range
+
+
+class TestMobileScenario:
+    def test_patrolling_big_node_keeps_tree_rooted(self):
+        deployment = uniform_disk(250.0, 700, RngStreams(76))
+        sim = Gs3DynamicSimulation.from_deployment(
+            deployment, CFG, seed=76, node_class=Gs3MobileNode
+        )
+        sim.run_until_stable(window=60.0, max_time=5000.0)
+        big = sim.network.big_id
+        spacing = CFG.lattice_spacing
+        for waypoint in (Vec2(spacing, 0), Vec2(spacing, spacing)):
+            sim.move_node(big, waypoint)
+            sim.run_until_stable(window=150.0, max_time=sim.now + 40000.0)
+            snapshot = sim.snapshot()
+            assert len(snapshot.roots) == 1
+            assert check_i1_tree(snapshot) == []
+
+    def test_energy_plus_mobility(self):
+        # The heaviest combination: energy-driven deaths while the big
+        # node wanders.  The tree must stay rooted and healing local.
+        deployment = uniform_disk(210.0, 520, RngStreams(77))
+        sim = Gs3DynamicSimulation.from_deployment(
+            deployment, CFG, seed=77, node_class=Gs3MobileNode
+        )
+        sim.run_until_stable(window=60.0, max_time=5000.0)
+        sim.attach_energy(
+            EnergyConfig(
+                initial=3000.0,
+                head_drain=8.0,
+                candidate_drain=0.4,
+                associate_drain=0.2,
+            )
+        )
+        big = sim.network.big_id
+        sim.run_for(600.0)
+        sim.move_node(big, Vec2(CFG.lattice_spacing, 0))
+        sim.run_for(800.0)
+        sim.detach_energy()
+        sim.run_until_stable(window=150.0, max_time=sim.now + 40000.0)
+        snapshot = sim.snapshot()
+        assert len(snapshot.roots) == 1
+        assert check_i1_tree(snapshot) == []
+        assert len(snapshot.heads) >= 4

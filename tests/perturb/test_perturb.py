@@ -1,0 +1,199 @@
+"""Tests for perturbation events, workloads, and the injector."""
+
+import pytest
+
+from repro.core import GS3Config, Gs3DynamicSimulation, NodeStatus
+from repro.geometry import Vec2
+from repro.net import uniform_disk
+from repro.perturb import (
+    NodeJoin,
+    NodeLeave,
+    NodeMove,
+    NodeRejoin,
+    PerturbationInjector,
+    RegionKill,
+    StateCorruption,
+    churn_workload,
+    mobility_workload,
+)
+from repro.sim import RngStreams
+
+CFG = GS3Config(ideal_radius=100.0, radius_tolerance=25.0)
+
+
+def make_sim(seed=15, n=550, radius=220.0):
+    deployment = uniform_disk(radius, n, RngStreams(seed))
+    sim = Gs3DynamicSimulation.from_deployment(deployment, CFG, seed=seed)
+    sim.run_until_stable(window=60.0, max_time=5000.0)
+    return sim
+
+
+class TestWorkloads:
+    def test_churn_rates(self):
+        events = churn_workload(
+            node_ids=range(100),
+            field_radius=200.0,
+            rng_streams=RngStreams(1),
+            start=0.0,
+            end=1000.0,
+            join_rate=0.01,
+            leave_rate=0.02,
+            corruption_rate=0.005,
+        )
+        joins = [e for e in events if isinstance(e, NodeJoin)]
+        leaves = [e for e in events if isinstance(e, NodeLeave)]
+        corruptions = [e for e in events if isinstance(e, StateCorruption)]
+        assert 2 <= len(joins) <= 30
+        assert 5 <= len(leaves) <= 50
+        assert 1 <= len(corruptions) <= 20
+
+    def test_churn_sorted_and_spares_big(self):
+        events = churn_workload(
+            node_ids=range(50),
+            field_radius=100.0,
+            rng_streams=RngStreams(2),
+            start=0.0,
+            end=5000.0,
+            leave_rate=0.01,
+        )
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert all(e.node_id != 0 for e in events)
+
+    def test_join_positions_in_field(self):
+        events = churn_workload(
+            node_ids=range(10),
+            field_radius=100.0,
+            rng_streams=RngStreams(3),
+            start=0.0,
+            end=2000.0,
+            join_rate=0.01,
+        )
+        assert events
+        assert all(e.position.norm() <= 100.0 + 1e-9 for e in events)
+
+    def test_zero_rates_no_events(self):
+        events = churn_workload(
+            node_ids=range(10),
+            field_radius=100.0,
+            rng_streams=RngStreams(4),
+            start=0.0,
+            end=1000.0,
+        )
+        assert events == []
+
+    def test_mobility_workload(self):
+        ids = list(range(20))
+        positions = [Vec2(float(i), 0.0) for i in ids]
+        events = mobility_workload(
+            ids,
+            positions,
+            RngStreams(5),
+            start=0.0,
+            end=2000.0,
+            move_rate=0.01,
+            mean_step=10.0,
+            field_radius=100.0,
+        )
+        assert events
+        assert all(isinstance(e, NodeMove) for e in events)
+        assert all(e.position.norm() <= 100.0 + 1e-9 for e in events)
+        assert all(e.node_id != 0 for e in events)
+
+    def test_mobility_mismatched_inputs(self):
+        with pytest.raises(ValueError):
+            mobility_workload(
+                [1, 2],
+                [Vec2(0, 0)],
+                RngStreams(6),
+                0.0,
+                10.0,
+                move_rate=0.1,
+                mean_step=1.0,
+            )
+
+    def test_deterministic(self):
+        kwargs = dict(
+            node_ids=range(30),
+            field_radius=100.0,
+            start=0.0,
+            end=1000.0,
+            leave_rate=0.02,
+        )
+        a = churn_workload(rng_streams=RngStreams(7), **kwargs)
+        b = churn_workload(rng_streams=RngStreams(7), **kwargs)
+        assert a == b
+
+
+class TestInjector:
+    def test_leave_event_kills_node(self):
+        sim = make_sim()
+        snap = sim.snapshot()
+        victim = next(
+            v.node_id for v in snap.associates.values() if not v.is_candidate
+        )
+        injector = PerturbationInjector(sim)
+        count = injector.schedule(
+            [NodeLeave(time=sim.now + 50.0, node_id=victim)]
+        )
+        assert count == 1
+        sim.run_for(100.0)
+        assert not sim.network.node(victim).alive
+        assert len(injector.applied) == 1
+
+    def test_join_event_adds_node(self):
+        sim = make_sim(seed=16)
+        before = len(sim.network)
+        PerturbationInjector(sim).schedule(
+            [NodeJoin(time=sim.now + 10.0, position=Vec2(40.0, 40.0))]
+        )
+        sim.run_for(50.0)
+        assert len(sim.network) == before + 1
+
+    def test_rejoin_event(self):
+        sim = make_sim(seed=17)
+        snap = sim.snapshot()
+        victim = next(
+            v.node_id for v in snap.associates.values() if not v.is_candidate
+        )
+        injector = PerturbationInjector(sim)
+        injector.schedule(
+            [
+                NodeLeave(time=sim.now + 10.0, node_id=victim),
+                NodeRejoin(time=sim.now + 200.0, node_id=victim),
+            ]
+        )
+        sim.run_for(400.0)
+        assert sim.network.node(victim).alive
+
+    def test_move_event(self):
+        sim = make_sim(seed=18)
+        snap = sim.snapshot()
+        victim = next(
+            v.node_id for v in snap.associates.values() if not v.is_candidate
+        )
+        target = Vec2(12.0, 34.0)
+        PerturbationInjector(sim).schedule(
+            [NodeMove(time=sim.now + 10.0, node_id=victim, position=target)]
+        )
+        sim.run_for(50.0)
+        assert sim.network.node(victim).position == target
+
+    def test_region_kill_event(self):
+        sim = make_sim(seed=19)
+        alive_before = sim.network.alive_count()
+        PerturbationInjector(sim).schedule(
+            [RegionKill(time=sim.now + 10.0, center=Vec2(100, 0), radius=60.0)]
+        )
+        sim.run_for(50.0)
+        assert sim.network.alive_count() < alive_before
+
+    def test_corruption_event(self):
+        sim = make_sim(seed=20)
+        snap = sim.snapshot()
+        victim = next(v for v in snap.heads.values() if not v.is_big)
+        PerturbationInjector(sim).schedule(
+            [StateCorruption(time=sim.now + 10.0, node_id=victim.node_id)]
+        )
+        sim.run_for(50.0)
+        assert sim.tracer.count("perturb.corrupt") == 1

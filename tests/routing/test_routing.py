@@ -1,0 +1,139 @@
+"""Tests for hierarchical routing and convergecast over GS3."""
+
+import pytest
+
+from repro.core import GS3Config, Gs3DynamicSimulation, Gs3Simulation
+from repro.net import uniform_disk
+from repro.routing import HierarchicalRouter, simulate_convergecast
+from repro.sim import RngStreams
+
+CFG = GS3Config(ideal_radius=100.0, radius_tolerance=25.0)
+
+
+@pytest.fixture(scope="module")
+def configured():
+    deployment = uniform_disk(280.0, 850, RngStreams(55))
+    sim = Gs3DynamicSimulation.from_deployment(deployment, CFG, seed=55)
+    sim.run_until_stable(window=60.0, max_time=5000.0)
+    return sim
+
+
+def sample_pairs(sim, count, seed):
+    rng = RngStreams(seed).stream("pairs")
+    ids = [n.node_id for n in sim.network.alive_nodes()]
+    return [(rng.choice(ids), rng.choice(ids)) for _ in range(count)]
+
+
+class TestHierarchicalRouting:
+    def test_self_route(self, configured):
+        router = HierarchicalRouter(configured.runtime)
+        route = router.route(5, 5)
+        assert route.delivered
+        assert route.hop_count == 0
+
+    def test_intra_cell_route(self, configured):
+        sim = configured
+        snap = sim.snapshot()
+        head_id, members = next(
+            (h, m) for h, m in snap.cells.items() if len(m) >= 2
+        )
+        router = HierarchicalRouter(sim.runtime)
+        route = router.route(members[0], members[1])
+        assert route.delivered
+        assert route.hop_count <= 3
+
+    def test_random_pairs_deliver(self, configured):
+        router = HierarchicalRouter(configured.runtime)
+        rate, routes = router.evaluate(sample_pairs(configured, 60, 1))
+        assert rate >= 0.95
+        for route in routes:
+            if route.delivered:
+                assert route.path[0] == route.source
+                assert route.path[-1] == route.destination
+
+    def test_stretch_is_bounded(self, configured):
+        router = HierarchicalRouter(configured.runtime)
+        _, routes = router.evaluate(sample_pairs(configured, 60, 2))
+        stretches = [
+            r.stretch(configured.runtime)
+            for r in routes
+            if r.delivered and r.source != r.destination
+        ]
+        assert stretches
+        # Cell-by-cell routing adds bounded detour over the airline.
+        assert sorted(stretches)[len(stretches) // 2] < 4.0
+
+    def test_dead_destination_fails_cleanly(self, configured):
+        sim = configured
+        victim = next(
+            v.node_id
+            for v in sim.snapshot().associates.values()
+            if not v.is_candidate
+        )
+        sim.kill_node(victim)
+        router = HierarchicalRouter(sim.runtime)
+        route = router.route(sim.network.big_id, victim)
+        assert not route.delivered
+        assert route.failure == "destination dead"
+        sim.revive_node(victim)
+        sim.run_for(200.0)
+
+    def test_routing_survives_head_failure_after_heal(self):
+        deployment = uniform_disk(250.0, 700, RngStreams(56))
+        sim = Gs3DynamicSimulation.from_deployment(deployment, CFG, seed=56)
+        sim.run_until_stable(window=60.0, max_time=5000.0)
+        victim = next(
+            v for v in sim.snapshot().heads.values() if not v.is_big
+        )
+        sim.kill_node(victim.node_id)
+        sim.run_until_stable(window=100.0, max_time=sim.now + 20000.0)
+        router = HierarchicalRouter(sim.runtime)
+        rate, _ = router.evaluate(sample_pairs(sim, 40, 3))
+        assert rate >= 0.9
+
+    def test_hop_limit(self, configured):
+        router = HierarchicalRouter(configured.runtime, max_hops=2)
+        # Pick far-apart endpoints so 2 hops cannot suffice.
+        snap = configured.snapshot()
+        views = sorted(
+            snap.associates.values(), key=lambda v: v.position.x
+        )
+        route = router.route(views[0].node_id, views[-1].node_id)
+        if not route.delivered:
+            assert route.failure in ("hop limit exceeded", None) or (
+                "stuck" in route.failure
+            )
+
+
+class TestConvergecast:
+    def test_all_readings_reach_root_without_aggregation(self, configured):
+        report = simulate_convergecast(
+            configured.snapshot(), aggregation_ratio=1.0
+        )
+        assert report.delivery_rate >= 0.99
+
+    def test_aggregation_reduces_messages(self, configured):
+        snap = configured.snapshot()
+        no_agg = simulate_convergecast(snap, aggregation_ratio=1.0)
+        agg = simulate_convergecast(snap, aggregation_ratio=0.05)
+        assert agg.delivered_readings < no_agg.delivered_readings
+        assert agg.delivery_rate < 1.0  # messages, not raw readings
+
+    def test_relay_load_balanced_within_band(self, configured):
+        report = simulate_convergecast(
+            configured.snapshot(), aggregation_ratio=0.05
+        )
+        load = report.load_summary()
+        # Bounded children (I2.3) keeps relay load within a small
+        # multiple of the mean.
+        assert load.max <= 8.0 * max(load.mean, 1.0)
+
+    def test_depth_tracks_bands(self, configured):
+        report = simulate_convergecast(configured.snapshot())
+        assert report.depth.max <= 8
+
+    def test_invalid_ratio(self, configured):
+        with pytest.raises(ValueError):
+            simulate_convergecast(
+                configured.snapshot(), aggregation_ratio=0.0
+            )

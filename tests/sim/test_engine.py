@@ -1,0 +1,181 @@
+"""Tests for the discrete-event simulator and periodic timers."""
+
+import pytest
+
+from repro.sim import PeriodicTimer, SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_among_equal_times(self):
+        sim = Simulator()
+        order = []
+        for tag in "abc":
+            sim.schedule(1.0, lambda t=tag: order.append(t))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+        assert sim.now == 5.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_call_soon_runs_at_current_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(2.0, lambda: sim.call_soon(lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [2.0]
+
+    def test_events_scheduled_during_run(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(1.0, lambda: order.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert order == ["first", "second"]
+        assert sim.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_not_run(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append(1))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert not handle.active
+
+    def test_handle_reports_time(self):
+        sim = Simulator()
+        handle = sim.schedule(4.5, lambda: None)
+        assert handle.time == 4.5
+
+
+class TestRunControl:
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, lambda: fired.append(1))
+        sim.run(until=5.0)
+        assert fired == []
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == [1]
+
+    def test_run_for(self):
+        sim = Simulator()
+        sim.schedule(3.0, lambda: None)
+        sim.run_for(2.0)
+        assert sim.now == 2.0
+        sim.run_for(2.0)
+        assert sim.now == 4.0
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_next_event_time(self):
+        sim = Simulator()
+        assert sim.next_event_time() is None
+        sim.schedule(7.0, lambda: None)
+        assert sim.next_event_time() == 7.0
+
+    def test_executed_events_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.executed_events == 5
+
+    def test_max_events_guard(self):
+        sim = Simulator(max_events=10)
+
+        def loop():
+            sim.schedule(1.0, loop)
+
+        sim.schedule(1.0, loop)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestPeriodicTimer:
+    def test_fires_repeatedly(self):
+        sim = Simulator()
+        times = []
+        timer = PeriodicTimer(sim, 2.0, lambda: times.append(sim.now))
+        timer.start()
+        sim.run(until=7.0)
+        assert times == [2.0, 4.0, 6.0]
+
+    def test_initial_delay(self):
+        sim = Simulator()
+        times = []
+        PeriodicTimer(sim, 5.0, lambda: times.append(sim.now)).start(
+            initial_delay=1.0
+        )
+        sim.run(until=7.0)
+        assert times == [1.0, 6.0]
+
+    def test_stop(self):
+        sim = Simulator()
+        times = []
+        timer = PeriodicTimer(sim, 1.0, lambda: times.append(sim.now))
+        timer.start()
+        sim.schedule(2.5, timer.stop)
+        sim.run(until=10.0)
+        assert times == [1.0, 2.0]
+        assert not timer.active
+
+    def test_callback_can_stop_via_stopiteration(self):
+        sim = Simulator()
+        count = []
+
+        def tick():
+            count.append(1)
+            if len(count) == 3:
+                raise StopIteration
+
+        PeriodicTimer(sim, 1.0, tick).start()
+        sim.run(until=10.0)
+        assert len(count) == 3
+
+    def test_zero_interval_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            PeriodicTimer(sim, 0.0, lambda: None).start()

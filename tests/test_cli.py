@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_configure_defaults(self):
+        args = build_parser().parse_args(["configure"])
+        assert args.command == "configure"
+        assert args.ideal_radius == 100.0
+
+    def test_global_options(self):
+        args = build_parser().parse_args(
+            ["--seed", "7", "--nodes", "500", "configure"]
+        )
+        assert args.seed == 7
+        assert args.nodes == 500
+
+    def test_heal_choices(self):
+        args = build_parser().parse_args(
+            ["heal", "--perturbation", "corruption"]
+        )
+        assert args.perturbation == "corruption"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["heal", "--perturbation", "nope"])
+
+
+class TestCommands:
+    COMMON = ["--nodes", "600", "--field-radius", "250"]
+
+    def test_figures(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out
+        assert "fig8" in out
+
+    def test_configure(self, capsys):
+        code = main(["--seed", "5", *self.COMMON, "configure"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cells" in out
+        assert "fixpoint violations" in out
+
+    def test_configure_with_svg(self, tmp_path, capsys):
+        svg_path = tmp_path / "out.svg"
+        code = main(
+            ["--seed", "5", *self.COMMON, "configure", "--svg", str(svg_path)]
+        )
+        assert code == 0
+        assert svg_path.exists()
+        assert "<svg" in svg_path.read_text()
+
+    def test_configure_with_map(self, capsys):
+        code = main(["--seed", "5", *self.COMMON, "configure", "--map"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "#" in out
+
+    def test_heal_head_kill(self, capsys):
+        code = main(["--seed", "5", *self.COMMON, "heal"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "healing time" in out

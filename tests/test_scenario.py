@@ -1,0 +1,121 @@
+"""Tests for the declarative scenario runner."""
+
+import json
+
+import pytest
+
+from repro.scenario import Scenario, ScenarioResult, run_scenario
+
+
+def base_scenario(**overrides):
+    data = {
+        "seed": 5,
+        "config": {"ideal_radius": 100.0, "radius_tolerance": 25.0},
+        "deployment": {
+            "kind": "uniform",
+            "field_radius": 230.0,
+            "n_nodes": 550,
+        },
+        "perturbations": [],
+        "settle_window": 100.0,
+    }
+    data.update(overrides)
+    return data
+
+
+class TestParsing:
+    def test_from_dict_defaults(self):
+        scenario = Scenario.from_dict(base_scenario())
+        assert scenario.seed == 5
+        assert scenario.config.ideal_radius == 100.0
+        assert not scenario.mobile
+
+    def test_from_json(self):
+        scenario = Scenario.from_json(json.dumps(base_scenario()))
+        assert scenario.deployment_spec["n_nodes"] == 550
+
+    def test_missing_perturbation_fields(self):
+        with pytest.raises(ValueError):
+            Scenario.from_dict(
+                base_scenario(perturbations=[{"kind": "kill_head"}])
+            )
+
+    def test_unknown_deployment_kind(self):
+        scenario = Scenario.from_dict(
+            base_scenario(deployment={"kind": "nope", "field_radius": 1.0})
+        )
+        with pytest.raises(ValueError):
+            scenario.build_deployment()
+
+    def test_grid_deployment(self):
+        scenario = Scenario.from_dict(
+            base_scenario(
+                deployment={
+                    "kind": "grid",
+                    "field_radius": 100.0,
+                    "spacing": 20.0,
+                    "jitter": 3.0,
+                }
+            )
+        )
+        deployment = scenario.build_deployment()
+        assert deployment.node_count > 10
+
+    def test_poisson_deployment(self):
+        scenario = Scenario.from_dict(
+            base_scenario(
+                deployment={
+                    "kind": "poisson",
+                    "field_radius": 50.0,
+                    "density_lambda": 0.2,
+                }
+            )
+        )
+        deployment = scenario.build_deployment()
+        assert deployment.node_count >= 1
+
+
+class TestExecution:
+    def test_plain_configuration(self):
+        result = run_scenario(Scenario.from_dict(base_scenario()))
+        assert result.ok()
+        assert result.final_cells >= 5
+        assert result.perturbation_log == []
+
+    def test_perturbation_sequence(self):
+        scenario = Scenario.from_dict(
+            base_scenario(
+                perturbations=[
+                    {"kind": "kill_head", "at": 300.0},
+                    {"kind": "join", "at": 900.0, "position": [30.0, 30.0]},
+                ]
+            )
+        )
+        result = run_scenario(scenario)
+        assert result.ok()
+        assert [p["kind"] for p in result.perturbation_log] == [
+            "kill_head",
+            "join",
+        ]
+        for entry in result.perturbation_log:
+            assert entry["healing_time"] >= 0.0
+
+    def test_unknown_perturbation_kind(self):
+        scenario = Scenario.from_dict(
+            base_scenario(perturbations=[{"kind": "meteor", "at": 10.0}])
+        )
+        with pytest.raises(ValueError):
+            run_scenario(scenario)
+
+    def test_mobile_scenario_moves_big(self):
+        scenario = Scenario.from_dict(
+            base_scenario(
+                mobile=True,
+                perturbations=[
+                    {"kind": "move_big", "at": 300.0, "to": [173.2, 0.0]}
+                ],
+            )
+        )
+        result = run_scenario(scenario)
+        assert result.perturbation_log[0]["kind"] == "move_big"
+        assert result.final_cells >= 5
