@@ -1,0 +1,188 @@
+"""PERF — engine and topology-cache microbenchmarks.
+
+Tracks the raw-speed trajectory of the simulator core across PRs:
+
+* discrete-event engine throughput (events/sec);
+* radio delivery throughput (messages/sec through the shared
+  ``partial``-bound deliver path);
+* cached vs uncached ``connected_to`` on a static 2000-node network;
+* cached vs uncached visible-set sweeps (the shape of the I1/F4
+  invariant checks, which recompute the reachable set per call).
+
+Results land in ``results/BENCH_perf.json`` so later PRs can diff the
+numbers.  Also runnable standalone::
+
+    PYTHONPATH=src python benchmarks/bench_perf_engine.py
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.geometry import Vec2
+from repro.net import Network, Radio, uniform_disk
+from repro.sim import RngStreams, Simulator, Tracer
+
+from conftest import save_result
+
+#: Static benchmark network size (per the perf acceptance criterion).
+N_NODES = 2000
+FIELD_RADIUS = 450.0
+MAX_RANGE = 120.0
+
+
+def build_static_network(
+    n_nodes: int = N_NODES, seed: int = 7
+) -> Network:
+    deployment = uniform_disk(FIELD_RADIUS, n_nodes - 1, RngStreams(seed))
+    return deployment.build_network(max_range=MAX_RANGE)
+
+
+def _timed(fn, repetitions: int) -> float:
+    start = time.perf_counter()
+    for _ in range(repetitions):
+        fn()
+    return time.perf_counter() - start
+
+
+def bench_engine_events(n_events: int = 200_000) -> dict:
+    """Raw event schedule+dispatch throughput of the Simulator."""
+    sim = Simulator()
+
+    def nop() -> None:
+        pass
+
+    start = time.perf_counter()
+    for i in range(n_events):
+        sim.schedule(float(i % 97) * 0.01, nop)
+    sim.run()
+    elapsed = time.perf_counter() - start
+    return {
+        "events": n_events,
+        "seconds": elapsed,
+        "events_per_sec": n_events / elapsed,
+    }
+
+
+def bench_radio_delivery(n_messages: int = 50_000) -> dict:
+    """Ping-pong unicast throughput through Radio's delivery path."""
+    network = Network(cell_size=50.0)
+    node_a = network.add_node(Vec2(0.0, 0.0), 50.0)
+    node_b = network.add_node(Vec2(10.0, 0.0), 50.0)
+    sim = Simulator()
+    radio = Radio(network, sim, tracer=Tracer(keep_records=False))
+    delivered = [0]
+
+    def bounce(payload, sender_id):
+        delivered[0] += 1
+        if delivered[0] < n_messages:
+            receiver = (
+                node_a.node_id
+                if sender_id == node_b.node_id
+                else node_b.node_id
+            )
+            radio.unicast(receiver, sender_id, payload)
+
+    radio.register(node_a.node_id, bounce)
+    radio.register(node_b.node_id, bounce)
+    start = time.perf_counter()
+    radio.unicast(node_a.node_id, node_b.node_id, b"x")
+    sim.run()
+    elapsed = time.perf_counter() - start
+    return {
+        "messages": delivered[0],
+        "seconds": elapsed,
+        "messages_per_sec": delivered[0] / elapsed,
+    }
+
+
+def bench_connected_to(network: Network, repetitions: int = 30) -> dict:
+    """Repeated component queries from the big node, cached vs not."""
+    big = network.big_id
+    uncached = _timed(
+        lambda: network.connected_to(big, use_cache=False), repetitions
+    )
+    network.invalidate_caches()
+    cached = _timed(lambda: network.connected_to(big), repetitions)
+    return {
+        "repetitions": repetitions,
+        "uncached_s": uncached,
+        "cached_s": cached,
+        "speedup": uncached / cached if cached > 0 else float("inf"),
+    }
+
+
+def bench_visible_sweep(network: Network, repetitions: int = 10) -> dict:
+    """The invariant-check shape: recompute the visible set, then test
+    membership for a sample of nodes (cf. I1 connectivity / F4
+    coverage, which do exactly this per check call)."""
+    big = network.big_id
+    sample = network.node_ids()[::10]
+
+    def sweep(use_cache: bool) -> int:
+        visible = network.connected_to(big, use_cache=use_cache)
+        return sum(1 for node_id in sample if node_id in visible)
+
+    uncached = _timed(lambda: sweep(False), repetitions)
+    network.invalidate_caches()
+    cached = _timed(lambda: sweep(True), repetitions)
+    return {
+        "repetitions": repetitions,
+        "sampled_nodes": len(sample),
+        "uncached_s": uncached,
+        "cached_s": cached,
+        "speedup": uncached / cached if cached > 0 else float("inf"),
+    }
+
+
+def bench_neighbor_sweep(network: Network, repetitions: int = 5) -> dict:
+    """Full physical_neighbors sweep (the physical_graph_nx shape),
+    cached adjacency vs rebuilt-each-sweep."""
+
+    def sweep() -> int:
+        return sum(
+            len(network.physical_neighbors(node.node_id))
+            for node in network.alive_nodes()
+        )
+
+    def sweep_uncached() -> int:
+        network.invalidate_caches()
+        return sweep()
+
+    uncached = _timed(sweep_uncached, repetitions)
+    network.invalidate_caches()
+    cached = _timed(sweep, repetitions + 1) * repetitions / (repetitions + 1)
+    return {
+        "repetitions": repetitions,
+        "uncached_s": uncached,
+        "cached_s": cached,
+        "speedup": uncached / cached if cached > 0 else float("inf"),
+    }
+
+
+def run_all() -> dict:
+    network = build_static_network()
+    return {
+        "n_nodes": len(network),
+        "engine": bench_engine_events(),
+        "radio": bench_radio_delivery(),
+        "connected_to": bench_connected_to(network),
+        "visible_sweep": bench_visible_sweep(network),
+        "neighbor_sweep": bench_neighbor_sweep(network),
+    }
+
+
+@pytest.mark.benchmark(group="perf_engine")
+def test_perf_engine_artifact(results_dir):
+    report = run_all()
+    save_result("BENCH_perf.json", json.dumps(report, indent=2) + "\n")
+    # Acceptance: >= 3x on repeated connectivity / invariant workloads
+    # over a static 2000-node network.
+    assert report["connected_to"]["speedup"] >= 3.0
+    assert report["visible_sweep"]["speedup"] >= 3.0
+
+
+if __name__ == "__main__":
+    result = run_all()
+    save_result("BENCH_perf.json", json.dumps(result, indent=2) + "\n")

@@ -76,12 +76,15 @@ def physical_graph_nx(network: Network) -> "networkx.Graph":
         graph.add_node(
             node.node_id, pos=node.position.as_tuple(), is_big=node.is_big
         )
+    # One pass over the version-cached adjacency map instead of a
+    # spatial query per node.
+    adjacency = network.adjacency()
     for node in network.alive_nodes():
-        for neighbor in network.physical_neighbors(node.node_id):
-            if node.node_id < neighbor.node_id:
+        for neighbor_id in adjacency[node.node_id]:
+            if node.node_id < neighbor_id:
                 graph.add_edge(
                     node.node_id,
-                    neighbor.node_id,
-                    distance=node.distance_to(neighbor),
+                    neighbor_id,
+                    distance=node.distance_to(network.node(neighbor_id)),
                 )
     return graph

@@ -48,6 +48,7 @@ def hop_clustering(
     if source is None:
         raise ValueError("network has no big node and no seed was given")
     reachable = network.connected_to(source)
+    adjacency = network.adjacency()
     positions: Dict[NodeId, Vec2] = {
         node_id: network.node(node_id).position for node_id in reachable
     }
@@ -70,8 +71,7 @@ def hop_clustering(
             current = frontier.popleft()
             if depth[current] == max_hops:
                 continue
-            for neighbor in network.physical_neighbors(current):
-                nid = neighbor.node_id
+            for nid in adjacency[current]:
                 if nid in depth or nid not in reachable:
                     continue
                 depth[nid] = depth[current] + 1

@@ -90,9 +90,11 @@ class Gs3DynamicSimulation(Gs3Simulation):
     # -- perturbations --------------------------------------------------
 
     def kill_node(self, node_id: NodeId) -> None:
-        """Unanticipated node leave / fail-stop."""
+        """Unanticipated node leave / fail-stop (no-op on dead nodes)."""
         if not self.network.has_node(node_id):
             return
+        if not self.network.node(node_id).alive:
+            return  # already dead: don't re-run on_killed or re-trace
         self.network.kill_node(node_id)
         node = self.runtime.nodes.get(node_id)
         if node is not None and hasattr(node, "on_killed"):
@@ -111,9 +113,12 @@ class Gs3DynamicSimulation(Gs3Simulation):
         return victims
 
     def revive_node(self, node_id: NodeId) -> None:
-        """A previously dead node re-joins at its old position."""
+        """A previously dead node re-joins at its old position
+        (no-op on live nodes)."""
         if not self.network.has_node(node_id):
             return
+        if self.network.node(node_id).alive:
+            return  # already alive: don't re-run on_revived or re-trace
         self.network.revive_node(node_id)
         node = self.runtime.nodes.get(node_id)
         if node is not None and hasattr(node, "on_revived"):

@@ -102,7 +102,10 @@ def check_i1_physical_connectivity(
     """I1.1: heads connected in G_h are connected in G_p.
 
     Since G_h is a tree containing every head, pairwise connectivity
-    reduces to: every head is G_p-connected to the root.
+    reduces to: every head is G_p-connected to the root.  The
+    reachable set comes from the network's topology-version cache, so
+    repeated checks over an unchanged topology (the common case in
+    convergence loops) cost one set lookup per head instead of a BFS.
     """
     violations = []
     roots = snapshot.roots
@@ -307,7 +310,12 @@ def check_i3_associate_optimality(
 def check_f4_coverage(
     snapshot: StructureSnapshot, network: Network
 ) -> List[str]:
-    """F4: the cells cover every node connected to the big node."""
+    """F4: the cells cover every node connected to the big node.
+
+    The visible set (nodes G_p-connected to the big node) is served
+    from the network's topology-version cache and is shared with the
+    I1 connectivity check when the root is the big node.
+    """
     violations = []
     if snapshot.big_id is None:
         return ["network has no big node"]

@@ -140,7 +140,11 @@ class Gs3Simulation:
             if last_change is None or last_change <= sim.now - window:
                 return last_change if last_change is not None else sim.now
             if sim.next_event_time() is None:
-                return tracer.last_time(*categories) or sim.now
+                # ``last_change`` is not None here (the branch above
+                # returned otherwise); return it directly rather than
+                # ``last_change or sim.now``, which would discard a
+                # genuine convergence instant of 0.0 (falsy float).
+                return last_change
         raise TimeoutError(
             f"structure did not stabilise within {max_time} ticks"
         )

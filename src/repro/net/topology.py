@@ -7,13 +7,33 @@ constant time per result via a uniform grid hash.  It also exposes the
 paper's physical graph ``G_p`` (nodes joined when within mutual
 transmission range) for connectivity checks used by requirement (c)
 and invariant I1.
+
+``G_p`` queries are cached behind a *topology version*: a monotonic
+counter bumped by every mutation (:meth:`~Network.add_node`,
+:meth:`~Network.remove_node`, :meth:`~Network.kill_node`,
+:meth:`~Network.revive_node`, :meth:`~Network.move_node`).  The
+adjacency map, connected components, and broadcast-candidate lists are
+built lazily and reused until the version changes, so hot consumers
+(invariant checks, baselines, the radio) pay for each graph
+construction once per topology epoch instead of once per query.
 """
 
 from __future__ import annotations
 
 import math
 from collections import deque
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from types import MappingProxyType
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from ..geometry import Vec2
 from .node import NodeId, PhysicalNode
@@ -40,6 +60,38 @@ class Network:
         self._grid: Dict[_GridKey, Set[NodeId]] = {}
         self._big_id: Optional[NodeId] = None
         self._next_id: NodeId = 0
+        # Topology-version cache state.  Each cache records the version
+        # it was built at and is discarded lazily when the version has
+        # moved on; mutations only bump the counter, so bursts of
+        # churn between queries cost nothing extra.
+        self._version: int = 0
+        self._adjacency: Dict[NodeId, Tuple[NodeId, ...]] = {}
+        self._adjacency_version: int = -1
+        self._components: Dict[NodeId, FrozenSet[NodeId]] = {}
+        self._components_version: int = -1
+        self._reach_cache: Dict[Tuple[NodeId, float], Tuple[NodeId, ...]] = {}
+        self._reach_version: int = -1
+
+    # -- topology version ---------------------------------------------------
+
+    @property
+    def topology_version(self) -> int:
+        """Monotonic counter of topology mutations.
+
+        Bumped by every add/remove/kill/revive/move that actually
+        changes the physical graph.  Equal versions guarantee identical
+        ``G_p``; consumers may key their own caches on it.
+        """
+        return self._version
+
+    def invalidate_caches(self) -> None:
+        """Force-discard all version caches (as if the topology changed).
+
+        Normal mutations invalidate automatically; this exists for
+        benchmarks and tests that need to measure or exercise the
+        uncached construction path.
+        """
+        self._version += 1
 
     # -- population -------------------------------------------------------
 
@@ -63,32 +115,57 @@ class Network:
             if self._big_id is not None:
                 raise ValueError("network already has a big node")
             self._big_id = node_id
+        self._version += 1
         return node
 
     def remove_node(self, node_id: NodeId) -> None:
         """Remove a node entirely (a permanent *leave*)."""
         node = self._nodes.pop(node_id)
-        self._grid[self._key(node.position)].discard(node_id)
+        self._discard_from_grid(node_id, self._key(node.position))
         if self._big_id == node_id:
             self._big_id = None
+        self._version += 1
 
     def kill_node(self, node_id: NodeId) -> None:
         """Mark a node dead but keep it for post-mortem analysis."""
-        self._nodes[node_id].alive = False
+        node = self._nodes[node_id]
+        if node.alive:
+            node.alive = False
+            self._version += 1
 
     def revive_node(self, node_id: NodeId) -> None:
         """Mark a previously dead node alive again (a re-*join*)."""
-        self._nodes[node_id].alive = True
+        node = self._nodes[node_id]
+        if not node.alive:
+            node.alive = True
+            self._version += 1
 
     def move_node(self, node_id: NodeId, new_position: Vec2) -> None:
         """Relocate a node, keeping the spatial index consistent."""
         node = self._nodes[node_id]
+        if node.position == new_position:
+            return
         old_key = self._key(node.position)
         new_key = self._key(new_position)
         if old_key != new_key:
-            self._grid[old_key].discard(node_id)
+            self._discard_from_grid(node_id, old_key)
             self._grid.setdefault(new_key, set()).add(node_id)
         node.position = new_position
+        self._version += 1
+
+    def _discard_from_grid(self, node_id: NodeId, key: _GridKey) -> None:
+        """Drop a node from a grid bucket, pruning the bucket if emptied.
+
+        Without the prune, churn and mobility workloads leave a trail
+        of empty ``set()`` buckets in ``_grid`` and memory grows without
+        bound over long runs.
+        """
+        bucket = self._grid.get(key)
+        if bucket is None:
+            return
+        bucket.discard(node_id)
+        if not bucket:
+            del self._grid[key]
 
     # -- access -------------------------------------------------------------
 
@@ -133,6 +210,15 @@ class Network:
     def alive_count(self) -> int:
         """Number of live nodes."""
         return sum(1 for _ in self.alive_nodes())
+
+    @property
+    def grid_bucket_count(self) -> int:
+        """Number of occupied spatial-index buckets.
+
+        Bounded by the number of nodes: emptied buckets are pruned, so
+        churn/mobility workloads do not leak index memory.
+        """
+        return len(self._grid)
 
     # -- spatial queries -----------------------------------------------------
 
@@ -192,33 +278,96 @@ class Network:
 
     # -- the physical graph G_p ------------------------------------------------
 
+    def adjacency(self) -> Mapping[NodeId, Tuple[NodeId, ...]]:
+        """The full ``G_p`` adjacency map, cached per topology version.
+
+        Maps every node id (alive or not) to the ids of the *live*
+        nodes within mutual transmission range.  The returned mapping
+        is a read-only view; it stays valid until the next topology
+        mutation.
+        """
+        return MappingProxyType(self._adjacency_map())
+
+    def _adjacency_map(self) -> Dict[NodeId, Tuple[NodeId, ...]]:
+        if self._adjacency_version != self._version:
+            adjacency: Dict[NodeId, Tuple[NodeId, ...]] = {}
+            for node in self._nodes.values():
+                adjacency[node.node_id] = tuple(
+                    other.node_id
+                    for other in self.nodes_within(
+                        node.position, node.max_range
+                    )
+                    if other.node_id != node.node_id
+                    and node.in_mutual_range(other)
+                )
+            self._adjacency = adjacency
+            self._adjacency_version = self._version
+        return self._adjacency
+
     def physical_neighbors(self, node_id: NodeId) -> List[PhysicalNode]:
         """Live nodes within mutual transmission range of ``node_id``."""
-        node = self._nodes[node_id]
-        neighbors = []
-        for other in self.nodes_within(node.position, node.max_range):
-            if other.node_id != node_id and node.in_mutual_range(other):
-                neighbors.append(other)
-        return neighbors
+        if node_id not in self._nodes:
+            raise KeyError(node_id)
+        return [
+            self._nodes[other_id]
+            for other_id in self._adjacency_map()[node_id]
+        ]
 
-    def connected_to(self, source_id: NodeId) -> Set[NodeId]:
+    def connected_to(
+        self, source_id: NodeId, use_cache: bool = True
+    ) -> FrozenSet[NodeId]:
         """Ids of live nodes connected to ``source_id`` in ``G_p``.
 
         Breadth-first search over mutual-range links; includes the
         source itself.  This realises the paper's *visible node*
         notion: a node is visible iff it is connected to the big node.
+
+        The result is memoized per ``(component, topology_version)``:
+        one BFS answers the query for every member of the component
+        until the topology next changes.  ``use_cache=False`` forces a
+        fresh BFS over direct spatial queries (the pre-cache code
+        path, kept for benchmarks and consistency tests).
         """
         source = self._nodes[source_id]
         if not source.alive:
-            return set()
+            return frozenset()
+        if not use_cache:
+            return frozenset(self._bfs_uncached(source_id))
+        if self._components_version != self._version:
+            self._components = {}
+            self._components_version = self._version
+        component = self._components.get(source_id)
+        if component is None:
+            adjacency = self._adjacency_map()
+            seen: Set[NodeId] = {source_id}
+            frontier = deque([source_id])
+            while frontier:
+                current = frontier.popleft()
+                for neighbor_id in adjacency[current]:
+                    if neighbor_id not in seen:
+                        seen.add(neighbor_id)
+                        frontier.append(neighbor_id)
+            component = frozenset(seen)
+            # Mutual-range links are symmetric, so every member shares
+            # the component: one BFS primes the cache for all of them.
+            for member_id in component:
+                self._components[member_id] = component
+        return component
+
+    def _bfs_uncached(self, source_id: NodeId) -> Set[NodeId]:
         seen: Set[NodeId] = {source_id}
         frontier = deque([source_id])
         while frontier:
             current = frontier.popleft()
-            for neighbor in self.physical_neighbors(current):
-                if neighbor.node_id not in seen:
-                    seen.add(neighbor.node_id)
-                    frontier.append(neighbor.node_id)
+            node = self._nodes[current]
+            for other in self.nodes_within(node.position, node.max_range):
+                if (
+                    other.node_id not in seen
+                    and other.node_id != current
+                    and node.in_mutual_range(other)
+                ):
+                    seen.add(other.node_id)
+                    frontier.append(other.node_id)
         return seen
 
     def is_connected_to_big(self, node_id: NodeId) -> bool:
@@ -226,3 +375,31 @@ class Network:
         if self._big_id is None:
             return False
         return node_id in self.connected_to(self._big_id)
+
+    def broadcast_candidates(
+        self, sender_id: NodeId, tx_range: float
+    ) -> List[PhysicalNode]:
+        """Live nodes a transmission from ``sender_id`` at ``tx_range``
+        can reach (one-directional; excludes the sender).
+
+        Unlike :meth:`physical_neighbors` this does not require the
+        link to work in both directions — broadcast reception only
+        needs the receiver inside the sender's range.  Candidate id
+        lists are cached per ``(sender, range)`` within a topology
+        version, which makes periodic heartbeat broadcasts at a fixed
+        range O(result) instead of a fresh grid scan each time.
+        """
+        sender = self._nodes[sender_id]
+        if self._reach_version != self._version:
+            self._reach_cache = {}
+            self._reach_version = self._version
+        key = (sender_id, tx_range)
+        candidate_ids = self._reach_cache.get(key)
+        if candidate_ids is None:
+            candidate_ids = tuple(
+                other.node_id
+                for other in self.nodes_within(sender.position, tx_range)
+                if other.node_id != sender_id
+            )
+            self._reach_cache[key] = candidate_ids
+        return [self._nodes[other_id] for other_id in candidate_ids]

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional
 
@@ -97,7 +98,7 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still pending (including cancelled ones)."""
+        """Number of events still pending (excluding cancelled ones)."""
         return sum(1 for e in self._queue if not e.cancelled)
 
     # -- scheduling --------------------------------------------------------
@@ -198,26 +199,50 @@ class PeriodicTimer:
     SANITY_CHECK) all run on periodic timers.  The timer stops either
     when :meth:`stop` is called or when the callback raises
     ``StopIteration``.
+
+    A nonzero ``jitter`` spreads each period uniformly over
+    ``interval ± jitter`` (it desynchronises heartbeats that would
+    otherwise collide in lockstep).  Jitter draws come from ``rng`` —
+    pass a named stream from
+    :class:`~repro.sim.rng.RngStreams` to keep runs deterministic;
+    arming a jittered timer without an rng is rejected loudly rather
+    than silently ignoring the jitter.
     """
 
     sim: Simulator
     interval: float
     callback: Callable[[], None]
     jitter: float = 0.0
+    rng: Optional[random.Random] = None
     _handle: Optional[EventHandle] = None
     _stopped: bool = False
 
     def start(self, initial_delay: Optional[float] = None) -> "PeriodicTimer":
         """Arm the timer; first firing after ``initial_delay`` (default:
-        one interval)."""
+        one jittered interval)."""
         if self.interval <= 0:
             raise SimulationError(
                 f"timer interval must be positive, got {self.interval}"
             )
-        delay = self.interval if initial_delay is None else initial_delay
+        if not 0.0 <= self.jitter < self.interval:
+            raise SimulationError(
+                f"jitter must be in [0, interval), got {self.jitter} "
+                f"with interval {self.interval}"
+            )
+        if self.jitter > 0 and self.rng is None:
+            raise SimulationError(
+                "nonzero jitter requires an rng (e.g. "
+                "RngStreams.stream('timer.jitter')) for deterministic draws"
+            )
+        delay = self._next_delay() if initial_delay is None else initial_delay
         self._stopped = False
         self._handle = self.sim.schedule(delay, self._fire)
         return self
+
+    def _next_delay(self) -> float:
+        if self.jitter > 0 and self.rng is not None:
+            return self.interval + self.rng.uniform(-self.jitter, self.jitter)
+        return self.interval
 
     def stop(self) -> None:
         """Disarm the timer."""
@@ -240,4 +265,4 @@ class PeriodicTimer:
             self.stop()
             return
         if not self._stopped:
-            self._handle = self.sim.schedule(self.interval, self._fire)
+            self._handle = self.sim.schedule(self._next_delay(), self._fire)

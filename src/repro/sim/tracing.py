@@ -49,6 +49,14 @@ class Tracer:
     Recording full records can be disabled (``keep_records=False``) for
     large benchmark runs where only the counters matter; counters are
     always maintained.
+
+    Record storage is bounded by ``capacity``.  Once the bound is hit
+    further records are dropped (counters keep counting), so
+    :meth:`by_category` can return fewer records than :meth:`count`
+    reports.  Truncation is signalled rather than silent: the
+    ``truncated`` flag flips to ``True`` and a one-shot
+    ``trace.capacity`` counter is recorded the first time a record is
+    dropped.
     """
 
     def __init__(self, keep_records: bool = True, capacity: int = 2_000_000):
@@ -57,6 +65,7 @@ class Tracer:
         self.records: List[TraceRecord] = []
         self.counts: Counter = Counter()
         self.last_time_by_category: Dict[str, float] = {}
+        self.truncated = False
         self._listeners: List[Callable[[TraceRecord], None]] = []
 
     def emit(
@@ -70,9 +79,16 @@ class Tracer:
         self.counts[category] += 1
         self.last_time_by_category[category] = time
         record: Optional[TraceRecord] = None
-        if self.keep_records and len(self.records) < self.capacity:
-            record = TraceRecord(time, category, node, tuple(details.items()))
-            self.records.append(record)
+        if self.keep_records:
+            if len(self.records) < self.capacity:
+                record = TraceRecord(
+                    time, category, node, tuple(details.items())
+                )
+                self.records.append(record)
+            elif not self.truncated:
+                self.truncated = True
+                self.counts["trace.capacity"] += 1
+                self.last_time_by_category["trace.capacity"] = time
         if self._listeners:
             if record is None:
                 record = TraceRecord(
@@ -121,3 +137,4 @@ class Tracer:
         self.records.clear()
         self.counts.clear()
         self.last_time_by_category.clear()
+        self.truncated = False

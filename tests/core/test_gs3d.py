@@ -197,6 +197,7 @@ class TestStateCorruption:
             == []
         )
 
+    @pytest.mark.slow
     def test_corruption_not_healed_without_sanity_check(self):
         config = GS3Config(
             ideal_radius=100.0,
@@ -231,6 +232,7 @@ class TestEnergyDrivenDeath:
         )
         return sim
 
+    @pytest.mark.slow
     def test_cell_shift_slides_structure(self):
         sim = self.make_energy_sim(enable_cell_shift=True)
         sim.run_for(2500.0)
@@ -243,6 +245,7 @@ class TestEnergyDrivenDeath:
         for view in shifted:
             assert view.icc_icp[0] >= 1
 
+    @pytest.mark.slow
     def test_head_graph_survives_repeated_head_deaths(self):
         sim = self.make_energy_sim(enable_cell_shift=True)
         sim.run_for(2500.0)
@@ -275,6 +278,7 @@ class TestEnergyDrivenDeath:
 
 
 class TestBigSlide:
+    @pytest.mark.slow
     def test_big_node_hands_over_and_structure_survives(self):
         config = GS3Config(
             ideal_radius=100.0, radius_tolerance=25.0, min_candidates=1

@@ -71,6 +71,7 @@ class TestBigNodeMove:
         assert snap.roots == [big]
         assert snap.views[big].cell_axial == (1, 0)
 
+    @pytest.mark.slow
     def test_proxy_deputises_while_away(self):
         sim, _ = configure(seed=84)
         big = sim.network.big_id

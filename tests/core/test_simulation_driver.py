@@ -1,0 +1,51 @@
+"""Regression tests for the `Gs3Simulation` driver loop."""
+
+from types import SimpleNamespace
+
+from repro.core import GS3Config, Gs3Simulation
+from repro.geometry import Vec2
+from repro.net import Network
+
+
+class _DrainedSim:
+    """A simulator whose queue empties mid-window."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def run_for(self, duration):
+        self.now += duration / 2.0
+
+    def next_event_time(self):
+        return None
+
+
+class _ZeroTracer:
+    """The last structure change happened at exactly t=0.0."""
+
+    def last_time(self, *categories):
+        return 0.0
+
+
+class TestRunUntilStableZeroInstant:
+    def test_queue_empty_branch_returns_zero_instant(self):
+        """A convergence instant of 0.0 must not be replaced by sim.now.
+
+        White-box: drives the ``next_event_time() is None`` branch
+        directly, where the old ``last_time(...) or sim.now`` discarded
+        the falsy float 0.0.
+        """
+        fake = SimpleNamespace(
+            start=lambda: None,
+            runtime=SimpleNamespace(sim=_DrainedSim(), tracer=_ZeroTracer()),
+        )
+        converged_at = Gs3Simulation.run_until_stable(fake, window=50.0)
+        assert converged_at == 0.0
+
+    def test_big_node_only_network_converges_at_zero(self):
+        """End to end: a lone big node organises instantly at t=0."""
+        network = Network(cell_size=100.0)
+        network.add_node(Vec2(0, 0), 200.0, is_big=True)
+        sim = Gs3Simulation(network, GS3Config())
+        converged_at = sim.run_until_stable(window=50.0)
+        assert converged_at == 0.0

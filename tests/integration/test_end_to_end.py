@@ -32,6 +32,7 @@ CFG = GS3Config(ideal_radius=100.0, radius_tolerance=25.0)
 
 
 class TestChurnScenario:
+    @pytest.mark.slow
     def test_structure_survives_sustained_churn(self):
         deployment = uniform_disk(230.0, 620, RngStreams(71))
         sim = Gs3DynamicSimulation.from_deployment(deployment, CFG, seed=71)
@@ -119,6 +120,7 @@ class TestFullStackComparison:
 
 
 class TestMobileScenario:
+    @pytest.mark.slow
     def test_patrolling_big_node_keeps_tree_rooted(self):
         deployment = uniform_disk(250.0, 700, RngStreams(76))
         sim = Gs3DynamicSimulation.from_deployment(
@@ -134,6 +136,7 @@ class TestMobileScenario:
             assert len(snapshot.roots) == 1
             assert check_i1_tree(snapshot) == []
 
+    @pytest.mark.slow
     def test_energy_plus_mobility(self):
         # The heaviest combination: energy-driven deaths while the big
         # node wanders.  The tree must stay rooted and healing local.

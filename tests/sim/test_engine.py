@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import PeriodicTimer, SimulationError, Simulator
+from repro.sim import PeriodicTimer, RngStreams, SimulationError, Simulator
 
 
 class TestScheduling:
@@ -179,3 +179,57 @@ class TestPeriodicTimer:
         sim = Simulator()
         with pytest.raises(SimulationError):
             PeriodicTimer(sim, 0.0, lambda: None).start()
+
+
+class TestPeriodicTimerJitter:
+    def test_jitter_spreads_firings(self):
+        sim = Simulator()
+        times = []
+        rng = RngStreams(7).stream("timer.jitter")
+        PeriodicTimer(
+            sim, 10.0, lambda: times.append(sim.now), jitter=2.0, rng=rng
+        ).start()
+        sim.run(until=100.0)
+        assert len(times) >= 5
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        for gap in gaps:
+            assert 8.0 <= gap <= 12.0
+        # Jitter actually perturbs the period (not silently ignored).
+        assert any(abs(gap - 10.0) > 1e-9 for gap in gaps)
+
+    def test_jitter_deterministic_under_rng_streams(self):
+        def run_once():
+            sim = Simulator()
+            times = []
+            rng = RngStreams(3).stream("timer.jitter")
+            PeriodicTimer(
+                sim, 5.0, lambda: times.append(sim.now), jitter=1.0, rng=rng
+            ).start()
+            sim.run(until=60.0)
+            return times
+
+        assert run_once() == run_once()
+
+    def test_nonzero_jitter_without_rng_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            PeriodicTimer(sim, 1.0, lambda: None, jitter=0.5).start()
+
+    def test_jitter_must_be_smaller_than_interval(self):
+        sim = Simulator()
+        rng = RngStreams(0).stream("timer.jitter")
+        with pytest.raises(SimulationError):
+            PeriodicTimer(
+                sim, 1.0, lambda: None, jitter=1.0, rng=rng
+            ).start()
+        with pytest.raises(SimulationError):
+            PeriodicTimer(
+                sim, 1.0, lambda: None, jitter=-0.1, rng=rng
+            ).start()
+
+    def test_zero_jitter_keeps_exact_period(self):
+        sim = Simulator()
+        times = []
+        PeriodicTimer(sim, 2.0, lambda: times.append(sim.now)).start()
+        sim.run(until=7.0)
+        assert times == [2.0, 4.0, 6.0]

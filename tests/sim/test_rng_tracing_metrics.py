@@ -103,6 +103,46 @@ class TestTracer:
         assert tracer.records == []
 
 
+class TestTracerCapacity:
+    def test_truncation_signalled(self):
+        tracer = Tracer(capacity=3)
+        assert not tracer.truncated
+        for i in range(5):
+            tracer.emit(float(i), "x")
+        # Storage stops at capacity, counters keep counting ...
+        assert len(tracer.records) == 3
+        assert tracer.count("x") == 5
+        # ... and the divergence is signalled, exactly once.
+        assert tracer.truncated
+        assert tracer.count("trace.capacity") == 1
+        assert tracer.last_time("trace.capacity") == 3.0
+
+    def test_no_signal_below_capacity(self):
+        tracer = Tracer(capacity=10)
+        for i in range(5):
+            tracer.emit(float(i), "x")
+        assert not tracer.truncated
+        assert tracer.count("trace.capacity") == 0
+
+    def test_no_signal_when_records_disabled(self):
+        tracer = Tracer(keep_records=False, capacity=2)
+        for i in range(5):
+            tracer.emit(float(i), "x")
+        # Nothing was dropped — storage was never requested.
+        assert not tracer.truncated
+        assert tracer.count("trace.capacity") == 0
+
+    def test_clear_resets_truncation(self):
+        tracer = Tracer(capacity=1)
+        tracer.emit(0.0, "x")
+        tracer.emit(1.0, "x")
+        assert tracer.truncated
+        tracer.clear()
+        assert not tracer.truncated
+        tracer.emit(2.0, "x")
+        assert len(tracer.records) == 1
+
+
 class TestSummary:
     def test_mean_min_max(self):
         s = Summary()
