@@ -25,41 +25,44 @@ from repro.core import (
 )
 from repro.geometry import hex_distance
 from repro.net import EnergyConfig, uniform_disk
-from repro.sim import RngStreams
+from repro.sim import RngStreams, run_sweep, sweep_results
 
 from conftest import save_result
+
+
+def _drift_by_band(anchor):
+    """Sweep worker: max head placement error per band."""
+    deployment = uniform_disk(520.0, 3400, RngStreams(601))
+    config = GS3Config(
+        ideal_radius=100.0, radius_tolerance=25.0, anchor_on_il=anchor
+    )
+    sim = Gs3Simulation.from_deployment(
+        deployment, config, seed=601, keep_trace_records=False
+    )
+    sim.run_to_quiescence()
+    snapshot = sim.snapshot()
+    by_band = {}
+    for view in snapshot.heads.values():
+        band = hex_distance(view.cell_axial)
+        error = view.position.distance_to(
+            snapshot.lattice.point(view.cell_axial)
+        )
+        by_band.setdefault(band, []).append(error)
+    return {band: max(errors) for band, errors in sorted(by_band.items())}
 
 
 @pytest.mark.benchmark(group="ablations")
 def test_il_anchoring_prevents_drift(benchmark, results_dir):
     """Head placement error by band, with and without IL anchoring."""
-    deployment = uniform_disk(520.0, 3400, RngStreams(601))
-
-    def run(anchor):
-        config = GS3Config(
-            ideal_radius=100.0, radius_tolerance=25.0, anchor_on_il=anchor
-        )
-        sim = Gs3Simulation.from_deployment(
-            deployment, config, seed=601, keep_trace_records=False
-        )
-        sim.run_to_quiescence()
-        snapshot = sim.snapshot()
-        by_band = {}
-        for view in snapshot.heads.values():
-            band = hex_distance(view.cell_axial)
-            error = view.position.distance_to(
-                snapshot.lattice.point(view.cell_axial)
-            )
-            by_band.setdefault(band, []).append(error)
-        return {
-            band: max(errors) for band, errors in sorted(by_band.items())
-        }
-
     results = {}
 
     def both():
-        results["exact"] = run(anchor=True)
-        results["drift"] = run(anchor=False)
+        # The two variants are independent runs: one sweep, two specs.
+        exact, drift = sweep_results(
+            run_sweep(_drift_by_band, [True, False])
+        )
+        results["exact"] = exact
+        results["drift"] = drift
         return results
 
     benchmark.pedantic(both, rounds=1, iterations=1)
@@ -86,42 +89,44 @@ def test_il_anchoring_prevents_drift(benchmark, results_dir):
     assert drift[outer] > max(drift[b] for b in inner_bands)
 
 
-@pytest.mark.benchmark(group="ablations")
-def test_cell_shift_extends_lifetime(benchmark, results_dir):
-    """Structure lifetime with and without STRENGTHEN_CELL."""
+def _lifetime(enable_cell_shift):
+    """Sweep worker: (structure lifetime, cell-shift count)."""
     energy = EnergyConfig(
         initial=2000.0,
         head_drain=10.0,
         candidate_drain=0.5,
         associate_drain=0.2,
     )
+    config = GS3Config(
+        ideal_radius=100.0,
+        radius_tolerance=25.0,
+        enable_cell_shift=enable_cell_shift,
+    )
+    deployment = uniform_disk(220.0, 700, RngStreams(602))
+    sim = Gs3DynamicSimulation.from_deployment(
+        deployment, config, seed=602, keep_trace_records=False
+    )
+    sim.run_until_stable(window=60.0, max_time=5000.0)
+    initial_cells = len(sim.snapshot().heads)
+    sim.attach_energy(energy)
+    start = sim.now
+    horizon = 6000.0
+    while sim.now - start < horizon:
+        sim.run_for(250.0)
+        if len(sim.snapshot().heads) < 0.7 * initial_cells:
+            return sim.now - start, sim.tracer.count("cell.shift")
+    return horizon, sim.tracer.count("cell.shift")
 
-    def lifetime(enable_cell_shift):
-        config = GS3Config(
-            ideal_radius=100.0,
-            radius_tolerance=25.0,
-            enable_cell_shift=enable_cell_shift,
-        )
-        deployment = uniform_disk(220.0, 700, RngStreams(602))
-        sim = Gs3DynamicSimulation.from_deployment(
-            deployment, config, seed=602, keep_trace_records=False
-        )
-        sim.run_until_stable(window=60.0, max_time=5000.0)
-        initial_cells = len(sim.snapshot().heads)
-        sim.attach_energy(energy)
-        start = sim.now
-        horizon = 6000.0
-        while sim.now - start < horizon:
-            sim.run_for(250.0)
-            if len(sim.snapshot().heads) < 0.7 * initial_cells:
-                return sim.now - start, sim.tracer.count("cell.shift")
-        return horizon, sim.tracer.count("cell.shift")
 
+@pytest.mark.benchmark(group="ablations")
+def test_cell_shift_extends_lifetime(benchmark, results_dir):
+    """Structure lifetime with and without STRENGTHEN_CELL."""
     results = {}
 
     def both():
-        results["on"] = lifetime(True)
-        results["off"] = lifetime(False)
+        on, off = sweep_results(run_sweep(_lifetime, [True, False]))
+        results["on"] = on
+        results["off"] = off
         return results
 
     benchmark.pedantic(both, rounds=1, iterations=1)
@@ -143,39 +148,43 @@ def test_cell_shift_extends_lifetime(benchmark, results_dir):
     benchmark.extra_info["lifetime_gain"] = on_life / max(off_life, 1.0)
 
 
+def _corruption_recovery(enable_sanity):
+    """Sweep worker: (sanity resets, invariant violations)."""
+    config = GS3Config(
+        ideal_radius=100.0,
+        radius_tolerance=25.0,
+        enable_sanity_check=enable_sanity,
+    )
+    deployment = uniform_disk(260.0, 850, RngStreams(603))
+    sim = Gs3DynamicSimulation.from_deployment(
+        deployment, config, seed=603, keep_trace_records=False
+    )
+    sim.run_until_stable(window=60.0, max_time=5000.0)
+    victim = next(
+        v for v in sim.snapshot().heads.values() if not v.is_big
+    )
+    sim.corrupt_node(victim.node_id)
+    sim.run_for(1500.0)
+    snapshot = sim.snapshot()
+    violations = check_static_invariant(
+        snapshot, sim.network, dynamic=True
+    )
+    return sim.tracer.count("sanity.reset"), len(violations)
+
+
 @pytest.mark.benchmark(group="ablations")
 def test_sanity_check_required_for_corruption_recovery(
     benchmark, results_dir
 ):
     """Corruption recovery with and without SANITY_CHECK."""
-
-    def run(enable_sanity):
-        config = GS3Config(
-            ideal_radius=100.0,
-            radius_tolerance=25.0,
-            enable_sanity_check=enable_sanity,
-        )
-        deployment = uniform_disk(260.0, 850, RngStreams(603))
-        sim = Gs3DynamicSimulation.from_deployment(
-            deployment, config, seed=603, keep_trace_records=False
-        )
-        sim.run_until_stable(window=60.0, max_time=5000.0)
-        victim = next(
-            v for v in sim.snapshot().heads.values() if not v.is_big
-        )
-        sim.corrupt_node(victim.node_id)
-        sim.run_for(1500.0)
-        snapshot = sim.snapshot()
-        violations = check_static_invariant(
-            snapshot, sim.network, dynamic=True
-        )
-        return sim.tracer.count("sanity.reset"), len(violations)
-
     results = {}
 
     def both():
-        results["on"] = run(True)
-        results["off"] = run(False)
+        on, off = sweep_results(
+            run_sweep(_corruption_recovery, [True, False])
+        )
+        results["on"] = on
+        results["off"] = off
         return results
 
     benchmark.pedantic(both, rounds=1, iterations=1)

@@ -21,7 +21,7 @@ import pytest
 from repro.analysis import ascii_chart, figure7_curve, to_csv
 from repro.geometry import HexLattice, Vec2, spiral_axials
 from repro.net import poisson_disk, rt_gap_cells
-from repro.sim import RngStreams
+from repro.sim import RngStreams, run_sweep, sweep_results
 
 from conftest import save_result
 
@@ -55,27 +55,39 @@ def test_fig7_analytical_curve(benchmark, results_dir):
     assert ys == sorted(ys, reverse=True)
 
 
+def _seed_gap_counts(spec):
+    """Sweep worker: (gap cells, total cells) for one seeded field."""
+    rt, density_lambda, field_radius, r, seed = spec
+    deployment = poisson_disk(
+        field_radius, density_lambda, RngStreams(seed)
+    )
+    lattice = HexLattice(Vec2(0, 0), math.sqrt(3.0) * r)
+    cells_in_field = [
+        axial
+        for axial in spiral_axials(
+            int(math.ceil(field_radius / lattice.spacing)) + 2
+        )
+        if lattice.point(axial).norm() <= field_radius
+    ]
+    gaps = rt_gap_cells(deployment, lattice, rt)
+    return len(gaps), len(cells_in_field)
+
+
 def empirical_gap_fraction(
     rt: float, density_lambda: float, field_radius: float, r: float, seeds
 ):
-    """Fraction of virtual-structure cells that are R_t-gap perturbed."""
-    total_cells = 0
-    gap_cells = 0
-    for seed in seeds:
-        deployment = poisson_disk(
-            field_radius, density_lambda, RngStreams(seed)
-        )
-        lattice = HexLattice(Vec2(0, 0), math.sqrt(3.0) * r)
-        cells_in_field = [
-            axial
-            for axial in spiral_axials(
-                int(math.ceil(field_radius / lattice.spacing)) + 2
-            )
-            if lattice.point(axial).norm() <= field_radius
-        ]
-        gaps = rt_gap_cells(deployment, lattice, rt)
-        total_cells += len(cells_in_field)
-        gap_cells += len(gaps)
+    """Fraction of virtual-structure cells that are R_t-gap perturbed.
+
+    Seeded replicates are independent, so they shard across the
+    process pool; aggregation order is fixed by seed order regardless
+    of worker count.
+    """
+    specs = [
+        (rt, density_lambda, field_radius, r, seed) for seed in seeds
+    ]
+    counts = sweep_results(run_sweep(_seed_gap_counts, specs))
+    gap_cells = sum(g for g, _ in counts)
+    total_cells = sum(t for _, t in counts)
     return gap_cells / total_cells if total_cells else 0.0
 
 

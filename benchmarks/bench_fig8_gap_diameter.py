@@ -17,7 +17,7 @@ import pytest
 from repro.analysis import ascii_chart, figure8_curve, to_csv
 from repro.geometry import HexLattice, Vec2, hex_distance, spiral_axials
 from repro.net import poisson_disk, rt_gap_cells
-from repro.sim import RngStreams
+from repro.sim import RngStreams, run_sweep, sweep_results
 
 from conftest import save_result
 
@@ -81,6 +81,30 @@ def region_diameter_cells(region):
     return best + 1
 
 
+def _seed_mean_diameter(spec):
+    """Sweep worker: per-cell mean gap-region diameter, one seed."""
+    rt, density_lambda, field_radius, r, seed = spec
+    lattice = HexLattice(Vec2(0, 0), math.sqrt(3.0) * r)
+    max_band = int(math.ceil(field_radius / lattice.spacing)) + 2
+    cells = [
+        axial
+        for axial in spiral_axials(max_band)
+        if lattice.point(axial).norm() <= field_radius
+    ]
+    deployment = poisson_disk(
+        field_radius, density_lambda, RngStreams(seed)
+    )
+    gaps = set()
+    for gap_il in rt_gap_cells(deployment, lattice, rt):
+        gaps.add(lattice.nearest_axial(gap_il))
+    per_cell = {}
+    for region in gap_regions(gaps):
+        diameter = region_diameter_cells(region) * 2.0 * r
+        for axial in region:
+            per_cell[axial] = diameter
+    return sum(per_cell.get(c, 0.0) for c in cells) / len(cells)
+
+
 @pytest.mark.benchmark(group="fig8")
 def test_fig8_monte_carlo_validation(benchmark, results_dir):
     """Per-cell expected gap-region diameter tracks the chain model."""
@@ -91,34 +115,22 @@ def test_fig8_monte_carlo_validation(benchmark, results_dir):
     seeds = range(200, 240)
 
     def sweep():
-        rows = []
-        lattice = HexLattice(Vec2(0, 0), math.sqrt(3.0) * r)
-        max_band = int(math.ceil(field_radius / lattice.spacing)) + 2
-        cells = [
-            axial
-            for axial in spiral_axials(max_band)
-            if lattice.point(axial).norm() <= field_radius
+        # All (rt, seed) replicates are independent: one flat sweep
+        # across the pool, then a per-rt reduction in seed order.
+        specs = [
+            (rt, density_lambda, field_radius, r, seed)
+            for rt in rts
+            for seed in seeds
         ]
-        for rt in rts:
+        means = sweep_results(run_sweep(_seed_mean_diameter, specs))
+        n_seeds = len(list(seeds))
+        rows = []
+        for i, rt in enumerate(rts):
             alpha = math.exp(-(rt**2) * density_lambda)
             expected = 2.0 * r * alpha / (1.0 - alpha) ** 2
-            total = 0.0
-            for seed in seeds:
-                deployment = poisson_disk(
-                    field_radius, density_lambda, RngStreams(seed)
-                )
-                gaps = set()
-                for gap_il in rt_gap_cells(deployment, lattice, rt):
-                    gaps.add(lattice.nearest_axial(gap_il))
-                per_cell = {}
-                for region in gap_regions(gaps):
-                    diameter = region_diameter_cells(region) * 2.0 * r
-                    for axial in region:
-                        per_cell[axial] = diameter
-                total += sum(per_cell.get(c, 0.0) for c in cells) / len(
-                    cells
-                )
-            measured = total / len(list(seeds))
+            measured = (
+                sum(means[i * n_seeds : (i + 1) * n_seeds]) / n_seeds
+            )
             rows.append([rt, alpha, expected, measured])
         return rows
 

@@ -17,7 +17,7 @@ from repro.analysis import ascii_table, measure_healing, to_csv
 from repro.core import GS3Config, Gs3DynamicSimulation
 from repro.geometry import Vec2
 from repro.net import uniform_disk
-from repro.sim import RngStreams
+from repro.sim import RngStreams, run_sweep, sweep_results
 
 from conftest import save_result
 
@@ -35,34 +35,40 @@ def configure(field_radius: float, seed: int) -> Gs3DynamicSimulation:
     return sim
 
 
+def _measure_region_kill(spec):
+    """Sweep worker: configure, kill a disk, measure healing locality."""
+    label, field_radius, kill_radius, seed = spec
+    sim = configure(field_radius, seed=seed)
+    center = Vec2(field_radius * 0.4, 0.0)
+    measurement = measure_healing(
+        sim,
+        perturb=lambda: sim.kill_region(center, kill_radius),
+        center=center,
+        perturbed_radius=kill_radius,
+        window=150.0,
+    )
+    return [
+        label,
+        field_radius,
+        2 * kill_radius,
+        measurement.healing_time,
+        measurement.changed_cell_count,
+        measurement.impact_radius,
+    ]
+
+
 @pytest.mark.benchmark(group="healing")
 def test_healing_time_scales_with_dp_not_network(benchmark, results_dir):
     def sweep():
-        rows = []
-        for field_radius, label in ((300.0, "small net"), (430.0, "large net")):
-            for kill_radius in (60.0, 110.0, 160.0):
-                sim = configure(field_radius, seed=301)
-                center = Vec2(field_radius * 0.4, 0.0)
-                measurement = measure_healing(
-                    sim,
-                    perturb=lambda s=sim, c=center, r=kill_radius: s.kill_region(
-                        c, r
-                    ),
-                    center=center,
-                    perturbed_radius=kill_radius,
-                    window=150.0,
-                )
-                rows.append(
-                    [
-                        label,
-                        field_radius,
-                        2 * kill_radius,
-                        measurement.healing_time,
-                        measurement.changed_cell_count,
-                        measurement.impact_radius,
-                    ]
-                )
-        return rows
+        specs = [
+            (label, field_radius, kill_radius, 301)
+            for field_radius, label in (
+                (300.0, "small net"),
+                (430.0, "large net"),
+            )
+            for kill_radius in (60.0, 110.0, 160.0)
+        ]
+        return sweep_results(run_sweep(_measure_region_kill, specs))
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
     table = ascii_table(
@@ -106,34 +112,34 @@ def test_healing_time_scales_with_dp_not_network(benchmark, results_dir):
         assert row[5] <= row[2] / 2 + 4.0 * CONFIG.lattice_spacing
 
 
+def _measure_head_kill(spec):
+    """Sweep worker: kill one non-big head, measure healing."""
+    field_radius, seed = spec
+    sim = configure(field_radius, seed=seed)
+    snapshot = sim.snapshot()
+    victim = next(v for v in snapshot.heads.values() if not v.is_big)
+    measurement = measure_healing(
+        sim,
+        perturb=lambda: sim.kill_node(victim.node_id),
+        center=victim.position,
+        perturbed_radius=CONFIG.radius_tolerance,
+        window=120.0,
+    )
+    return [
+        field_radius,
+        measurement.healing_time,
+        measurement.changed_cell_count,
+    ]
+
+
 @pytest.mark.benchmark(group="healing")
 def test_single_head_kill_heals_in_constant_time(benchmark, results_dir):
     """The smallest perturbation: healing time ~ the claim ladder, not
     the network diameter."""
 
     def run():
-        rows = []
-        for field_radius in (300.0, 430.0):
-            sim = configure(field_radius, seed=303)
-            snapshot = sim.snapshot()
-            victim = next(
-                v for v in snapshot.heads.values() if not v.is_big
-            )
-            measurement = measure_healing(
-                sim,
-                perturb=lambda s=sim, v=victim: s.kill_node(v.node_id),
-                center=victim.position,
-                perturbed_radius=CONFIG.radius_tolerance,
-                window=120.0,
-            )
-            rows.append(
-                [
-                    field_radius,
-                    measurement.healing_time,
-                    measurement.changed_cell_count,
-                ]
-            )
-        return rows
+        specs = [(field_radius, 303) for field_radius in (300.0, 430.0)]
+        return sweep_results(run_sweep(_measure_head_kill, specs))
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
     table = ascii_table(

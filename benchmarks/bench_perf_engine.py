@@ -1,28 +1,47 @@
-"""PERF — engine and topology-cache microbenchmarks.
+"""PERF — engine, radio, topology-cache, and sweep-scaling benchmarks.
 
 Tracks the raw-speed trajectory of the simulator core across PRs:
 
-* discrete-event engine throughput (events/sec);
+* discrete-event engine throughput (events/sec) on the tuple-heap
+  engine (``(time, seq, event)`` entries, ``__slots__`` records);
 * radio delivery throughput (messages/sec through the shared
-  ``partial``-bound deliver path);
+  ``partial``-bound deliver path), with an enabled tracer and with the
+  one-predicate disabled-tracer fast path;
 * cached vs uncached ``connected_to`` on a static 2000-node network;
 * cached vs uncached visible-set sweeps (the shape of the I1/F4
-  invariant checks, which recompute the reachable set per call).
+  invariant checks, which recompute the reachable set per call);
+* Monte Carlo sweep scaling: wall clock of a 16-replicate sweep at
+  ``workers`` 0/1/4 through :class:`repro.sim.SweepRunner`, plus a
+  determinism check that the aggregated payload is identical at every
+  worker count.  ``cpu_count`` is recorded alongside so single-core
+  containers are legible in the history.
 
 Results land in ``results/BENCH_perf.json`` so later PRs can diff the
 numbers.  Also runnable standalone::
 
-    PYTHONPATH=src python benchmarks/bench_perf_engine.py
+    PYTHONPATH=src python benchmarks/bench_perf_engine.py [--smoke]
+
+``--smoke`` shrinks every workload to a seconds-long CI smoke run and
+writes nothing.
 """
 
 import json
+import math
+import os
 import time
 
 import pytest
 
-from repro.geometry import Vec2
-from repro.net import Network, Radio, uniform_disk
-from repro.sim import RngStreams, Simulator, Tracer
+from repro.geometry import HexLattice, Vec2
+from repro.net import Network, Radio, poisson_disk, rt_gap_cells, uniform_disk
+from repro.sim import (
+    RngStreams,
+    Simulator,
+    SweepRunner,
+    Tracer,
+    replicate_seed,
+    sweep_results,
+)
 
 from conftest import save_result
 
@@ -30,6 +49,11 @@ from conftest import save_result
 N_NODES = 2000
 FIELD_RADIUS = 450.0
 MAX_RANGE = 120.0
+
+#: Monte Carlo sweep-scaling workload (fig7-shaped gap counting).
+SWEEP_REPLICATES = 16
+SWEEP_FIELD_RADIUS = 110.0
+SWEEP_WORKER_COUNTS = (0, 1, 4)
 
 
 def build_static_network(
@@ -65,13 +89,19 @@ def bench_engine_events(n_events: int = 200_000) -> dict:
     }
 
 
-def bench_radio_delivery(n_messages: int = 50_000) -> dict:
+def bench_radio_delivery(
+    n_messages: int = 50_000, tracer: Tracer = None
+) -> dict:
     """Ping-pong unicast throughput through Radio's delivery path."""
     network = Network(cell_size=50.0)
     node_a = network.add_node(Vec2(0.0, 0.0), 50.0)
     node_b = network.add_node(Vec2(10.0, 0.0), 50.0)
     sim = Simulator()
-    radio = Radio(network, sim, tracer=Tracer(keep_records=False))
+    radio = Radio(
+        network,
+        sim,
+        tracer=tracer if tracer is not None else Tracer(keep_records=False),
+    )
     delivered = [0]
 
     def bounce(payload, sender_id):
@@ -161,15 +191,79 @@ def bench_neighbor_sweep(network: Network, repetitions: int = 5) -> dict:
     }
 
 
-def run_all() -> dict:
-    network = build_static_network()
+def _mc_gap_replicate(spec) -> dict:
+    """Sweep worker: fig7-shaped gap counting on one Poisson field.
+
+    Pure CPU, fully determined by the replicate seed — the unit of the
+    sweep-scaling and sweep-determinism measurements.
+    """
+    seed, field_radius = spec
+    deployment = poisson_disk(field_radius, 2.0, RngStreams(seed))
+    lattice = HexLattice(Vec2(0, 0), math.sqrt(3.0) * 8.0)
+    return {
+        "seed": seed,
+        "gap_cells": [
+            len(rt_gap_cells(deployment, lattice, rt))
+            for rt in (0.4, 0.8, 1.2, 1.6)
+        ],
+    }
+
+
+def bench_sweep_scaling(
+    replicates: int = SWEEP_REPLICATES,
+    field_radius: float = SWEEP_FIELD_RADIUS,
+    worker_counts=SWEEP_WORKER_COUNTS,
+) -> dict:
+    """Wall clock + determinism of one Monte Carlo sweep per pool size."""
+    specs = [
+        (replicate_seed(7, i), field_radius) for i in range(replicates)
+    ]
+    report = {
+        "replicates": replicates,
+        "cpu_count": os.cpu_count() or 1,
+    }
+    payloads = {}
+    for workers in worker_counts:
+        runner = SweepRunner(_mc_gap_replicate, workers=workers)
+        start = time.perf_counter()
+        outcomes = runner.run(specs)
+        report[f"workers_{workers}_s"] = time.perf_counter() - start
+        payloads[workers] = json.dumps(sweep_results(outcomes))
+    first = next(iter(worker_counts))
+    report["deterministic"] = all(
+        payloads[w] == payloads[first] for w in worker_counts
+    )
+    serial = report.get("workers_1_s")
+    parallel = report.get("workers_4_s")
+    if serial and parallel:
+        report["speedup_4_vs_1"] = serial / parallel
+    return report
+
+
+def run_all(smoke: bool = False) -> dict:
+    network = build_static_network(600 if smoke else N_NODES)
+    scale = 0.1 if smoke else 1.0
     return {
         "n_nodes": len(network),
-        "engine": bench_engine_events(),
-        "radio": bench_radio_delivery(),
-        "connected_to": bench_connected_to(network),
-        "visible_sweep": bench_visible_sweep(network),
-        "neighbor_sweep": bench_neighbor_sweep(network),
+        "engine": bench_engine_events(int(200_000 * scale)),
+        "radio": bench_radio_delivery(int(50_000 * scale)),
+        "radio_disabled_tracer": bench_radio_delivery(
+            int(50_000 * scale),
+            tracer=Tracer(keep_records=False, enabled=False),
+        ),
+        "connected_to": bench_connected_to(
+            network, max(3, int(30 * scale))
+        ),
+        "visible_sweep": bench_visible_sweep(
+            network, max(2, int(10 * scale))
+        ),
+        "neighbor_sweep": bench_neighbor_sweep(
+            network, max(2, int(5 * scale))
+        ),
+        "sweep_scaling": bench_sweep_scaling(
+            replicates=4 if smoke else SWEEP_REPLICATES,
+            field_radius=40.0 if smoke else SWEEP_FIELD_RADIUS,
+        ),
     }
 
 
@@ -181,8 +275,20 @@ def test_perf_engine_artifact(results_dir):
     # over a static 2000-node network.
     assert report["connected_to"]["speedup"] >= 3.0
     assert report["visible_sweep"]["speedup"] >= 3.0
+    # Sweep payloads must not depend on how the sweep was sharded.
+    assert report["sweep_scaling"]["deterministic"]
+    # Wall-clock scaling is only meaningful with real cores to scale
+    # onto; single-core containers record honest numbers instead.
+    if report["sweep_scaling"]["cpu_count"] >= 4:
+        assert report["sweep_scaling"]["speedup_4_vs_1"] >= 3.0
 
 
 if __name__ == "__main__":
-    result = run_all()
-    save_result("BENCH_perf.json", json.dumps(result, indent=2) + "\n")
+    import sys
+
+    smoke = "--smoke" in sys.argv
+    result = run_all(smoke=smoke)
+    if smoke:
+        print(json.dumps(result, indent=2))
+    else:
+        save_result("BENCH_perf.json", json.dumps(result, indent=2) + "\n")

@@ -81,6 +81,40 @@ def build_parser() -> argparse.ArgumentParser:
         "scenario", help="run a declarative JSON scenario file"
     )
     scenario.add_argument("path", help="path to the scenario JSON")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a scenario as a Monte Carlo sweep of seeded replicates",
+    )
+    sweep.add_argument("path", help="path to the scenario JSON")
+    sweep.add_argument(
+        "--replicates",
+        type=int,
+        default=8,
+        help="number of seeded replicates (default 8)",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size; 0 runs in-process, default = cpu count",
+    )
+    sweep.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="replicates per pool task (scheduling only; never results)",
+    )
+    sweep.add_argument(
+        "--base-seed",
+        type=int,
+        default=None,
+        help="master seed for replicate derivation "
+        "(default: the scenario file's seed)",
+    )
+    sweep.add_argument(
+        "--json", metavar="PATH", help="write the aggregate report as JSON"
+    )
     return parser
 
 
@@ -211,6 +245,92 @@ def cmd_scenario(args) -> int:
     return 0 if result.ok() else 1
 
 
+def cmd_sweep(args) -> int:
+    import json as _json
+
+    from .scenario import run_scenario_replicate
+    from .sim import SweepRunner, replicate_seed
+
+    with open(args.path, "r", encoding="utf-8") as handle:
+        data = _json.load(handle)
+    base_seed = (
+        args.base_seed
+        if args.base_seed is not None
+        else int(data.get("seed", 0))
+    )
+    specs = [
+        {"data": data, "seed": replicate_seed(base_seed, i)}
+        for i in range(args.replicates)
+    ]
+    runner = SweepRunner(
+        run_scenario_replicate,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+    )
+    outcomes = runner.run(specs)
+    rows = []
+    for outcome in outcomes:
+        if outcome.ok:
+            result = outcome.result
+            rows.append(
+                [
+                    outcome.index,
+                    result["seed"],
+                    "ok" if not result["final_violations"] else "violations",
+                    f"{result['configured_at']:.0f}",
+                    len(result["perturbation_log"]),
+                    result["final_cells"],
+                    f"{outcome.elapsed:.1f}s",
+                ]
+            )
+        else:
+            rows.append(
+                [outcome.index, specs[outcome.index]["seed"], "CRASHED",
+                 "-", "-", "-", f"{outcome.elapsed:.1f}s"]
+            )
+    print(
+        ascii_table(
+            [
+                "replicate",
+                "seed",
+                "status",
+                "configured at",
+                "perturbations",
+                "final cells",
+                "wall",
+            ],
+            rows,
+            title=(
+                f"Sweep: {args.replicates} replicates, "
+                f"workers={runner.resolve_workers(len(specs))}"
+            ),
+        )
+    )
+    healthy = [
+        o.result
+        for o in outcomes
+        if o.ok and not o.result["final_violations"]
+    ]
+    crashed = [o for o in outcomes if not o.ok]
+    print(
+        f"\n{len(healthy)}/{len(outcomes)} healthy, "
+        f"{len(crashed)} crashed"
+    )
+    for outcome in crashed:
+        print(f"\nreplicate {outcome.index} failed:\n{outcome.error}")
+    if args.json:
+        report = {
+            "base_seed": base_seed,
+            "replicates": [
+                o.result if o.ok else {"error": o.error} for o in outcomes
+            ],
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            _json.dump(report, handle, indent=2)
+        print(f"\nJSON written to {args.json}")
+    return 0 if len(healthy) == len(outcomes) else 1
+
+
 def cmd_figures(args) -> int:
     ratios = [0.005 + 0.0025 * i for i in range(19)]
     fig7 = figure7_curve(ratios, args.ideal_radius, 10.0)
@@ -236,6 +356,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_figures(args)
     if args.command == "scenario":
         return cmd_scenario(args)
+    if args.command == "sweep":
+        return cmd_sweep(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 

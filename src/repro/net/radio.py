@@ -65,7 +65,9 @@ class Radio:
             )
         self.network = network
         self.sim = sim
-        self.tracer = tracer or Tracer(keep_records=False)
+        # The fallback tracer is a pure sink nobody reads; disable it so
+        # the three emits per broadcast hop cost one predicate each.
+        self.tracer = tracer or Tracer(keep_records=False, enabled=False)
         self.broadcast_loss = broadcast_loss
         self.hop_latency = hop_latency
         self._loss_rng = (rng or RngStreams(0)).stream("radio.loss")

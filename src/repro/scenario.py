@@ -43,7 +43,27 @@ from .geometry import Vec2
 from .net import grid_jitter, poisson_disk, uniform_disk
 from .sim import RngStreams
 
-__all__ = ["Scenario", "ScenarioResult", "run_scenario"]
+__all__ = [
+    "KNOWN_PERTURBATION_KINDS",
+    "Scenario",
+    "ScenarioResult",
+    "run_scenario",
+    "run_scenario_replicate",
+]
+
+#: Perturbation kinds ``_apply_perturbation`` understands; validated at
+#: parse time so a typo fails before the expensive configuration phase.
+KNOWN_PERTURBATION_KINDS = frozenset(
+    {
+        "kill_head",
+        "kill_node",
+        "region_kill",
+        "join",
+        "corrupt_head",
+        "move_big",
+        "move_node",
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -62,6 +82,15 @@ class ScenarioResult:
     def ok(self) -> bool:
         """Whether the scenario ended in a healthy state."""
         return not self.final_violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible representation (for sweep aggregation)."""
+        return {
+            "configured_at": self.configured_at,
+            "perturbation_log": [dict(e) for e in self.perturbation_log],
+            "final_violations": list(self.final_violations),
+            "final_cells": self.final_cells,
+        }
 
 
 @dataclass(frozen=True)
@@ -84,6 +113,11 @@ class Scenario:
             if "kind" not in p or "at" not in p:
                 raise ValueError(
                     f"perturbation needs 'kind' and 'at': {p!r}"
+                )
+            if p["kind"] not in KNOWN_PERTURBATION_KINDS:
+                raise ValueError(
+                    f"unknown perturbation kind {p['kind']!r}; "
+                    f"known kinds: {sorted(KNOWN_PERTURBATION_KINDS)}"
                 )
         return Scenario(
             seed=int(data.get("seed", 0)),
@@ -121,14 +155,26 @@ class Scenario:
         raise ValueError(f"unknown deployment kind {kind!r}")
 
 
+def _non_big_head(sim: Gs3DynamicSimulation, kind: str):
+    victim = next(
+        (v for v in sim.snapshot().heads.values() if not v.is_big), None
+    )
+    if victim is None:
+        # A bare ``next(...)`` here would leak an opaque StopIteration
+        # out of the perturbation schedule.
+        raise ValueError(
+            f"perturbation {kind!r} needs a non-big head, but the "
+            "structure has none (network too small or fully collapsed)"
+        )
+    return victim
+
+
 def _apply_perturbation(
     sim: Gs3DynamicSimulation, spec: Dict[str, Any]
 ) -> str:
     kind = spec["kind"]
     if kind == "kill_head":
-        victim = next(
-            v for v in sim.snapshot().heads.values() if not v.is_big
-        )
+        victim = _non_big_head(sim, kind)
         sim.kill_node(victim.node_id)
         return f"killed head {victim.node_id}"
     if kind == "kill_node":
@@ -142,9 +188,7 @@ def _apply_perturbation(
         node_id = sim.add_node(Vec2(*spec["position"]))
         return f"joined node {node_id}"
     if kind == "corrupt_head":
-        victim = next(
-            v for v in sim.snapshot().heads.values() if not v.is_big
-        )
+        victim = _non_big_head(sim, kind)
         sim.corrupt_node(victim.node_id)
         return f"corrupted head {victim.node_id}"
     if kind == "move_big":
@@ -212,3 +256,23 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
         final_violations=violations,
         final_cells=len(final.heads),
     )
+
+
+def run_scenario_replicate(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Picklable sweep worker: one seeded replicate of a scenario.
+
+    ``spec`` is ``{"data": <scenario dict>, "seed": <int>}`` — plain
+    data so it crosses process boundaries.  The replicate runs the
+    scenario with its ``seed`` overridden and returns the result as a
+    JSON-compatible dict (seed included, wall timing excluded — the
+    sweep layer records timing separately so payloads stay
+    deterministic).  Used by ``repro sweep`` via
+    :class:`repro.sim.SweepRunner`.
+    """
+    data = dict(spec["data"])
+    seed = int(spec["seed"])
+    data["seed"] = seed
+    result = run_scenario(Scenario.from_dict(data))
+    payload = result.to_dict()
+    payload["seed"] = seed
+    return payload

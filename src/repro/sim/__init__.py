@@ -2,6 +2,15 @@
 
 from .engine import Event, EventHandle, PeriodicTimer, SimulationError, Simulator
 from .metrics import MetricSet, Summary
+from .parallel import (
+    ReplicateOutcome,
+    SweepError,
+    SweepRunner,
+    replicate_seed,
+    replicate_streams,
+    run_sweep,
+    sweep_results,
+)
 from .rng import RngStreams, derive_seed
 from .tracing import TraceRecord, Tracer
 
@@ -13,6 +22,13 @@ __all__ = [
     "Simulator",
     "MetricSet",
     "Summary",
+    "ReplicateOutcome",
+    "SweepError",
+    "SweepRunner",
+    "replicate_seed",
+    "replicate_streams",
+    "run_sweep",
+    "sweep_results",
     "RngStreams",
     "derive_seed",
     "TraceRecord",

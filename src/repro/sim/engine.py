@@ -11,6 +11,15 @@ Virtual time is measured in abstract *ticks*; the network layer charges
 one tick per local message exchange, so convergence times measured in
 ticks are directly comparable to the paper's diffusion-time bounds
 (theta(D_b), O(D_p), ...).
+
+Performance notes: heap entries are plain ``(time, seq, event)``
+tuples, so ``heapq`` orders them with C tuple comparison and never
+falls back to rich comparison on the event record itself.  ``Event``
+is a ``__slots__`` record (no dict, no dataclass ``__eq__``/``__lt__``
+machinery), and the ``run`` loop binds the heap operations locally —
+together these roughly double raw dispatch throughput over the
+previous ``@dataclass(order=True)`` implementation (see
+``benchmarks/results/BENCH_perf.json``).
 """
 
 from __future__ import annotations
@@ -18,8 +27,8 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
 
 __all__ = [
     "Event",
@@ -34,37 +43,45 @@ class SimulationError(RuntimeError):
     """Raised for invalid scheduling requests or runaway simulations."""
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.  Ordered by ``(time, seq)``."""
+    """A scheduled callback, doubling as its own cancellation handle.
 
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    Heap ordering lives in the ``(time, seq)`` tuple wrapped around the
+    record, not on the record itself (``seq`` breaks ties, so the
+    record is never compared).  ``cancelled`` and ``consumed`` are
+    mutually exclusive: an event is *pending* until it is either
+    cancelled (before it runs) or consumed (when the simulator pops and
+    executes it).  Folding the handle into the record keeps the
+    schedule path at one allocation per event.
+    """
 
+    __slots__ = ("time", "callback", "cancelled", "consumed", "_sim")
 
-class EventHandle:
-    """Cancellation handle for a scheduled event."""
-
-    __slots__ = ("_event",)
-
-    def __init__(self, event: Event):
-        self._event = event
-
-    @property
-    def time(self) -> float:
-        """Scheduled execution time."""
-        return self._event.time
+    def __init__(
+        self, sim: "Simulator", time: float, callback: Callable[[], None]
+    ):
+        self._sim = sim
+        self.time = time
+        self.callback = callback
+        self.cancelled = False
+        self.consumed = False
 
     @property
     def active(self) -> bool:
-        """Whether the event is still pending."""
-        return not self._event.cancelled
+        """Whether the event is still pending (not cancelled, not yet
+        executed)."""
+        return not self.cancelled and not self.consumed
 
     def cancel(self) -> None:
         """Cancel the event; a no-op if it already ran or was cancelled."""
-        self._event.cancelled = True
+        if not self.cancelled and not self.consumed:
+            self.cancelled = True
+            self._sim._live -= 1
+
+
+#: The object :meth:`Simulator.schedule` returns.  Kept as a distinct
+#: name for callers that only care about the cancel/active surface.
+EventHandle = Event
 
 
 class Simulator:
@@ -77,10 +94,11 @@ class Simulator:
     """
 
     def __init__(self, max_events: int = 50_000_000):
-        self._queue: List[Event] = []
+        self._queue: List[Tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._now = 0.0
         self._executed = 0
+        self._live = 0
         self._max_events = max_events
         self._running = False
 
@@ -98,30 +116,45 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still pending (excluding cancelled ones)."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of events still pending (excluding cancelled ones).
+
+        O(1): a live counter maintained on schedule/cancel/execute, not
+        a heap scan — this is polled inside convergence loops.
+        """
+        return self._live
 
     # -- scheduling --------------------------------------------------------
 
     def schedule(
-        self, delay: float, callback: Callable[[], None]
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        _push=heapq.heappush,
     ) -> EventHandle:
         """Schedule ``callback`` to run ``delay`` ticks from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past: delay={delay}")
-        return self.schedule_at(self._now + delay, callback)
+        time = self._now + delay
+        event = Event(self, time, callback)
+        _push(self._queue, (time, next(self._seq), event))
+        self._live += 1
+        return event
 
     def schedule_at(
-        self, time: float, callback: Callable[[], None]
+        self,
+        time: float,
+        callback: Callable[[], None],
+        _push=heapq.heappush,
     ) -> EventHandle:
         """Schedule ``callback`` at absolute virtual time ``time``."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time} before now={self._now}"
             )
-        event = Event(time, next(self._seq), callback)
-        heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        event = Event(self, time, callback)
+        _push(self._queue, (time, next(self._seq), event))
+        self._live += 1
+        return event
 
     def call_soon(self, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` at the current time (after pending
@@ -137,11 +170,14 @@ class Simulator:
             ``True`` if an event was executed, ``False`` if the queue
             was empty.
         """
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            time, _seq, event = heapq.heappop(queue)
             if event.cancelled:
                 continue
-            self._now = event.time
+            event.consumed = True
+            self._live -= 1
+            self._now = time
             self._executed += 1
             if self._executed > self._max_events:
                 raise SimulationError(
@@ -161,15 +197,48 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is not re-entrant")
         self._running = True
+        queue = self._queue
+        pop = heapq.heappop
+        max_events = self._max_events
         try:
-            while self._queue:
-                next_event = self._peek()
-                if next_event is None:
-                    break
-                if until is not None and next_event.time > until:
-                    self._now = until
-                    break
-                self.step()
+            if until is None:
+                # Drain-the-queue path: no deadline check, so pop
+                # directly instead of peeking first.
+                while queue:
+                    time, _seq, event = pop(queue)
+                    if event.cancelled:
+                        continue
+                    event.consumed = True
+                    self._live -= 1
+                    self._now = time
+                    self._executed += 1
+                    if self._executed > max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; "
+                            "likely a runaway protocol loop"
+                        )
+                    event.callback()
+            else:
+                while queue:
+                    head = queue[0]
+                    event = head[2]
+                    if event.cancelled:
+                        pop(queue)
+                        continue
+                    if head[0] > until:
+                        self._now = until
+                        break
+                    pop(queue)
+                    event.consumed = True
+                    self._live -= 1
+                    self._now = head[0]
+                    self._executed += 1
+                    if self._executed > max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; "
+                            "likely a runaway protocol loop"
+                        )
+                    event.callback()
         finally:
             self._running = False
         if until is not None and self._now < until and not self._queue:
@@ -181,9 +250,14 @@ class Simulator:
         return self.run(until=self._now + duration)
 
     def _peek(self) -> Optional[Event]:
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0] if self._queue else None
+        queue = self._queue
+        while queue:
+            event = queue[0][2]
+            if event.cancelled:
+                heapq.heappop(queue)
+                continue
+            return event
+        return None
 
     def next_event_time(self) -> Optional[float]:
         """Timestamp of the next pending event, or ``None``."""
@@ -253,8 +327,18 @@ class PeriodicTimer:
 
     @property
     def active(self) -> bool:
-        """Whether the timer is armed."""
-        return not self._stopped and self._handle is not None
+        """Whether a future firing is pending.
+
+        Consistent with :attr:`EventHandle.active`: ``True`` only while
+        the next-firing event is actually scheduled and uncancelled
+        (inside the callback itself the old firing is consumed and the
+        next not yet armed, so ``active`` is momentarily ``False``).
+        """
+        return (
+            not self._stopped
+            and self._handle is not None
+            and self._handle.active
+        )
 
     def _fire(self) -> None:
         if self._stopped:

@@ -1,0 +1,221 @@
+"""Parallel execution of seeded replicate sweeps.
+
+Every paper figure we reproduce is a Monte Carlo sweep of independent
+seeded replicates (Fig 7/8 validation, healing locality, ablations,
+baseline comparisons).  Those replicates share nothing — each builds
+its own deployment, simulator, and rng streams from a seed — so they
+shard cleanly across processes.  :class:`SweepRunner` is the one
+execution path for all of them:
+
+* replicates are described by picklable *specs* and executed by a
+  picklable module-level function ``fn(spec) -> result``;
+* per-replicate rng seeds derive deterministically from a master seed
+  via :func:`replicate_seed` (SHA-256, like every other stream in
+  :mod:`repro.sim.rng`) — worker count and chunking never touch the
+  random state a replicate sees;
+* aggregated results come back **ordered by replicate index**, byte
+  identical no matter how the sweep was sharded (``workers=0``, 1, or
+  N; any chunk size);
+* a crashed replicate is *captured* (traceback + timing in its
+  :class:`ReplicateOutcome`), not propagated — one bad seed does not
+  kill a 10k-replicate sweep;
+* ``workers=0`` runs everything in-process through the very same code
+  path, for debugging and for environments without ``fork``.
+
+Wall-clock timing is deliberately kept out of the deterministic
+payload: ``ReplicateOutcome.result`` is reproducible, ``elapsed`` is
+measurement metadata.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from .rng import RngStreams, derive_seed
+
+__all__ = [
+    "ReplicateOutcome",
+    "SweepError",
+    "SweepRunner",
+    "replicate_seed",
+    "replicate_streams",
+    "run_sweep",
+    "sweep_results",
+]
+
+
+class SweepError(RuntimeError):
+    """Raised when failed replicates are unwrapped via :func:`sweep_results`."""
+
+
+def replicate_seed(master_seed: int, index: int) -> int:
+    """The deterministic seed of replicate ``index`` in a sweep.
+
+    Derived with the same SHA-256 scheme as named rng streams, so a
+    sweep's replicate seeds are stable across machines, processes, and
+    Python hash randomisation.
+    """
+    return derive_seed(master_seed, f"replicate:{index}")
+
+
+def replicate_streams(master_seed: int, index: int) -> RngStreams:
+    """Ready-to-use :class:`RngStreams` for replicate ``index``."""
+    return RngStreams(replicate_seed(master_seed, index))
+
+
+@dataclass(frozen=True)
+class ReplicateOutcome:
+    """What happened to one replicate of a sweep.
+
+    ``result`` is the worker function's return value when ``ok``;
+    ``error`` carries the formatted traceback when the replicate
+    raised.  ``elapsed`` is the wall-clock seconds spent inside the
+    worker function (metadata — excluded from deterministic payloads).
+    """
+
+    index: int
+    ok: bool
+    result: Any = None
+    error: Optional[str] = None
+    elapsed: float = 0.0
+
+
+def _run_chunk(
+    fn: Callable[[Any], Any], chunk: Sequence[Tuple[int, Any]]
+) -> List[Tuple[int, bool, Any, float]]:
+    """Execute one shard of (index, spec) pairs; never raises."""
+    out: List[Tuple[int, bool, Any, float]] = []
+    for index, spec in chunk:
+        start = time.perf_counter()
+        try:
+            result = fn(spec)
+        except Exception:
+            out.append(
+                (index, False, traceback.format_exc(),
+                 time.perf_counter() - start)
+            )
+        else:
+            out.append((index, True, result, time.perf_counter() - start))
+    return out
+
+
+class SweepRunner:
+    """Shards seeded replicates across a process pool.
+
+    Args:
+        fn: picklable ``spec -> result`` worker (module-level function).
+        workers: ``0`` runs in-process (same code path, no pool);
+            ``None`` uses ``os.cpu_count()``; otherwise the pool size.
+        chunk_size: replicates per pool task.  ``None`` picks roughly
+            four chunks per worker.  Chunking affects scheduling
+            granularity only — never results.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[Any], Any],
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ):
+        if workers is not None and workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.fn = fn
+        self.workers = workers
+        self.chunk_size = chunk_size
+
+    def resolve_workers(self, n_specs: int) -> int:
+        """The pool size actually used for ``n_specs`` replicates."""
+        workers = self.workers
+        if workers is None:
+            workers = os.cpu_count() or 1
+        return max(0, min(workers, n_specs))
+
+    def _chunks(
+        self, specs: Sequence[Any], workers: int
+    ) -> List[List[Tuple[int, Any]]]:
+        indexed = list(enumerate(specs))
+        size = self.chunk_size
+        if size is None:
+            # ~4 chunks per worker balances load without flooding the
+            # pool with tiny tasks.
+            size = max(1, -(-len(indexed) // max(1, workers * 4)))
+        return [
+            indexed[i : i + size] for i in range(0, len(indexed), size)
+        ]
+
+    def run(self, specs: Sequence[Any]) -> List[ReplicateOutcome]:
+        """Execute every spec; outcomes ordered by replicate index."""
+        specs = list(specs)
+        if not specs:
+            return []
+        workers = self.resolve_workers(len(specs))
+        slots: List[Optional[ReplicateOutcome]] = [None] * len(specs)
+        if workers == 0:
+            for index, ok, payload, elapsed in _run_chunk(
+                self.fn, list(enumerate(specs))
+            ):
+                slots[index] = _outcome(index, ok, payload, elapsed)
+            return [o for o in slots if o is not None]
+
+        chunks = self._chunks(specs, workers)
+        # ``fork`` keeps worker functions defined in benchmark/test
+        # modules picklable by reference; fall back to the platform
+        # default where fork does not exist (the repro.* sweep workers
+        # are importable, so spawn works for them too).
+        methods = multiprocessing.get_all_start_methods()
+        ctx = (
+            multiprocessing.get_context("fork")
+            if "fork" in methods
+            else multiprocessing.get_context()
+        )
+        with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+            futures = [pool.submit(_run_chunk, self.fn, c) for c in chunks]
+            for chunk, future in zip(chunks, futures):
+                try:
+                    rows = future.result()
+                except Exception:
+                    # Pool-level failure (unpicklable result, dead
+                    # worker): charge it to the shard, keep sweeping.
+                    err = traceback.format_exc()
+                    rows = [(i, False, err, 0.0) for i, _ in chunk]
+                for index, ok, payload, elapsed in rows:
+                    slots[index] = _outcome(index, ok, payload, elapsed)
+        return [o for o in slots if o is not None]
+
+
+def _outcome(
+    index: int, ok: bool, payload: Any, elapsed: float
+) -> ReplicateOutcome:
+    if ok:
+        return ReplicateOutcome(index, True, result=payload, elapsed=elapsed)
+    return ReplicateOutcome(index, False, error=payload, elapsed=elapsed)
+
+
+def run_sweep(
+    fn: Callable[[Any], Any],
+    specs: Sequence[Any],
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> List[ReplicateOutcome]:
+    """One-shot :class:`SweepRunner` convenience wrapper."""
+    return SweepRunner(fn, workers=workers, chunk_size=chunk_size).run(specs)
+
+
+def sweep_results(outcomes: Sequence[ReplicateOutcome]) -> List[Any]:
+    """Unwrap results in replicate order, raising loudly on failures."""
+    failures = [o for o in outcomes if not o.ok]
+    if failures:
+        first = failures[0]
+        raise SweepError(
+            f"{len(failures)}/{len(outcomes)} replicates failed; "
+            f"first failure (replicate {first.index}):\n{first.error}"
+        )
+    return [o.result for o in outcomes]

@@ -57,11 +57,25 @@ class Tracer:
     ``truncated`` flag flips to ``True`` and a one-shot
     ``trace.capacity`` counter is recorded the first time a record is
     dropped.
+
+    Fast-path contract: when ``enabled`` is ``False`` nothing is
+    active — no records, no counters, no listeners — and :meth:`emit`
+    returns after a single predicate.  This is the cheap-disable path
+    for emit-heavy callers (``Radio`` emits up to three records per
+    broadcast hop).  Whenever the tracer is enabled, counters and
+    ``last_time_by_category`` are exact — the fast path never drops a
+    subset of an enabled tracer's accounting.
     """
 
-    def __init__(self, keep_records: bool = True, capacity: int = 2_000_000):
+    def __init__(
+        self,
+        keep_records: bool = True,
+        capacity: int = 2_000_000,
+        enabled: bool = True,
+    ):
         self.keep_records = keep_records
         self.capacity = capacity
+        self.enabled = enabled
         self.records: List[TraceRecord] = []
         self.counts: Counter = Counter()
         self.last_time_by_category: Dict[str, float] = {}
@@ -75,7 +89,9 @@ class Tracer:
         node: Optional[int] = None,
         **details: Any,
     ) -> None:
-        """Record an occurrence."""
+        """Record an occurrence (one-predicate no-op when disabled)."""
+        if not self.enabled:
+            return
         self.counts[category] += 1
         self.last_time_by_category[category] = time
         record: Optional[TraceRecord] = None

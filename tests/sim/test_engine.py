@@ -88,6 +88,59 @@ class TestCancellation:
         assert handle.time == 4.5
 
 
+class TestHandleLifecycle:
+    def test_active_means_pending(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        assert handle.active
+        sim.run()
+        # Executed events are no longer pending, even though they were
+        # never cancelled.
+        assert not handle.active
+
+    def test_cancel_after_execution_is_noop(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        handle.cancel()
+        assert not handle.active
+        assert sim.pending_events == 0
+
+    def test_pending_events_counter(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i), lambda: None) for i in range(5)]
+        assert sim.pending_events == 5
+        handles[0].cancel()
+        handles[0].cancel()  # idempotent: one decrement only
+        assert sim.pending_events == 4
+        sim.step()
+        assert sim.pending_events == 3
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_timer_active_consistent_with_handle(self):
+        sim = Simulator()
+        timer = PeriodicTimer(sim, 1.0, lambda: None)
+        assert not timer.active
+        timer.start()
+        assert timer.active
+        sim.run(until=3.5)
+        assert timer.active  # rearmed after each firing
+        timer.stop()
+        assert not timer.active
+
+    def test_timer_inactive_after_stopiteration(self):
+        sim = Simulator()
+
+        def tick():
+            raise StopIteration
+
+        timer = PeriodicTimer(sim, 1.0, tick).start()
+        sim.run(until=5.0)
+        assert not timer.active
+        assert sim.pending_events == 0
+
+
 class TestRunControl:
     def test_run_until_stops_clock(self):
         sim = Simulator()

@@ -1,0 +1,128 @@
+"""Property tests: the tuple-heap engine vs a reference model.
+
+The PR-2 engine swapped ``@dataclass(order=True)`` heap entries for
+plain ``(time, seq, event)`` tuples with ``__slots__`` records and a
+live-event counter.  These properties pin the semantics the rest of
+the system relies on:
+
+* timestamp order with FIFO among equal timestamps;
+* cancellation (before run, mid-run from callbacks, after run) never
+  executes a cancelled event and never corrupts the pending counter;
+* ``EventHandle.active`` means "still pending" — false after the event
+  executes, not just after cancellation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+
+#: A small delay alphabet forces plenty of equal-timestamp collisions.
+DELAYS = st.sampled_from([0.0, 0.5, 1.0, 1.0, 1.0, 2.0, 3.5])
+
+
+@st.composite
+def sweep_case(draw):
+    n = draw(st.integers(min_value=1, max_value=30))
+    delays = draw(st.lists(DELAYS, min_size=n, max_size=n))
+    pre_cancels = draw(st.sets(st.integers(0, n - 1), max_size=n))
+    # Optional mid-run action: when event i executes it cancels event j.
+    cancel_map = draw(
+        st.dictionaries(
+            st.integers(0, n - 1), st.integers(0, n - 1), max_size=n
+        )
+    )
+    return delays, pre_cancels, cancel_map
+
+
+def reference_execution(delays, pre_cancels, cancel_map):
+    """Pure-python model: time order, FIFO ties, cancel-on-execute."""
+    order = sorted(range(len(delays)), key=lambda i: (delays[i], i))
+    cancelled = set(pre_cancels)
+    executed = []
+    for i in order:
+        if i in cancelled:
+            continue
+        executed.append(i)
+        target = cancel_map.get(i)
+        if target is not None and target not in executed:
+            cancelled.add(target)
+    return executed
+
+
+@given(sweep_case())
+@settings(max_examples=200, deadline=None)
+def test_execution_matches_reference_model(case):
+    delays, pre_cancels, cancel_map = case
+    n = len(delays)
+    sim = Simulator()
+    executed = []
+    handles = []
+
+    def make_callback(i):
+        def callback():
+            executed.append(i)
+            target = cancel_map.get(i)
+            if target is not None:
+                handles[target].cancel()
+
+        return callback
+
+    for i in range(n):
+        handles.append(sim.schedule(delays[i], make_callback(i)))
+    for i in pre_cancels:
+        handles[i].cancel()
+    assert sim.pending_events == n - len(pre_cancels)
+
+    sim.run()
+
+    assert executed == reference_execution(delays, pre_cancels, cancel_map)
+    # The live counter drained exactly; no double decrements anywhere.
+    assert sim.pending_events == 0
+    # ``active`` means still pending: false for executed AND cancelled.
+    assert all(not h.active for h in handles)
+    # Cancelling after the fact is a no-op and cannot corrupt the
+    # counter into negative territory.
+    for h in handles:
+        h.cancel()
+    assert sim.pending_events == 0
+
+
+@given(st.lists(DELAYS, min_size=1, max_size=25))
+@settings(max_examples=100, deadline=None)
+def test_fifo_among_equal_timestamps(delays):
+    sim = Simulator()
+    executed = []
+    for i, delay in enumerate(delays):
+        sim.schedule(delay, lambda i=i: executed.append(i))
+    sim.run()
+    assert executed == sorted(
+        range(len(delays)), key=lambda i: (delays[i], i)
+    )
+
+
+@given(st.data())
+@settings(max_examples=100, deadline=None)
+def test_pending_counter_tracks_brute_force(data):
+    """Interleave schedule/cancel/step; the O(1) counter always equals
+    the brute-force count of live events."""
+    sim = Simulator()
+    handles = []
+    live = 0
+    for _ in range(data.draw(st.integers(1, 40))):
+        action = data.draw(st.sampled_from(["schedule", "cancel", "step"]))
+        if action == "schedule":
+            handles.append(
+                sim.schedule(data.draw(DELAYS), lambda: None)
+            )
+            live += 1
+        elif action == "cancel" and handles:
+            handle = handles[data.draw(st.integers(0, len(handles) - 1))]
+            if handle.active:
+                live -= 1
+            handle.cancel()
+        elif action == "step":
+            if sim.step():
+                live -= 1
+        assert sim.pending_events == live
+        assert sim.pending_events == sum(1 for h in handles if h.active)

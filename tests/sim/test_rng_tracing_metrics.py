@@ -103,6 +103,45 @@ class TestTracer:
         assert tracer.records == []
 
 
+class TestTracerFastPath:
+    def test_disabled_tracer_drops_everything(self):
+        tracer = Tracer(enabled=False)
+        seen = []
+        tracer.subscribe(seen.append)
+        tracer.emit(1.0, "x", node=1)
+        assert tracer.records == []
+        assert tracer.count("x") == 0
+        assert tracer.last_time("x") is None
+        assert seen == []
+
+    def test_reenabling_restores_exact_counters(self):
+        tracer = Tracer(enabled=False)
+        tracer.emit(1.0, "x")
+        tracer.enabled = True
+        tracer.emit(2.0, "x")
+        tracer.emit(3.0, "x")
+        # Counters are exact over the enabled period.
+        assert tracer.count("x") == 2
+        assert tracer.last_time("x") == 3.0
+
+    def test_radio_fallback_tracer_is_disabled(self):
+        from repro.geometry import Vec2
+        from repro.net import Network, Radio
+        from repro.sim import Simulator
+
+        net = Network(cell_size=50.0)
+        a = net.add_node(Vec2(0.0, 0.0), 50.0)
+        b = net.add_node(Vec2(10.0, 0.0), 50.0)
+        sim = Simulator()
+        radio = Radio(net, sim)
+        assert not radio.tracer.enabled
+        radio.register(b.node_id, lambda p, s: None)
+        assert radio.unicast(a.node_id, b.node_id, "x")
+        sim.run()
+        # Delivery happened; the sink tracer stayed empty.
+        assert radio.tracer.counts == {}
+
+
 class TestTracerCapacity:
     def test_truncation_signalled(self):
         tracer = Tracer(capacity=3)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -29,6 +31,34 @@ class TestParser:
         assert args.perturbation == "corruption"
         with pytest.raises(SystemExit):
             build_parser().parse_args(["heal", "--perturbation", "nope"])
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep", "scenario.json"])
+        assert args.command == "sweep"
+        assert args.replicates == 8
+        assert args.workers is None
+        assert args.chunk_size is None
+        assert args.base_seed is None
+
+    def test_sweep_options(self):
+        args = build_parser().parse_args(
+            [
+                "sweep",
+                "s.json",
+                "--replicates",
+                "4",
+                "--workers",
+                "0",
+                "--chunk-size",
+                "2",
+                "--base-seed",
+                "9",
+            ]
+        )
+        assert args.replicates == 4
+        assert args.workers == 0
+        assert args.chunk_size == 2
+        assert args.base_seed == 9
 
 
 class TestCommands:
@@ -67,3 +97,46 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 0
         assert "healing time" in out
+
+    def test_sweep(self, tmp_path, capsys):
+        scenario_path = tmp_path / "scenario.json"
+        scenario_path.write_text(
+            json.dumps(
+                {
+                    "seed": 5,
+                    "config": {
+                        "ideal_radius": 100.0,
+                        "radius_tolerance": 25.0,
+                    },
+                    "deployment": {
+                        "kind": "uniform",
+                        "field_radius": 220.0,
+                        "n_nodes": 500,
+                    },
+                    "perturbations": [],
+                    "settle_window": 100.0,
+                }
+            )
+        )
+        report_path = tmp_path / "report.json"
+        code = main(
+            [
+                "sweep",
+                str(scenario_path),
+                "--replicates",
+                "2",
+                "--workers",
+                "0",
+                "--json",
+                str(report_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 replicates" in out
+        assert "2/2 healthy" in out
+        report = json.loads(report_path.read_text())
+        assert len(report["replicates"]) == 2
+        # Distinct derived seeds per replicate.
+        seeds = [r["seed"] for r in report["replicates"]]
+        assert len(set(seeds)) == 2

@@ -100,12 +100,26 @@ class TestExecution:
         for entry in result.perturbation_log:
             assert entry["healing_time"] >= 0.0
 
-    def test_unknown_perturbation_kind(self):
-        scenario = Scenario.from_dict(
-            base_scenario(perturbations=[{"kind": "meteor", "at": 10.0}])
+    def test_unknown_perturbation_kind_rejected_at_parse_time(self):
+        # A typo'd kind must fail before the expensive configuration
+        # phase, not mid-run.
+        with pytest.raises(ValueError, match="unknown perturbation kind"):
+            Scenario.from_dict(
+                base_scenario(perturbations=[{"kind": "meteor", "at": 10.0}])
+            )
+
+    def test_kill_head_without_candidate_is_a_clear_error(self):
+        from types import SimpleNamespace
+
+        from repro.scenario import _non_big_head
+
+        big_only = SimpleNamespace(
+            snapshot=lambda: SimpleNamespace(
+                heads={0: SimpleNamespace(node_id=0, is_big=True)}
+            )
         )
-        with pytest.raises(ValueError):
-            run_scenario(scenario)
+        with pytest.raises(ValueError, match="needs a non-big head"):
+            _non_big_head(big_only, "kill_head")
 
     def test_mobile_scenario_moves_big(self):
         scenario = Scenario.from_dict(
