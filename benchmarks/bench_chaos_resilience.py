@@ -1,0 +1,121 @@
+"""BENCH — chaos resilience vs channel-loss burstiness.
+
+Measures how the GS3-D structure's ability to self-heal from a chaos
+campaign (Poisson kills / joins / corruptions over a 420-node field)
+degrades as broadcast loss gets burstier.  Four channels are compared
+at (roughly) matched *average* loss, isolating burstiness:
+
+* ``clean`` — no channel faults (the reliable-broadcast baseline);
+* ``bernoulli`` — independent 9% loss per delivery;
+* ``ge_mild`` — Gilbert–Elliott, ~9% stationary loss in short bursts
+  (expected burst length 2 deliveries);
+* ``ge_bursty`` — Gilbert–Elliott, ~9% stationary loss in long bursts
+  (expected burst length 10 deliveries).
+
+Each channel runs ``CAMPAIGNS`` seeded replicates through
+:func:`repro.perturb.run_chaos_campaigns`; the emitted summary per
+channel is the :func:`repro.perturb.summarize_verdicts` shape —
+``healed_fraction``, nearest-rank healing-time percentiles
+(p50/p90/max), timeout and crash counts — plus the channel's
+configured stationary loss.
+
+Results land in ``results/BENCH_chaos.json``.  Also runnable
+standalone::
+
+    PYTHONPATH=src python benchmarks/bench_chaos_resilience.py [--smoke]
+
+``--smoke`` shrinks the field and campaign count to a CI-sized run and
+writes nothing.
+"""
+
+import json
+
+import pytest
+
+from repro.net.faults import GilbertElliottConfig
+from repro.perturb import run_chaos_campaigns, summarize_verdicts
+
+from conftest import save_result
+
+CAMPAIGNS = 8
+BASE_SEED = 11
+
+#: Channels at matched ~9% average loss, increasing burstiness.
+CHANNELS = {
+    "clean": None,
+    "bernoulli": {"bernoulli_loss": 0.09},
+    "ge_mild": {
+        "gilbert_elliott": {"p_enter_burst": 0.05, "p_exit_burst": 0.5}
+    },
+    "ge_bursty": {
+        "gilbert_elliott": {"p_enter_burst": 0.01, "p_exit_burst": 0.1}
+    },
+}
+
+
+def campaign_data(channel, smoke: bool = False) -> dict:
+    data = {
+        "seed": BASE_SEED,
+        "config": {"ideal_radius": 100.0, "radius_tolerance": 25.0},
+        "deployment": {
+            "kind": "uniform",
+            "field_radius": 160.0 if smoke else 200.0,
+            "n_nodes": 260 if smoke else 420,
+        },
+        "chaos": {
+            "duration": 400.0 if smoke else 800.0,
+            "kill_rate": 0.004,
+            "join_rate": 0.002,
+            "corruption_rate": 0.001,
+            "heal_budget": 30_000.0,
+        },
+    }
+    if channel is not None:
+        data["channel"] = channel
+    return data
+
+
+def _stationary_loss(channel) -> float:
+    if channel is None:
+        return 0.0
+    if "bernoulli_loss" in channel:
+        return channel["bernoulli_loss"]
+    return GilbertElliottConfig(**channel["gilbert_elliott"]).stationary_loss()
+
+
+def run_all(smoke: bool = False) -> dict:
+    report = {"campaigns": 2 if smoke else CAMPAIGNS, "channels": {}}
+    for name, channel in CHANNELS.items():
+        outcomes = run_chaos_campaigns(
+            campaign_data(channel, smoke=smoke),
+            campaigns=report["campaigns"],
+            base_seed=BASE_SEED,
+        )
+        summary = summarize_verdicts(outcomes)
+        summary["stationary_loss"] = _stationary_loss(channel)
+        report["channels"][name] = summary
+    return report
+
+
+@pytest.mark.benchmark(group="chaos_resilience")
+def test_chaos_resilience_artifact(results_dir):
+    report = run_all()
+    save_result("BENCH_chaos.json", json.dumps(report, indent=2) + "\n")
+    # No replicate may die with a traceback — crashes are harness bugs,
+    # not protocol outcomes.
+    assert all(
+        s["crashed"] == 0 for s in report["channels"].values()
+    ), report
+    # The reliable-channel baseline must heal reliably.
+    assert report["channels"]["clean"]["healed_fraction"] >= 0.75, report
+
+
+if __name__ == "__main__":
+    import sys
+
+    smoke = "--smoke" in sys.argv
+    result = run_all(smoke=smoke)
+    if smoke:
+        print(json.dumps(result, indent=2))
+    else:
+        save_result("BENCH_chaos.json", json.dumps(result, indent=2) + "\n")

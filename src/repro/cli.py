@@ -10,6 +10,16 @@ Commands:
     kill, or corruption), and report the healing outcome.
 ``figures``
     Print the analytical Figure 7 and Figure 8 series.
+``scenario`` / ``sweep``
+    Run a declarative JSON scenario once, or as a Monte Carlo sweep of
+    seeded replicates.
+``chaos``
+    Run seeded chaos campaigns (Poisson churn + channel faults) and
+    report per-campaign stabilization verdicts.
+
+Exit codes for ``sweep`` and ``chaos``: 2 when any replicate crashed
+with a traceback, 1 when all ran but some ended unhealthy/unhealed,
+0 otherwise.
 """
 
 from __future__ import annotations
@@ -114,6 +124,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--json", metavar="PATH", help="write the aggregate report as JSON"
+    )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run seeded chaos campaigns and report stabilization verdicts",
+    )
+    chaos.add_argument(
+        "path",
+        help="path to the campaign JSON (scenario-shaped, with optional "
+        "'chaos' and 'channel' blocks)",
+    )
+    chaos.add_argument(
+        "--campaigns",
+        type=int,
+        default=8,
+        help="number of seeded campaign replicates (default 8)",
+    )
+    chaos.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="override the healing budget (ticks after the chaos window)",
+    )
+    chaos.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size; 0 runs in-process, default = cpu count",
+    )
+    chaos.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="replicates per pool task (scheduling only; never results)",
+    )
+    chaos.add_argument(
+        "--base-seed",
+        type=int,
+        default=None,
+        help="master seed for campaign derivation "
+        "(default: the campaign file's seed)",
+    )
+    chaos.add_argument(
+        "--json", metavar="PATH", help="write verdicts + summary as JSON"
     )
     return parser
 
@@ -328,7 +382,103 @@ def cmd_sweep(args) -> int:
         with open(args.json, "w", encoding="utf-8") as handle:
             _json.dump(report, handle, indent=2)
         print(f"\nJSON written to {args.json}")
+    # Exit-code contract (shared with ``chaos``): 2 = at least one
+    # replicate crashed with a traceback, 1 = ran but unhealthy, 0 = ok.
+    if crashed:
+        return 2
     return 0 if len(healthy) == len(outcomes) else 1
+
+
+def cmd_chaos(args) -> int:
+    import json as _json
+
+    from .perturb import run_chaos_campaigns, summarize_verdicts
+
+    with open(args.path, "r", encoding="utf-8") as handle:
+        data = _json.load(handle)
+    if args.budget is not None:
+        data = dict(data)
+        data["chaos"] = dict(data.get("chaos", {}))
+        data["chaos"]["heal_budget"] = args.budget
+    outcomes = run_chaos_campaigns(
+        data,
+        campaigns=args.campaigns,
+        base_seed=args.base_seed,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+    )
+    rows = []
+    for outcome in outcomes:
+        if outcome.ok:
+            v = outcome.result
+            heal = (
+                f"{v['healing_time']:.0f}"
+                if v["healing_time"] is not None
+                else "-"
+            )
+            status = "healed" if v["healed"] else (
+                "TIMEOUT" if v["timed_out"] else "BROKEN"
+            )
+            rows.append(
+                [
+                    outcome.index,
+                    status,
+                    heal,
+                    v["cells_disturbed"],
+                    v["events_injected"],
+                    len(v["violations"]),
+                    f"{outcome.elapsed:.1f}s",
+                ]
+            )
+        else:
+            rows.append(
+                [outcome.index, "CRASHED", "-", "-", "-", "-",
+                 f"{outcome.elapsed:.1f}s"]
+            )
+    print(
+        ascii_table(
+            [
+                "campaign",
+                "verdict",
+                "healing time",
+                "cells disturbed",
+                "events",
+                "violations",
+                "wall",
+            ],
+            rows,
+            title=f"Chaos: {args.campaigns} campaigns",
+        )
+    )
+    summary = summarize_verdicts(outcomes)
+    times = summary["healing_time"]
+    print(
+        f"\n{summary['healed']}/{summary['campaigns']} healed "
+        f"({summary['healed_fraction']:.0%}), "
+        f"{summary['timed_out']} timed out, "
+        f"{summary['crashed']} crashed"
+    )
+    if times is not None:
+        print(
+            f"healing time p50={times['p50']:.0f} "
+            f"p90={times['p90']:.0f} max={times['max']:.0f} ticks"
+        )
+    for outcome in outcomes:
+        if not outcome.ok:
+            print(f"\ncampaign {outcome.index} crashed:\n{outcome.error}")
+    if args.json:
+        report = {
+            "summary": summary,
+            "verdicts": [
+                o.result if o.ok else {"error": o.error} for o in outcomes
+            ],
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            _json.dump(report, handle, indent=2)
+        print(f"\nJSON written to {args.json}")
+    if summary["crashed"]:
+        return 2
+    return 0 if summary["healed"] == summary["campaigns"] else 1
 
 
 def cmd_figures(args) -> int:
@@ -358,6 +508,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_scenario(args)
     if args.command == "sweep":
         return cmd_sweep(args)
+    if args.command == "chaos":
+        return cmd_chaos(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 

@@ -27,7 +27,11 @@ from .invariants import (
 )
 from .multibig import MultiBigSimulation, RegionAssignment, partition_by_big
 from .runtime import Gs3Runtime
-from .simulation import STRUCTURE_CHANGE_CATEGORIES, Gs3Simulation
+from .simulation import (
+    STRUCTURE_CHANGE_CATEGORIES,
+    Gs3Simulation,
+    StabilityReport,
+)
 from .snapshot import NodeView, StructureSnapshot, take_snapshot
 from .state import NeighborInfo, NodeStatus, ProtocolState
 
@@ -61,6 +65,7 @@ __all__ = [
     "Gs3Runtime",
     "STRUCTURE_CHANGE_CATEGORIES",
     "Gs3Simulation",
+    "StabilityReport",
     "NodeView",
     "StructureSnapshot",
     "take_snapshot",

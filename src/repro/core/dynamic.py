@@ -12,7 +12,15 @@ import math
 from typing import Callable, Dict, List, Optional, Type
 
 from ..geometry import Vec2
-from ..net import Deployment, EnergyConfig, EnergyTracker, Network, NodeId
+from ..net import (
+    ChannelFaultConfig,
+    Deployment,
+    EnergyConfig,
+    EnergyTracker,
+    JamWindow,
+    Network,
+    NodeId,
+)
 from ..sim import PeriodicTimer
 from .config import GS3Config
 from .gs3d import Gs3DynamicNode
@@ -56,6 +64,7 @@ class Gs3DynamicSimulation(Gs3Simulation):
         seed: int = 0,
         node_class: Type[Gs3StaticNode] = Gs3DynamicNode,
         keep_trace_records: bool = True,
+        channel_faults: Optional[ChannelFaultConfig] = None,
     ):
         super().__init__(
             network,
@@ -63,6 +72,7 @@ class Gs3DynamicSimulation(Gs3Simulation):
             seed=seed,
             node_class=node_class,
             keep_trace_records=keep_trace_records,
+            channel_faults=channel_faults,
         )
         self.energy: Optional[EnergyTracker] = None
         self._energy_timer: Optional[PeriodicTimer] = None
@@ -75,6 +85,7 @@ class Gs3DynamicSimulation(Gs3Simulation):
         seed: int = 0,
         node_class: Type[Gs3StaticNode] = Gs3DynamicNode,
         keep_trace_records: bool = True,
+        channel_faults: Optional[ChannelFaultConfig] = None,
     ) -> "Gs3DynamicSimulation":
         network = deployment.build_network(
             max_range=config.recommended_max_range
@@ -85,6 +96,7 @@ class Gs3DynamicSimulation(Gs3Simulation):
             seed=seed,
             node_class=node_class,
             keep_trace_records=keep_trace_records,
+            channel_faults=channel_faults,
         )
 
     # -- perturbations --------------------------------------------------
@@ -160,6 +172,36 @@ class Gs3DynamicSimulation(Gs3Simulation):
         if node is not None and hasattr(node, "on_moved"):
             node.on_moved(old, new_position)
         self.runtime.trace("perturb.move", node_id)
+
+    def jam_region(
+        self,
+        center: Vec2,
+        radius: float,
+        duration: float,
+        start: Optional[float] = None,
+    ) -> JamWindow:
+        """Jam a disk of the field: broadcasts with either endpoint in
+        the disk are dropped during ``[start, start + duration)``.
+
+        An adversarial channel perturbation (no node state is touched).
+        Installs a transparent fault model on the radio if the run was
+        configured without one, so jamming composes with any channel
+        configuration.
+        """
+        begin = self.now if start is None else start
+        window = JamWindow(
+            start=begin, end=begin + duration, center=center, radius=radius
+        )
+        self.runtime.radio.ensure_fault_model().add_jam_window(window)
+        self.runtime.tracer.emit(
+            self.runtime.sim.now,
+            "perturb.jam",
+            node=None,
+            center=(center.x, center.y),
+            radius=radius,
+            until=window.end,
+        )
+        return window
 
     # -- energy-driven death ------------------------------------------------
 

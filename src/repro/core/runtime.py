@@ -12,8 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict
 
+from typing import Optional
+
 from ..geometry import HexLattice, Vec2
-from ..net import ChannelManager, Network, NodeId, Radio
+from ..net import ChannelFaultConfig, ChannelManager, Network, NodeId, Radio
 from ..sim import RngStreams, Simulator, Tracer
 from .config import GS3Config
 
@@ -52,6 +54,7 @@ class Gs3Runtime:
         config: GS3Config,
         seed: int = 0,
         keep_trace_records: bool = True,
+        channel_faults: Optional[ChannelFaultConfig] = None,
     ) -> "Gs3Runtime":
         """Construct a runtime around an existing network.
 
@@ -59,6 +62,10 @@ class Gs3Runtime:
         configured ``GR`` orientation, mirroring the paper's step 1
         ("cover the system with a hexagonal virtual structure such that
         the big node is at the geometric center of some cell").
+
+        ``channel_faults`` installs an adversarial channel model on the
+        radio; combine it with ``config.broadcast_loss == 0`` (Bernoulli
+        loss belongs inside the fault model when both are wanted).
         """
         sim = Simulator()
         tracer = Tracer(keep_records=keep_trace_records)
@@ -70,6 +77,11 @@ class Gs3Runtime:
             rng=rng,
             broadcast_loss=config.broadcast_loss,
             hop_latency=config.hop_latency,
+            faults=(
+                channel_faults.build(rng)
+                if channel_faults is not None
+                else None
+            ),
         )
         channel = ChannelManager(sim, grant_delay=config.hop_latency)
         lattice = HexLattice(

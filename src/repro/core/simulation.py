@@ -16,16 +16,22 @@ public API::
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Type
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Type
 
-from ..net import Deployment, Network
+from ..geometry import Disk
+from ..net import ChannelFaultConfig, Deployment, Network
 from ..sim import Tracer
 from .config import GS3Config
 from .gs3s import Gs3StaticNode
 from .runtime import Gs3Runtime
 from .snapshot import StructureSnapshot, take_snapshot
 
-__all__ = ["Gs3Simulation", "STRUCTURE_CHANGE_CATEGORIES"]
+__all__ = [
+    "Gs3Simulation",
+    "StabilityReport",
+    "STRUCTURE_CHANGE_CATEGORIES",
+]
 
 #: Trace categories that indicate the head-level structure changed.
 #: ``run_until_stable`` declares convergence when none of these have
@@ -44,6 +50,52 @@ STRUCTURE_CHANGE_CATEGORIES = (
 )
 
 
+@dataclass(frozen=True)
+class StabilityReport:
+    """Outcome of a :meth:`Gs3Simulation.stabilize` attempt.
+
+    The non-raising companion of :meth:`Gs3Simulation.run_until_stable`:
+    instead of a bare ``TimeoutError`` a failed stabilisation comes back
+    with diagnostics — which invariants are still violated, what kind of
+    structure change fired last (and when), and how much work is still
+    queued — so chaos campaigns and sweeps can record *why* a replicate
+    did not heal.
+    """
+
+    #: Whether structure changes ceased within the budget.
+    stable: bool
+    #: Virtual time when the check ended.
+    time: float
+    #: The convergence instant (time of the last structure change; the
+    #: end time when no change ever occurred).  ``None`` on timeout.
+    converged_at: Optional[float]
+    #: Category of the most recent structure-changing trace, if any.
+    last_change_category: Optional[str]
+    #: Time of that trace, if any.
+    last_change_time: Optional[float]
+    #: Events still pending on the simulator when the check ended.
+    pending_events: int
+    #: Invariant violations at the end (empty when not checked).
+    violations: Tuple[str, ...] = ()
+
+    @property
+    def healed(self) -> bool:
+        """Stable *and* invariant-clean — the self-healing verdict."""
+        return self.stable and not self.violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible representation (for verdict payloads)."""
+        return {
+            "stable": self.stable,
+            "time": self.time,
+            "converged_at": self.converged_at,
+            "last_change_category": self.last_change_category,
+            "last_change_time": self.last_change_time,
+            "pending_events": self.pending_events,
+            "violations": list(self.violations),
+        }
+
+
 class Gs3Simulation:
     """One protocol run: network + runtime + node programs."""
 
@@ -54,12 +106,17 @@ class Gs3Simulation:
         seed: int = 0,
         node_class: Type[Gs3StaticNode] = Gs3StaticNode,
         keep_trace_records: bool = True,
+        channel_faults: Optional[ChannelFaultConfig] = None,
     ):
         self.config = config
         self.network = network
         self.node_class = node_class
         self.runtime = Gs3Runtime.build(
-            network, config, seed=seed, keep_trace_records=keep_trace_records
+            network,
+            config,
+            seed=seed,
+            keep_trace_records=keep_trace_records,
+            channel_faults=channel_faults,
         )
         for node_id in network.node_ids():
             node_class(self.runtime, node_id)
@@ -72,6 +129,7 @@ class Gs3Simulation:
         seed: int = 0,
         node_class: Type[Gs3StaticNode] = Gs3StaticNode,
         keep_trace_records: bool = True,
+        channel_faults: Optional[ChannelFaultConfig] = None,
     ) -> "Gs3Simulation":
         """Build a network from a deployment and wrap it in a run.
 
@@ -87,6 +145,7 @@ class Gs3Simulation:
             seed=seed,
             node_class=node_class,
             keep_trace_records=keep_trace_records,
+            channel_faults=channel_faults,
         )
 
     # -- lifecycle ----------------------------------------------------------
@@ -129,24 +188,93 @@ class Gs3Simulation:
 
         Raises:
             TimeoutError: when ``max_time`` passes without stability.
+            Use :meth:`stabilize` for a non-raising variant that
+            returns diagnostics instead.
+        """
+        report = self.stabilize(
+            window=window,
+            max_time=max_time,
+            categories=categories,
+            check_invariants=False,
+        )
+        if not report.stable:
+            raise TimeoutError(
+                f"structure did not stabilise within {max_time} ticks"
+            )
+        # ``converged_at`` is set on every stable report; asserting the
+        # contract here keeps the float return type honest.
+        assert report.converged_at is not None
+        return report.converged_at
+
+    def stabilize(
+        self,
+        window: float = 50.0,
+        max_time: float = 100_000.0,
+        categories: Iterable[str] = STRUCTURE_CHANGE_CATEGORIES,
+        check_invariants: bool = True,
+        field: Optional[Disk] = None,
+        dynamic: bool = True,
+    ) -> StabilityReport:
+        """Non-raising :meth:`run_until_stable`: always a report.
+
+        On success the report carries the convergence instant; on
+        timeout it carries diagnostics (failing invariants, the last
+        structure-change category and time, pending event count)
+        instead of an exception — the form chaos campaigns aggregate
+        into :class:`~repro.perturb.chaos.StabilizationVerdict`.
+
+        ``check_invariants`` runs the SI/DI conjunction at the end
+        (pass the deployment ``field`` for the boundary-aware checks;
+        ``dynamic`` selects the DI children bound).  Skipped checks
+        leave ``violations`` empty.
         """
         self.start()
         sim = self.runtime.sim
         tracer = self.runtime.tracer
         categories = tuple(categories)
+        stable = False
+        converged_at: Optional[float] = None
         while sim.now < max_time:
             sim.run_for(window)
             last_change = tracer.last_time(*categories)
             if last_change is None or last_change <= sim.now - window:
-                return last_change if last_change is not None else sim.now
+                stable = True
+                converged_at = (
+                    last_change if last_change is not None else sim.now
+                )
+                break
             if sim.next_event_time() is None:
-                # ``last_change`` is not None here (the branch above
-                # returned otherwise); return it directly rather than
-                # ``last_change or sim.now``, which would discard a
-                # genuine convergence instant of 0.0 (falsy float).
-                return last_change
-        raise TimeoutError(
-            f"structure did not stabilise within {max_time} ticks"
+                # The queue drained mid-window; ``last_change`` is not
+                # None here (the branch above broke otherwise).
+                stable = True
+                converged_at = last_change
+                break
+        last_category: Optional[str] = None
+        last_time: Optional[float] = None
+        by_category = tracer.last_time_by_category
+        for category in categories:
+            t = by_category.get(category)
+            if t is not None and (last_time is None or t > last_time):
+                last_category, last_time = category, t
+        violations: List[str] = []
+        if check_invariants:
+            from .invariants import check_static_invariant
+
+            violations = check_static_invariant(
+                self.snapshot(),
+                self.network,
+                field=field,
+                gap_axials=self.gap_axials(),
+                dynamic=dynamic,
+            )
+        return StabilityReport(
+            stable=stable,
+            time=sim.now,
+            converged_at=converged_at,
+            last_change_category=last_category,
+            last_change_time=last_time,
+            pending_events=sim.pending_events,
+            violations=tuple(violations),
         )
 
     # -- observation -------------------------------------------------------------

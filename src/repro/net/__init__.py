@@ -4,12 +4,19 @@ from .channel import ChannelLease, ChannelManager
 from .deployment import (
     Deployment,
     carve_gaps,
+    deployment_from_spec,
     grid_jitter,
     poisson_disk,
     rt_gap_cells,
     uniform_disk,
 )
 from .energy import EnergyConfig, EnergyTracker
+from .faults import (
+    ChannelFaultConfig,
+    ChannelFaultModel,
+    GilbertElliottConfig,
+    JamWindow,
+)
 from .mobility import MoveListener, PathMobility, RandomWalkMobility
 from .node import NodeId, PhysicalNode
 from .radio import DeliveryError, Radio
@@ -20,12 +27,17 @@ __all__ = [
     "ChannelManager",
     "Deployment",
     "carve_gaps",
+    "deployment_from_spec",
     "grid_jitter",
     "poisson_disk",
     "rt_gap_cells",
     "uniform_disk",
     "EnergyConfig",
     "EnergyTracker",
+    "ChannelFaultConfig",
+    "ChannelFaultModel",
+    "GilbertElliottConfig",
+    "JamWindow",
     "MoveListener",
     "PathMobility",
     "RandomWalkMobility",

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..geometry import Disk, HexLattice, Vec2
 from ..sim import RngStreams
@@ -24,6 +24,7 @@ from .topology import Network
 
 __all__ = [
     "Deployment",
+    "deployment_from_spec",
     "uniform_disk",
     "poisson_disk",
     "grid_jitter",
@@ -197,6 +198,36 @@ def grid_jitter(
         big_position=big_position or center,
         field=Disk(center, field_radius),
     )
+
+
+def deployment_from_spec(
+    spec: Dict[str, Any], rng_streams: RngStreams
+) -> Deployment:
+    """Build a deployment from a plain-data spec (scenario/chaos JSON).
+
+    Dispatches on ``spec["kind"]`` (``uniform`` default, ``poisson``,
+    ``grid``) — the single parsing path shared by the scenario runner
+    and the chaos-campaign workers, so every JSON-described experiment
+    interprets deployments identically.
+    """
+    spec = dict(spec)
+    kind = spec.pop("kind", "uniform")
+    if kind == "uniform":
+        return uniform_disk(
+            spec["field_radius"], spec["n_nodes"], rng_streams
+        )
+    if kind == "poisson":
+        return poisson_disk(
+            spec["field_radius"], spec["density_lambda"], rng_streams
+        )
+    if kind == "grid":
+        return grid_jitter(
+            spec["field_radius"],
+            spec["spacing"],
+            spec.get("jitter", 0.0),
+            rng_streams,
+        )
+    raise ValueError(f"unknown deployment kind {kind!r}")
 
 
 def carve_gaps(deployment: Deployment, gaps: Sequence[Disk]) -> Deployment:

@@ -6,12 +6,20 @@ Transmission semantics follow Section 2.1 of the paper:
   reliable — acknowledgement and retransmission are assumed below this
   layer;
 * *destination-unaware* transmission (broadcast) may be unreliable —
-  each potential receiver independently drops the frame with a
-  configurable probability.
+  deliveries are decided per receiver, either by the legacy memoryless
+  Bernoulli drop (``broadcast_loss``) or by a full
+  :class:`~repro.net.faults.ChannelFaultModel` (bursty Gilbert–Elliott
+  loss, latency jitter, duplication, regional jamming).
 
 Every delivery costs one virtual-time tick by default (``hop_latency``)
 so that protocol convergence measured in ticks corresponds to message
-diffusion time, the unit of the paper's convergence bounds.
+diffusion time, the unit of the paper's convergence bounds.  A fault
+model may add per-delivery jitter on top.
+
+Fast-path contract: with no fault model installed (``faults is None``
+and ``broadcast_loss == 0``) the broadcast loop does no per-delivery
+branching beyond the legacy path — fault support costs nothing when
+off (pinned by ``benchmarks/bench_perf_engine.py``).
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ from functools import partial
 from typing import Any, Callable, Dict, Optional
 
 from ..sim import RngStreams, Simulator, Tracer
+from .faults import ChannelFaultModel
 from .node import NodeId
 from .topology import Network
 
@@ -41,9 +50,16 @@ class Radio:
         sim: discrete-event simulator driving deliveries.
         tracer: trace sink for message accounting.
         rng: random streams (used for broadcast loss); optional when
-            ``broadcast_loss`` is zero.
+            ``broadcast_loss`` is zero and no fault model is installed.
         broadcast_loss: per-receiver drop probability for broadcasts.
+            Internally this is the degenerate fault-model configuration
+            (same ``radio.loss`` stream, draw for draw); richer channel
+            behaviour goes through ``faults``.
         hop_latency: virtual-time delay of one transmission.
+        faults: optional adversarial channel model, consulted once per
+            broadcast delivery.  Mutually exclusive with a nonzero
+            ``broadcast_loss`` — fold the Bernoulli probability into
+            the model instead.
     """
 
     def __init__(
@@ -54,6 +70,7 @@ class Radio:
         rng: Optional[RngStreams] = None,
         broadcast_loss: float = 0.0,
         hop_latency: float = 1.0,
+        faults: Optional[ChannelFaultModel] = None,
     ):
         if not 0.0 <= broadcast_loss < 1.0:
             raise ValueError(
@@ -63,6 +80,11 @@ class Radio:
             raise ValueError(
                 f"hop_latency must be positive, got {hop_latency}"
             )
+        if faults is not None and broadcast_loss:
+            raise ValueError(
+                "broadcast_loss and a fault model are mutually exclusive; "
+                "set ChannelFaultModel(bernoulli_loss=...) instead"
+            )
         self.network = network
         self.sim = sim
         # The fallback tracer is a pure sink nobody reads; disable it so
@@ -70,7 +92,12 @@ class Radio:
         self.tracer = tracer or Tracer(keep_records=False, enabled=False)
         self.broadcast_loss = broadcast_loss
         self.hop_latency = hop_latency
-        self._loss_rng = (rng or RngStreams(0)).stream("radio.loss")
+        self._rng = rng or RngStreams(0)
+        if faults is None and broadcast_loss:
+            faults = ChannelFaultModel(
+                self._rng, bernoulli_loss=broadcast_loss
+            )
+        self.faults = faults
         self._handlers: Dict[NodeId, Handler] = {}
 
     # -- handler registry -----------------------------------------------
@@ -83,6 +110,19 @@ class Radio:
         """Remove a node's receive handler."""
         self._handlers.pop(node_id, None)
 
+    # -- fault model ------------------------------------------------------
+
+    def ensure_fault_model(self) -> ChannelFaultModel:
+        """The installed fault model, creating a transparent one if none.
+
+        Used by runtime jam injection: jamming needs a model to carry
+        the windows, but a run configured without channel faults should
+        not pay the fault path until the first jam actually arrives.
+        """
+        if self.faults is None:
+            self.faults = ChannelFaultModel(self._rng)
+        return self.faults
+
     # -- transmission -----------------------------------------------------
 
     def broadcast(
@@ -94,7 +134,8 @@ class Radio:
         """Broadcast ``payload`` to every live node within ``tx_range``.
 
         Returns:
-            The number of deliveries scheduled (after loss).
+            The number of receivers a delivery was scheduled for (after
+            loss; duplicate copies do not inflate the count).
         """
         sender = self.network.node(sender_id)
         if not sender.alive:
@@ -105,20 +146,44 @@ class Radio:
         )
         scheduled = 0
         candidates = self.network.broadcast_candidates(sender_id, effective)
+        faults = self.faults
+        if faults is None:
+            for receiver in candidates:
+                self._schedule_delivery(sender_id, receiver.node_id, payload)
+                scheduled += 1
+            return scheduled
+        now = self.sim.now
+        sender_pos = sender.position
+        schedule = self.sim.schedule
+        hop = self.hop_latency
         for receiver in candidates:
-            if self.broadcast_loss and (
-                self._loss_rng.random() < self.broadcast_loss
-            ):
+            if faults.drop_broadcast(now, sender_pos, receiver.position):
                 self.tracer.emit(
-                    self.sim.now, "msg.lost", node=receiver.node_id
+                    now, "msg.lost", node=receiver.node_id, sender=sender_id
                 )
                 continue
-            self._schedule_delivery(sender_id, receiver.node_id, payload)
+            deliver = partial(
+                self._deliver, sender_id, receiver.node_id, payload
+            )
+            schedule(hop + faults.extra_latency(), deliver)
             scheduled += 1
+            for _ in range(faults.extra_copies()):
+                self.tracer.emit(
+                    now, "msg.duplicate", node=receiver.node_id,
+                    sender=sender_id,
+                )
+                schedule(hop + faults.extra_latency(), deliver)
         return scheduled
 
     def unicast(self, sender_id: NodeId, dest_id: NodeId, payload: Any) -> bool:
         """Reliably send ``payload`` to a known destination.
+
+        Unicast is *delivery-reliable even under a fault model*: the
+        paper's destination-aware transmission assumes acknowledgement
+        and retransmission below this layer, so channel loss manifests
+        as latency, never as a silent drop.  Accordingly the fault
+        model contributes only latency jitter here (one extra draw per
+        send); loss, duplication, and jamming apply to broadcasts only.
 
         Returns:
             ``True`` if delivery was scheduled; ``False`` when the
@@ -137,7 +202,13 @@ class Radio:
             self.tracer.emit(self.sim.now, "msg.unreachable", node=sender_id)
             return False
         self.tracer.emit(self.sim.now, "msg.unicast", node=sender_id)
-        self._schedule_delivery(sender_id, dest_id, payload)
+        if self.faults is None:
+            self._schedule_delivery(sender_id, dest_id, payload)
+        else:
+            self.sim.schedule(
+                self.hop_latency + self.faults.extra_latency(),
+                partial(self._deliver, sender_id, dest_id, payload),
+            )
         return True
 
     # -- internals -----------------------------------------------------------

@@ -1,4 +1,4 @@
-"""Perturbation model: event types, injector, and workload generators."""
+"""Perturbation model: event types, injector, workloads, and chaos."""
 
 from .events import (
     NodeJoin,
@@ -6,11 +6,22 @@ from .events import (
     NodeMove,
     NodeRejoin,
     PerturbationEvent,
+    RegionJam,
     RegionKill,
     StateCorruption,
 )
 from .injector import PerturbationInjector
-from .workloads import churn_workload, mobility_workload
+from .workloads import churn_workload, mobility_workload, poisson_times
+
+# Chaos builds on everything above; import it last.
+from .chaos import (
+    ChaosCampaign,
+    ChaosConfig,
+    StabilizationVerdict,
+    run_chaos_campaigns,
+    run_chaos_replicate,
+    summarize_verdicts,
+)
 
 __all__ = [
     "NodeJoin",
@@ -18,9 +29,17 @@ __all__ = [
     "NodeMove",
     "NodeRejoin",
     "PerturbationEvent",
+    "RegionJam",
     "RegionKill",
     "StateCorruption",
     "PerturbationInjector",
     "churn_workload",
     "mobility_workload",
+    "poisson_times",
+    "ChaosCampaign",
+    "ChaosConfig",
+    "StabilizationVerdict",
+    "run_chaos_campaigns",
+    "run_chaos_replicate",
+    "summarize_verdicts",
 ]

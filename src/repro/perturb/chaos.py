@@ -1,0 +1,385 @@
+"""Randomized chaos campaigns with machine-checked healing verdicts.
+
+The paper's healing theorems (8–11) promise that the cellular structure
+recovers *locally* from joins, deaths, movements, and state corruption.
+Hand-written perturbation schedules exercise each theorem in isolation;
+a **chaos campaign** stresses all of them at once, the way the
+self-stabilization literature evaluates healing algorithms: a seeded
+Poisson storm of kills, joins, moves, and corruptions — layered with
+adversarial channel faults (bursty loss, regional jamming) — followed
+by a quiet period in which the structure either restores every
+invariant within a healing budget or is convicted with diagnostics.
+
+The outcome of one campaign replicate is a
+:class:`StabilizationVerdict`: a machine-checked *healed-within-budget*
+boolean plus healing time, disturbed-cell count, and (on timeout) the
+invariants still violated — no human eyeballing of traces required.
+Campaigns fan out over seeds through the existing
+:class:`~repro.sim.SweepRunner`, so verdict payloads are byte-identical
+across worker counts.
+
+Layering: the campaign generates plain
+:class:`~repro.perturb.events.PerturbationEvent` objects (including
+:class:`~repro.perturb.events.RegionJam` channel faults) and schedules
+them through the ordinary :class:`PerturbationInjector` — chaos is a
+workload, not a new execution mechanism.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..geometry import Disk, Vec2
+from ..sim import RngStreams, SweepRunner, replicate_seed
+from ..sim.parallel import ReplicateOutcome
+from .events import PerturbationEvent, RegionJam
+from .injector import PerturbationInjector
+from .workloads import churn_workload, mobility_workload, poisson_times
+
+__all__ = [
+    "ChaosCampaign",
+    "ChaosConfig",
+    "StabilizationVerdict",
+    "run_chaos_campaigns",
+    "run_chaos_replicate",
+    "summarize_verdicts",
+]
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Parameters of one chaos campaign (plain data, JSON-compatible).
+
+    Rates are Poisson intensities in events per tick across the whole
+    network, active during the chaos window of length ``duration``.
+    After the window closes the structure gets ``heal_budget`` ticks to
+    restore every invariant; the verdict is decided there.
+    """
+
+    duration: float = 1_500.0
+    kill_rate: float = 0.0
+    join_rate: float = 0.0
+    move_rate: float = 0.0
+    corruption_rate: float = 0.0
+    jam_rate: float = 0.0
+    jam_radius: float = 100.0
+    jam_duration: float = 200.0
+    mean_move_step: float = 30.0
+    settle_window: float = 120.0
+    configure_budget: float = 50_000.0
+    heal_budget: float = 30_000.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "duration",
+            "kill_rate",
+            "join_rate",
+            "move_rate",
+            "corruption_rate",
+            "jam_rate",
+        ):
+            value = getattr(self, name)
+            if value < 0.0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
+        if self.jam_rate > 0.0 and (
+            self.jam_radius <= 0.0 or self.jam_duration <= 0.0
+        ):
+            raise ValueError(
+                "jam_rate > 0 needs positive jam_radius and jam_duration"
+            )
+        for name in ("settle_window", "configure_budget", "heal_budget"):
+            value = getattr(self, name)
+            if value <= 0.0:
+                raise ValueError(f"{name} must be positive, got {value}")
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "ChaosConfig":
+        """Parse a ``chaos`` block, rejecting unknown keys loudly."""
+        known = {f for f in ChaosConfig.__dataclass_fields__}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown chaos keys {sorted(unknown)}; "
+                f"known keys: {sorted(known)}"
+            )
+        return ChaosConfig(**{k: float(v) for k, v in data.items()})
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            name: getattr(self, name)
+            for name in ChaosConfig.__dataclass_fields__
+        }
+
+
+class ChaosCampaign:
+    """Generates and injects one seeded chaos schedule.
+
+    Built on the workload generators: churn (kills / joins /
+    corruptions) and mobility come from
+    :mod:`repro.perturb.workloads`; jam windows are a Poisson process
+    of :class:`RegionJam` events with centers uniform in the field.
+    All draws come from named streams of the campaign's
+    :class:`RngStreams`, so a seed fully determines the schedule.
+    """
+
+    def __init__(self, config: ChaosConfig, rng_streams: RngStreams):
+        self.config = config
+        self.streams = rng_streams
+
+    def events(
+        self, network, field: Disk, start: float
+    ) -> List[PerturbationEvent]:
+        """The campaign's perturbation schedule on ``[start, start+duration)``."""
+        cfg = self.config
+        end = start + cfg.duration
+        alive = [n for n in network.alive_nodes()]
+        node_ids = [n.node_id for n in alive]
+        events: List[PerturbationEvent] = list(
+            churn_workload(
+                node_ids,
+                field.radius,
+                self.streams,
+                start,
+                end,
+                join_rate=cfg.join_rate,
+                leave_rate=cfg.kill_rate,
+                corruption_rate=cfg.corruption_rate,
+            )
+        )
+        if cfg.move_rate > 0.0:
+            events.extend(
+                mobility_workload(
+                    node_ids,
+                    [n.position for n in alive],
+                    self.streams,
+                    start,
+                    end,
+                    move_rate=cfg.move_rate,
+                    mean_step=cfg.mean_move_step,
+                    field_radius=field.radius,
+                )
+            )
+        if cfg.jam_rate > 0.0:
+            rng = self.streams.stream("perturb.jam")
+            for t in poisson_times(rng, cfg.jam_rate, start, end):
+                radius = field.radius * math.sqrt(rng.random())
+                angle = rng.random() * 2.0 * math.pi
+                events.append(
+                    RegionJam(
+                        time=t,
+                        center=field.center + Vec2.from_polar(radius, angle),
+                        radius=cfg.jam_radius,
+                        duration=cfg.jam_duration,
+                    )
+                )
+        return sorted(events, key=lambda e: e.time)
+
+    def inject(self, simulation, field: Disk, start: Optional[float] = None) -> int:
+        """Arm the schedule on a running simulation; returns the count."""
+        begin = simulation.now if start is None else start
+        injector = PerturbationInjector(simulation)
+        return injector.schedule(self.events(simulation.network, field, begin))
+
+
+@dataclass(frozen=True)
+class StabilizationVerdict:
+    """Machine-checked outcome of one chaos-campaign replicate."""
+
+    #: The replicate's derived seed.
+    seed: int
+    #: Whether every invariant was restored within the healing budget.
+    healed: bool
+    #: Whether the healing (or initial configuration) budget expired.
+    timed_out: bool
+    #: Ticks from the end of the chaos window to the last structure
+    #: change (0.0 when the structure was already quiet); ``None`` when
+    #: stability was never reached.
+    healing_time: Optional[float]
+    #: Cells whose tree edge changed between the pre-chaos and final
+    #: snapshots (the disturbance footprint).
+    cells_disturbed: int
+    #: Perturbation events injected (churn + moves + jams).
+    events_injected: int
+    #: Invariants still violated when the verdict was decided (empty
+    #: when healed).
+    violations: Tuple[str, ...]
+    #: Category of the last structure-changing trace, for forensics.
+    last_change_category: Optional[str]
+    #: When the initial (pre-chaos) configuration stabilised; ``None``
+    #: if it never did (the verdict is then a configure timeout).
+    configured_at: Optional[float]
+    #: Broadcast deliveries dropped by jamming / by stochastic loss.
+    jam_drops: int = 0
+    loss_drops: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible payload (deterministic; no wall timing)."""
+        return {
+            "seed": self.seed,
+            "healed": self.healed,
+            "timed_out": self.timed_out,
+            "healing_time": self.healing_time,
+            "cells_disturbed": self.cells_disturbed,
+            "events_injected": self.events_injected,
+            "violations": list(self.violations),
+            "last_change_category": self.last_change_category,
+            "configured_at": self.configured_at,
+            "jam_drops": self.jam_drops,
+            "loss_drops": self.loss_drops,
+        }
+
+
+def run_chaos_replicate(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Picklable sweep worker: one seeded chaos-campaign replicate.
+
+    ``spec`` is ``{"data": <campaign dict>, "seed": <int>}`` where the
+    campaign dict is scenario-shaped JSON: ``config`` (GS3Config
+    kwargs), ``deployment``, optional ``channel`` (fault-model block),
+    optional ``chaos`` (rates and budgets), optional ``mobile``.
+    Returns the :class:`StabilizationVerdict` as a plain dict.
+    """
+    # Function-level imports keep this module import-light for the
+    # pool workers and avoid package-init ordering knots.
+    from ..analysis import changed_cells
+    from ..core import Gs3DynamicNode, Gs3DynamicSimulation, Gs3MobileNode
+    from ..core.config import GS3Config
+    from ..net import ChannelFaultConfig, deployment_from_spec
+
+    data = spec["data"]
+    seed = int(spec["seed"])
+    config = GS3Config(**data.get("config", {}))
+    chaos = ChaosConfig.from_dict(data.get("chaos", {}))
+    streams = RngStreams(seed)
+    deployment = deployment_from_spec(data["deployment"], streams)
+    channel = data.get("channel")
+    simulation = Gs3DynamicSimulation.from_deployment(
+        deployment,
+        config,
+        seed=seed,
+        node_class=Gs3MobileNode if data.get("mobile") else Gs3DynamicNode,
+        keep_trace_records=False,
+        channel_faults=(
+            ChannelFaultConfig.from_dict(channel) if channel else None
+        ),
+    )
+    configured = simulation.stabilize(
+        window=chaos.settle_window,
+        max_time=chaos.configure_budget,
+        field=deployment.field,
+        check_invariants=False,
+    )
+    if not configured.stable:
+        return StabilizationVerdict(
+            seed=seed,
+            healed=False,
+            timed_out=True,
+            healing_time=None,
+            cells_disturbed=0,
+            events_injected=0,
+            violations=("initial configuration did not stabilise",),
+            last_change_category=configured.last_change_category,
+            configured_at=None,
+        ).to_dict()
+    before = simulation.snapshot()
+    campaign = ChaosCampaign(chaos, streams)
+    injected = campaign.inject(simulation, deployment.field)
+    simulation.run_for(chaos.duration)
+    chaos_end = simulation.now
+    report = simulation.stabilize(
+        window=chaos.settle_window,
+        max_time=chaos_end + chaos.heal_budget,
+        field=deployment.field,
+    )
+    after = simulation.snapshot()
+    faults = simulation.runtime.radio.faults
+    healing_time = (
+        max(0.0, report.converged_at - chaos_end) if report.stable else None
+    )
+    return StabilizationVerdict(
+        seed=seed,
+        healed=report.healed,
+        timed_out=not report.stable,
+        healing_time=healing_time,
+        cells_disturbed=len(changed_cells(before, after)),
+        events_injected=injected,
+        violations=report.violations,
+        last_change_category=report.last_change_category,
+        configured_at=configured.converged_at,
+        jam_drops=faults.jam_drops if faults is not None else 0,
+        loss_drops=faults.loss_drops if faults is not None else 0,
+    ).to_dict()
+
+
+def run_chaos_campaigns(
+    data: Dict[str, Any],
+    campaigns: int,
+    base_seed: Optional[int] = None,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> List[ReplicateOutcome]:
+    """Fan a campaign description across ``campaigns`` derived seeds.
+
+    Seeds derive from ``base_seed`` (default: the description's
+    ``seed`` entry) with the sweep-standard SHA-256 scheme, and the
+    outcomes come back index-ordered and byte-identical for any
+    ``workers`` / ``chunk_size`` — :class:`~repro.sim.SweepRunner`'s
+    contract.
+    """
+    base = base_seed if base_seed is not None else int(data.get("seed", 0))
+    specs = [
+        {"data": data, "seed": replicate_seed(base, i)}
+        for i in range(campaigns)
+    ]
+    runner = SweepRunner(
+        run_chaos_replicate, workers=workers, chunk_size=chunk_size
+    )
+    return runner.run(specs)
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending sequence."""
+    if not sorted_values:
+        raise ValueError("percentile of empty sequence")
+    rank = max(0, math.ceil(q * len(sorted_values)) - 1)
+    return sorted_values[min(rank, len(sorted_values) - 1)]
+
+
+def summarize_verdicts(
+    outcomes: Sequence[ReplicateOutcome],
+) -> Dict[str, Any]:
+    """Aggregate campaign outcomes into the BENCH/CLI summary shape."""
+    verdicts = [o.result for o in outcomes if o.ok]
+    crashed = sum(1 for o in outcomes if not o.ok)
+    healed = [v for v in verdicts if v["healed"]]
+    times = sorted(
+        v["healing_time"] for v in healed if v["healing_time"] is not None
+    )
+    summary: Dict[str, Any] = {
+        "campaigns": len(outcomes),
+        "crashed": crashed,
+        "healed": len(healed),
+        "healed_fraction": (
+            len(healed) / len(verdicts) if verdicts else 0.0
+        ),
+        "timed_out": sum(1 for v in verdicts if v["timed_out"]),
+        "events_injected_total": sum(
+            v["events_injected"] for v in verdicts
+        ),
+        "cells_disturbed_mean": (
+            sum(v["cells_disturbed"] for v in verdicts) / len(verdicts)
+            if verdicts
+            else 0.0
+        ),
+    }
+    summary["healing_time"] = (
+        {
+            "p50": _percentile(times, 0.50),
+            "p90": _percentile(times, 0.90),
+            "max": times[-1],
+        }
+        if times
+        else None
+    )
+    return summary

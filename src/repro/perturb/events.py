@@ -21,6 +21,7 @@ __all__ = [
     "StateCorruption",
     "NodeMove",
     "RegionKill",
+    "RegionJam",
     "PerturbationEvent",
 ]
 
@@ -75,6 +76,28 @@ class RegionKill:
     radius: float
 
 
+@dataclass(frozen=True)
+class RegionJam:
+    """The channel in a disk is jammed for ``duration`` ticks.
+
+    An adversarial *channel* perturbation (no node state changes):
+    broadcasts with either endpoint inside the disk are dropped while
+    the jam is active.  Applied through
+    :meth:`~repro.core.dynamic.Gs3DynamicSimulation.jam_region`.
+    """
+
+    time: float
+    center: Vec2
+    radius: float
+    duration: float
+
+
 PerturbationEvent = Union[
-    NodeJoin, NodeLeave, NodeRejoin, StateCorruption, NodeMove, RegionKill
+    NodeJoin,
+    NodeLeave,
+    NodeRejoin,
+    StateCorruption,
+    NodeMove,
+    RegionKill,
+    RegionJam,
 ]

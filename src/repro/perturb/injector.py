@@ -10,6 +10,7 @@ from .events import (
     NodeMove,
     NodeRejoin,
     PerturbationEvent,
+    RegionJam,
     RegionKill,
     StateCorruption,
 )
@@ -57,6 +58,8 @@ class PerturbationInjector:
                 sim.move_node(event.node_id, event.position)
             elif isinstance(event, RegionKill):
                 sim.kill_region(event.center, event.radius)
+            elif isinstance(event, RegionJam):
+                sim.jam_region(event.center, event.radius, event.duration)
             else:  # pragma: no cover - exhaustive union
                 raise TypeError(f"unknown perturbation {event!r}")
 

@@ -21,10 +21,10 @@ from .events import (
     StateCorruption,
 )
 
-__all__ = ["churn_workload", "mobility_workload"]
+__all__ = ["churn_workload", "mobility_workload", "poisson_times"]
 
 
-def _poisson_times(rng, rate: float, start: float, end: float) -> List[float]:
+def poisson_times(rng, rate: float, start: float, end: float) -> List[float]:
     """Event times of a Poisson process of ``rate`` on [start, end)."""
     times = []
     t = start
@@ -57,14 +57,14 @@ def churn_workload(
     rng = rng_streams.stream("perturb.churn")
     victims = [n for n in node_ids if n != 0]
     events: List[PerturbationEvent] = []
-    for t in _poisson_times(rng, join_rate, start, end):
+    for t in poisson_times(rng, join_rate, start, end):
         radius = field_radius * math.sqrt(rng.random())
         angle = rng.random() * 2.0 * math.pi
         events.append(NodeJoin(time=t, position=Vec2.from_polar(radius, angle)))
     if victims:
-        for t in _poisson_times(rng, leave_rate, start, end):
+        for t in poisson_times(rng, leave_rate, start, end):
             events.append(NodeLeave(time=t, node_id=rng.choice(victims)))
-        for t in _poisson_times(rng, corruption_rate, start, end):
+        for t in poisson_times(rng, corruption_rate, start, end):
             events.append(
                 StateCorruption(time=t, node_id=rng.choice(victims))
             )
@@ -95,7 +95,7 @@ def mobility_workload(
     events: List[PerturbationEvent] = []
     if not movers:
         return events
-    for t in _poisson_times(rng, move_rate, start, end):
+    for t in poisson_times(rng, move_rate, start, end):
         node_id = rng.choice(movers)
         step = rng.expovariate(1.0 / mean_step)
         angle = rng.random() * 2.0 * math.pi

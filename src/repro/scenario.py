@@ -13,16 +13,27 @@ Example scenario::
       "deployment": {"kind": "uniform", "field_radius": 300.0,
                       "n_nodes": 1000},
       "mobile": false,
+      "channel": {"bernoulli_loss": 0.05, "latency_jitter": 0.2},
       "perturbations": [
         {"kind": "kill_head", "at": 200.0},
         {"kind": "region_kill", "at": 600.0,
          "center": [150.0, 0.0], "radius": 80.0},
         {"kind": "join", "at": 900.0, "position": [10.0, 20.0]},
         {"kind": "corrupt_head", "at": 1200.0},
-        {"kind": "move_big", "at": 1500.0, "to": [173.2, 0.0]}
+        {"kind": "jam_region", "at": 1350.0,
+         "center": [0.0, 120.0], "radius": 60.0, "duration": 80.0},
+        {"kind": "churn", "at": 1450.0, "duration": 300.0,
+         "leave_rate": 0.005, "join_rate": 0.003},
+        {"kind": "move_big", "at": 2000.0, "to": [173.2, 0.0]}
       ],
       "settle_window": 120.0
     }
+
+The optional ``channel`` block (see
+:class:`repro.net.faults.ChannelFaultConfig`) configures adversarial
+channel faults — Bernoulli or Gilbert–Elliott bursty loss, latency
+jitter, frame duplication — applied to every broadcast delivery for
+the whole run.
 """
 
 from __future__ import annotations
@@ -39,8 +50,9 @@ from .core import (
     Gs3MobileNode,
     check_static_invariant,
 )
-from .geometry import Vec2
-from .net import grid_jitter, poisson_disk, uniform_disk
+from .geometry import Disk, Vec2
+from .net import ChannelFaultConfig, deployment_from_spec
+from .perturb import PerturbationInjector, churn_workload
 from .sim import RngStreams
 
 __all__ = [
@@ -62,8 +74,22 @@ KNOWN_PERTURBATION_KINDS = frozenset(
         "corrupt_head",
         "move_big",
         "move_node",
+        "jam_region",
+        "churn",
     }
 )
+
+#: Extra required fields per kind (beyond ``kind`` and ``at``), checked
+#: at parse time.
+_REQUIRED_FIELDS = {
+    "kill_node": ("node_id",),
+    "region_kill": ("center", "radius"),
+    "join": ("position",),
+    "move_big": ("to",),
+    "move_node": ("node_id", "to"),
+    "jam_region": ("center", "radius", "duration"),
+    "churn": ("duration",),
+}
 
 
 @dataclass(frozen=True)
@@ -103,6 +129,9 @@ class Scenario:
     perturbations: Sequence[Dict[str, Any]]
     mobile: bool = False
     settle_window: float = 120.0
+    #: Adversarial channel configuration (loss / jitter / duplication);
+    #: ``None`` keeps the radio's reliable-broadcast fast path.
+    channel: Optional[ChannelFaultConfig] = None
 
     @staticmethod
     def from_dict(data: Dict[str, Any]) -> "Scenario":
@@ -119,6 +148,14 @@ class Scenario:
                     f"unknown perturbation kind {p['kind']!r}; "
                     f"known kinds: {sorted(KNOWN_PERTURBATION_KINDS)}"
                 )
+            missing = [
+                f for f in _REQUIRED_FIELDS.get(p["kind"], ()) if f not in p
+            ]
+            if missing:
+                raise ValueError(
+                    f"perturbation kind {p['kind']!r} needs {missing}: {p!r}"
+                )
+        channel_data = data.get("channel")
         return Scenario(
             seed=int(data.get("seed", 0)),
             config=config,
@@ -126,6 +163,11 @@ class Scenario:
             perturbations=perturbations,
             mobile=bool(data.get("mobile", False)),
             settle_window=float(data.get("settle_window", 120.0)),
+            channel=(
+                ChannelFaultConfig.from_dict(channel_data)
+                if channel_data
+                else None
+            ),
         )
 
     @staticmethod
@@ -134,25 +176,7 @@ class Scenario:
         return Scenario.from_dict(json.loads(text))
 
     def build_deployment(self):
-        spec = dict(self.deployment_spec)
-        kind = spec.pop("kind", "uniform")
-        streams = RngStreams(self.seed)
-        if kind == "uniform":
-            return uniform_disk(
-                spec["field_radius"], spec["n_nodes"], streams
-            )
-        if kind == "poisson":
-            return poisson_disk(
-                spec["field_radius"], spec["density_lambda"], streams
-            )
-        if kind == "grid":
-            return grid_jitter(
-                spec["field_radius"],
-                spec["spacing"],
-                spec.get("jitter", 0.0),
-                streams,
-            )
-        raise ValueError(f"unknown deployment kind {kind!r}")
+        return deployment_from_spec(self.deployment_spec, RngStreams(self.seed))
 
 
 def _non_big_head(sim: Gs3DynamicSimulation, kind: str):
@@ -170,7 +194,7 @@ def _non_big_head(sim: Gs3DynamicSimulation, kind: str):
 
 
 def _apply_perturbation(
-    sim: Gs3DynamicSimulation, spec: Dict[str, Any]
+    sim: Gs3DynamicSimulation, spec: Dict[str, Any], field: Disk
 ) -> str:
     kind = spec["kind"]
     if kind == "kill_head":
@@ -197,6 +221,26 @@ def _apply_perturbation(
     if kind == "move_node":
         sim.move_node(int(spec["node_id"]), Vec2(*spec["to"]))
         return f"moved node {spec['node_id']}"
+    if kind == "jam_region":
+        window = sim.jam_region(
+            Vec2(*spec["center"]), float(spec["radius"]), float(spec["duration"])
+        )
+        return f"jammed disk r={spec['radius']} until t={window.end}"
+    if kind == "churn":
+        duration = float(spec["duration"])
+        events = churn_workload(
+            [n.node_id for n in sim.network.alive_nodes()],
+            field.radius,
+            sim.runtime.rng,
+            sim.now,
+            sim.now + duration,
+            join_rate=float(spec.get("join_rate", 0.0)),
+            leave_rate=float(spec.get("leave_rate", 0.0)),
+            corruption_rate=float(spec.get("corruption_rate", 0.0)),
+        )
+        count = PerturbationInjector(sim).schedule(events)
+        sim.run_for(duration)
+        return f"injected {count} churn events over {duration} ticks"
     raise ValueError(f"unknown perturbation kind {kind!r}")
 
 
@@ -208,6 +252,7 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
         scenario.config,
         seed=scenario.seed,
         node_class=Gs3MobileNode if scenario.mobile else Gs3DynamicNode,
+        channel_faults=scenario.channel,
     )
     configured_at = sim.run_until_stable(
         window=scenario.settle_window, max_time=50_000.0
@@ -220,7 +265,7 @@ def run_scenario(scenario: Scenario) -> ScenarioResult:
             sim.run_for(at - sim.now)
         before = sim.snapshot()
         start = sim.now
-        what = _apply_perturbation(sim, spec)
+        what = _apply_perturbation(sim, spec, deployment.field)
         healed_at = sim.run_until_stable(
             window=scenario.settle_window, max_time=sim.now + 60_000.0
         )

@@ -10,6 +10,8 @@ from repro.net import Network
 class _DrainedSim:
     """A simulator whose queue empties mid-window."""
 
+    pending_events = 0
+
     def __init__(self):
         self.now = 0.0
 
@@ -23,8 +25,18 @@ class _DrainedSim:
 class _ZeroTracer:
     """The last structure change happened at exactly t=0.0."""
 
+    last_time_by_category = {}
+
     def last_time(self, *categories):
         return 0.0
+
+
+def _fake_driver():
+    """A Gs3Simulation shell around the stub sim/tracer (no nodes)."""
+    fake = Gs3Simulation.__new__(Gs3Simulation)
+    fake.runtime = SimpleNamespace(sim=_DrainedSim(), tracer=_ZeroTracer())
+    fake._started = True  # start() is a no-op on the stub
+    return fake
 
 
 class TestRunUntilStableZeroInstant:
@@ -35,12 +47,16 @@ class TestRunUntilStableZeroInstant:
         directly, where the old ``last_time(...) or sim.now`` discarded
         the falsy float 0.0.
         """
-        fake = SimpleNamespace(
-            start=lambda: None,
-            runtime=SimpleNamespace(sim=_DrainedSim(), tracer=_ZeroTracer()),
-        )
-        converged_at = Gs3Simulation.run_until_stable(fake, window=50.0)
+        converged_at = _fake_driver().run_until_stable(window=50.0)
         assert converged_at == 0.0
+
+    def test_stabilize_reports_zero_instant(self):
+        """The non-raising companion keeps the same 0.0 contract."""
+        report = _fake_driver().stabilize(
+            window=50.0, check_invariants=False
+        )
+        assert report.stable
+        assert report.converged_at == 0.0
 
     def test_big_node_only_network_converges_at_zero(self):
         """End to end: a lone big node organises instantly at t=0."""

@@ -60,6 +60,34 @@ class TestParser:
         assert args.chunk_size == 2
         assert args.base_seed == 9
 
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos", "campaign.json"])
+        assert args.command == "chaos"
+        assert args.campaigns == 8
+        assert args.budget is None
+        assert args.workers is None
+        assert args.base_seed is None
+
+    def test_chaos_options(self):
+        args = build_parser().parse_args(
+            [
+                "chaos",
+                "c.json",
+                "--campaigns",
+                "3",
+                "--budget",
+                "5000",
+                "--workers",
+                "0",
+                "--base-seed",
+                "9",
+            ]
+        )
+        assert args.campaigns == 3
+        assert args.budget == 5000.0
+        assert args.workers == 0
+        assert args.base_seed == 9
+
 
 class TestCommands:
     COMMON = ["--nodes", "600", "--field-radius", "250"]
@@ -140,3 +168,122 @@ class TestCommands:
         # Distinct derived seeds per replicate.
         seeds = [r["seed"] for r in report["replicates"]]
         assert len(set(seeds)) == 2
+
+    def test_sweep_crash_exits_2(self, tmp_path, capsys):
+        """A replicate traceback must surface as exit code 2, not as a
+        quietly 'unhealthy' run."""
+        scenario_path = tmp_path / "crash.json"
+        scenario_path.write_text(
+            json.dumps(
+                {
+                    "seed": 5,
+                    "deployment": {
+                        "kind": "uniform",
+                        "field_radius": 60.0,
+                        "n_nodes": 0,  # big node only
+                    },
+                    # kill_head needs a non-big head; there is none.
+                    "perturbations": [{"kind": "kill_head", "at": 10.0}],
+                    "settle_window": 30.0,
+                }
+            )
+        )
+        code = main(
+            ["sweep", str(scenario_path), "--replicates", "2", "--workers", "0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "2 crashed" in out
+        assert "needs a non-big head" in out
+
+    def test_chaos(self, tmp_path, capsys):
+        campaign_path = tmp_path / "campaign.json"
+        campaign_path.write_text(
+            json.dumps(
+                {
+                    "seed": 5,
+                    "config": {
+                        "ideal_radius": 100.0,
+                        "radius_tolerance": 25.0,
+                    },
+                    "deployment": {
+                        "kind": "uniform",
+                        "field_radius": 130.0,
+                        "n_nodes": 160,
+                    },
+                    "chaos": {
+                        "duration": 200.0,
+                        "kill_rate": 0.005,
+                        "settle_window": 80.0,
+                    },
+                }
+            )
+        )
+        report_path = tmp_path / "verdicts.json"
+        code = main(
+            [
+                "chaos",
+                str(campaign_path),
+                "--campaigns",
+                "2",
+                "--workers",
+                "0",
+                "--json",
+                str(report_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 campaigns" in out
+        assert "2/2 healed" in out
+        report = json.loads(report_path.read_text())
+        assert report["summary"]["healed"] == 2
+        assert report["summary"]["crashed"] == 0
+        assert len(report["verdicts"]) == 2
+        assert {v["seed"] for v in report["verdicts"]} != {5}
+
+    def test_chaos_budget_override_can_convict(self, tmp_path, capsys):
+        """An absurdly small healing budget forces a timeout verdict and
+        exit code 1 (ran fine, did not heal)."""
+        campaign_path = tmp_path / "campaign.json"
+        campaign_path.write_text(
+            json.dumps(
+                {
+                    "seed": 5,
+                    "config": {
+                        "ideal_radius": 100.0,
+                        "radius_tolerance": 25.0,
+                    },
+                    "deployment": {
+                        "kind": "uniform",
+                        "field_radius": 130.0,
+                        "n_nodes": 160,
+                    },
+                    "chaos": {
+                        "duration": 200.0,
+                        "kill_rate": 0.02,
+                        # A jam window outlasting the chaos phase defers
+                        # healing past the (tiny) budget below.
+                        "jam_rate": 0.01,
+                        "jam_radius": 50.0,
+                        "jam_duration": 120.0,
+                        "settle_window": 80.0,
+                    },
+                }
+            )
+        )
+        code = main(
+            [
+                "chaos",
+                str(campaign_path),
+                "--campaigns",
+                "1",
+                "--workers",
+                "0",
+                "--budget",
+                "1.0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "TIMEOUT" in out

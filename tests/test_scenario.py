@@ -40,6 +40,34 @@ class TestParsing:
                 base_scenario(perturbations=[{"kind": "kill_head"}])
             )
 
+    def test_channel_block_parsed(self):
+        scenario = Scenario.from_dict(
+            base_scenario(
+                channel={"bernoulli_loss": 0.05, "latency_jitter": 0.2}
+            )
+        )
+        assert scenario.channel is not None
+        assert scenario.channel.bernoulli_loss == 0.05
+        assert Scenario.from_dict(base_scenario()).channel is None
+
+    def test_channel_block_typo_rejected_at_parse_time(self):
+        with pytest.raises(ValueError, match="unknown channel fault keys"):
+            Scenario.from_dict(base_scenario(channel={"bernouli_loss": 0.1}))
+
+    def test_jam_and_churn_required_fields(self):
+        with pytest.raises(ValueError, match="jam_region"):
+            Scenario.from_dict(
+                base_scenario(
+                    perturbations=[
+                        {"kind": "jam_region", "at": 1.0, "center": [0, 0]}
+                    ]
+                )
+            )
+        with pytest.raises(ValueError, match="churn"):
+            Scenario.from_dict(
+                base_scenario(perturbations=[{"kind": "churn", "at": 1.0}])
+            )
+
     def test_unknown_deployment_kind(self):
         scenario = Scenario.from_dict(
             base_scenario(deployment={"kind": "nope", "field_radius": 1.0})
@@ -99,6 +127,42 @@ class TestExecution:
         ]
         for entry in result.perturbation_log:
             assert entry["healing_time"] >= 0.0
+
+    def test_lossy_channel_with_jam_and_churn(self):
+        scenario = Scenario.from_dict(
+            base_scenario(
+                deployment={
+                    "kind": "uniform",
+                    "field_radius": 130.0,
+                    "n_nodes": 160,
+                },
+                channel={"bernoulli_loss": 0.05},
+                perturbations=[
+                    {
+                        "kind": "jam_region",
+                        "at": 300.0,
+                        "center": [0.0, 60.0],
+                        "radius": 40.0,
+                        "duration": 50.0,
+                    },
+                    {
+                        "kind": "churn",
+                        "at": 500.0,
+                        "duration": 150.0,
+                        "leave_rate": 0.005,
+                        "join_rate": 0.003,
+                    },
+                ],
+            )
+        )
+        result = run_scenario(scenario)
+        assert result.ok()
+        assert [p["kind"] for p in result.perturbation_log] == [
+            "jam_region",
+            "churn",
+        ]
+        assert "jammed disk" in result.perturbation_log[0]["detail"]
+        assert "churn events" in result.perturbation_log[1]["detail"]
 
     def test_unknown_perturbation_kind_rejected_at_parse_time(self):
         # A typo'd kind must fail before the expensive configuration
