@@ -4,6 +4,8 @@ import pathlib
 
 import pytest
 
+from repro.sim import atomic_write_text
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
@@ -15,9 +17,11 @@ def results_dir() -> pathlib.Path:
 
 
 def save_result(name: str, text: str) -> None:
-    """Write a rendered result file and echo it to stdout."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / name
-    path.write_text(text)
+    """Write a rendered result file and echo it to stdout.
+
+    Atomic (tmp file + ``os.replace``): an interrupted benchmark run
+    never leaves a truncated artifact for tooling to trip over.
+    """
+    atomic_write_text(RESULTS_DIR / name, text)
     print(f"\n===== {name} =====")
     print(text)

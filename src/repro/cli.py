@@ -16,10 +16,24 @@ Commands:
 ``chaos``
     Run seeded chaos campaigns (Poisson churn + channel faults) and
     report per-campaign stabilization verdicts.
+``replay``
+    Deterministically re-execute one replicate to a virtual instant
+    and print its canonical state digest.
+``bisect``
+    Binary-search virtual time for the first instant a predicate
+    (invariant violation, head-tree partition) becomes true.
+
+``sweep`` and ``chaos`` accept ``--store DIR`` to persist every
+replicate outcome to a durable :class:`~repro.sim.RunStore`;
+``--resume`` serves already-completed replicates from the store
+(aggregation stays byte-identical to an uninterrupted run) and
+``--retries N`` re-executes crashed replicates up to ``N`` extra
+times.
 
 Exit codes for ``sweep`` and ``chaos``: 2 when any replicate crashed
 with a traceback, 1 when all ran but some ended unhealthy/unhealed,
-0 otherwise.
+0 otherwise.  ``bisect`` exits 0 when an onset was found, 1 when the
+predicate never became true by ``--t-max``.
 """
 
 from __future__ import annotations
@@ -49,6 +63,29 @@ from .net import uniform_disk
 from .sim import RngStreams
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--store`` / ``--resume`` / ``--retries`` flags."""
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="persist replicate outcomes to a durable run store at DIR",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="serve already-completed replicates from --store instead of "
+        "re-executing them (results stay byte-identical)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="with --resume, re-execute crashed replicates up to N extra "
+        "times (default 0)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -125,6 +162,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--json", metavar="PATH", help="write the aggregate report as JSON"
     )
+    _add_store_arguments(sweep)
 
     chaos = sub.add_parser(
         "chaos",
@@ -168,6 +206,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument(
         "--json", metavar="PATH", help="write verdicts + summary as JSON"
+    )
+    _add_store_arguments(chaos)
+
+    replay = sub.add_parser(
+        "replay",
+        help="re-execute one replicate to a virtual instant and print "
+        "its canonical state digest",
+    )
+    replay.add_argument("path", help="path to the scenario JSON")
+    replay.add_argument(
+        "--at",
+        type=float,
+        required=True,
+        metavar="T",
+        help="virtual time to replay to",
+    )
+    replay.add_argument(
+        "--replay-seed",
+        type=int,
+        default=None,
+        help="replicate seed (default: the scenario file's seed)",
+    )
+    replay.add_argument(
+        "--json", metavar="PATH", help="write the replay report as JSON"
+    )
+
+    bisect = sub.add_parser(
+        "bisect",
+        help="binary-search virtual time for the first instant a "
+        "predicate becomes true",
+    )
+    bisect.add_argument("path", help="path to the scenario JSON")
+    bisect.add_argument(
+        "--predicate",
+        choices=("invariant", "partition"),
+        default="invariant",
+        help="what to search for: an SI/DI invariant violation, or a "
+        "head that cannot reach a tree root (default: invariant)",
+    )
+    bisect.add_argument(
+        "--t-max",
+        type=float,
+        required=True,
+        help="upper bound of the search window (virtual ticks)",
+    )
+    bisect.add_argument(
+        "--t-min",
+        type=float,
+        default=0.0,
+        help="lower bound of the search window (default 0)",
+    )
+    bisect.add_argument(
+        "--tol",
+        type=float,
+        default=1.0,
+        help="resolution of the onset instant in ticks (default 1)",
+    )
+    bisect.add_argument(
+        "--replay-seed",
+        type=int,
+        default=None,
+        help="replicate seed (default: the scenario file's seed)",
+    )
+    bisect.add_argument(
+        "--json", metavar="PATH", help="write the bisection report as JSON"
     )
     return parser
 
@@ -302,8 +405,8 @@ def cmd_scenario(args) -> int:
 def cmd_sweep(args) -> int:
     import json as _json
 
-    from .scenario import run_scenario_replicate
-    from .sim import SweepRunner, replicate_seed
+    from .scenario import Scenario, run_scenario_replicate
+    from .sim import RunStore, SweepRunner, replicate_seed, run_provenance
 
     with open(args.path, "r", encoding="utf-8") as handle:
         data = _json.load(handle)
@@ -312,6 +415,9 @@ def cmd_sweep(args) -> int:
         if args.base_seed is not None
         else int(data.get("seed", 0))
     )
+    # The store keys on the *parsed* scenario, so formatting or key
+    # order in the source JSON never forks the run identity.
+    scenario_dict = Scenario.from_dict(data).to_dict()
     specs = [
         {"data": data, "seed": replicate_seed(base_seed, i)}
         for i in range(args.replicates)
@@ -321,7 +427,17 @@ def cmd_sweep(args) -> int:
         workers=args.workers,
         chunk_size=args.chunk_size,
     )
-    outcomes = runner.run(specs)
+    if args.store is None:
+        outcomes = runner.run(specs)
+    else:
+        store = RunStore(args.store)
+        with store.session(
+            "sweep",
+            {"data": scenario_dict, "base_seed": base_seed},
+            retries=args.retries,
+            resume=args.resume,
+        ) as session:
+            outcomes = runner.run(specs, resume=session)
     rows = []
     for outcome in outcomes:
         if outcome.ok:
@@ -334,13 +450,14 @@ def cmd_sweep(args) -> int:
                     f"{result['configured_at']:.0f}",
                     len(result["perturbation_log"]),
                     result["final_cells"],
-                    f"{outcome.elapsed:.1f}s",
+                    "cached" if outcome.cached else f"{outcome.elapsed:.1f}s",
                 ]
             )
         else:
             rows.append(
                 [outcome.index, specs[outcome.index]["seed"], "CRASHED",
-                 "-", "-", "-", f"{outcome.elapsed:.1f}s"]
+                 "-", "-", "-",
+                 "cached" if outcome.cached else f"{outcome.elapsed:.1f}s"]
             )
     print(
         ascii_table(
@@ -366,21 +483,31 @@ def cmd_sweep(args) -> int:
         if o.ok and not o.result["final_violations"]
     ]
     crashed = [o for o in outcomes if not o.ok]
+    cached = sum(1 for o in outcomes if o.cached)
     print(
         f"\n{len(healthy)}/{len(outcomes)} healthy, "
         f"{len(crashed)} crashed"
     )
+    if args.store is not None:
+        print(f"cached: {cached}/{len(outcomes)} served from {args.store}")
     for outcome in crashed:
         print(f"\nreplicate {outcome.index} failed:\n{outcome.error}")
     if args.json:
         report = {
+            "provenance": run_provenance(
+                "sweep",
+                scenario_dict,
+                base_seed=base_seed,
+                replicates=args.replicates,
+                workers=runner.resolve_workers(len(specs)),
+            ),
             "base_seed": base_seed,
             "replicates": [
                 o.result if o.ok else {"error": o.error} for o in outcomes
             ],
         }
         with open(args.json, "w", encoding="utf-8") as handle:
-            _json.dump(report, handle, indent=2)
+            _json.dump(report, handle, indent=2, sort_keys=True)
         print(f"\nJSON written to {args.json}")
     # Exit-code contract (shared with ``chaos``): 2 = at least one
     # replicate crashed with a traceback, 1 = ran but unhealthy, 0 = ok.
@@ -393,6 +520,7 @@ def cmd_chaos(args) -> int:
     import json as _json
 
     from .perturb import run_chaos_campaigns, summarize_verdicts
+    from .sim import RunStore, SweepRunner, run_provenance
 
     with open(args.path, "r", encoding="utf-8") as handle:
         data = _json.load(handle)
@@ -400,12 +528,20 @@ def cmd_chaos(args) -> int:
         data = dict(data)
         data["chaos"] = dict(data.get("chaos", {}))
         data["chaos"]["heal_budget"] = args.budget
+    base_seed = (
+        args.base_seed
+        if args.base_seed is not None
+        else int(data.get("seed", 0))
+    )
     outcomes = run_chaos_campaigns(
         data,
         campaigns=args.campaigns,
-        base_seed=args.base_seed,
+        base_seed=base_seed,
         workers=args.workers,
         chunk_size=args.chunk_size,
+        store=None if args.store is None else RunStore(args.store),
+        resume=args.resume,
+        retries=args.retries,
     )
     rows = []
     for outcome in outcomes:
@@ -427,13 +563,13 @@ def cmd_chaos(args) -> int:
                     v["cells_disturbed"],
                     v["events_injected"],
                     len(v["violations"]),
-                    f"{outcome.elapsed:.1f}s",
+                    "cached" if outcome.cached else f"{outcome.elapsed:.1f}s",
                 ]
             )
         else:
             rows.append(
                 [outcome.index, "CRASHED", "-", "-", "-", "-",
-                 f"{outcome.elapsed:.1f}s"]
+                 "cached" if outcome.cached else f"{outcome.elapsed:.1f}s"]
             )
     print(
         ascii_table(
@@ -458,6 +594,9 @@ def cmd_chaos(args) -> int:
         f"{summary['timed_out']} timed out, "
         f"{summary['crashed']} crashed"
     )
+    if args.store is not None:
+        cached = sum(1 for o in outcomes if o.cached)
+        print(f"cached: {cached}/{len(outcomes)} served from {args.store}")
     if times is not None:
         print(
             f"healing time p50={times['p50']:.0f} "
@@ -468,17 +607,112 @@ def cmd_chaos(args) -> int:
             print(f"\ncampaign {outcome.index} crashed:\n{outcome.error}")
     if args.json:
         report = {
+            "provenance": run_provenance(
+                "chaos",
+                data,
+                base_seed=base_seed,
+                replicates=args.campaigns,
+                workers=SweepRunner(
+                    None, workers=args.workers
+                ).resolve_workers(args.campaigns),
+            ),
             "summary": summary,
             "verdicts": [
                 o.result if o.ok else {"error": o.error} for o in outcomes
             ],
         }
         with open(args.json, "w", encoding="utf-8") as handle:
-            _json.dump(report, handle, indent=2)
+            _json.dump(report, handle, indent=2, sort_keys=True)
         print(f"\nJSON written to {args.json}")
     if summary["crashed"]:
         return 2
     return 0 if summary["healed"] == summary["campaigns"] else 1
+
+
+def _load_scenario(path: str):
+    from .scenario import Scenario
+
+    with open(path, "r", encoding="utf-8") as handle:
+        return Scenario.from_json(handle.read())
+
+
+def cmd_replay(args) -> int:
+    import json as _json
+
+    from .sim.replay import replay_to, state_digest
+
+    scenario = _load_scenario(args.path)
+    seed = args.replay_seed if args.replay_seed is not None else scenario.seed
+    state = replay_to(scenario, seed, args.at)
+    digest = state_digest(state.snapshot)
+    report = {
+        "scenario_digest": scenario.canonical_digest(),
+        "seed": seed,
+        "requested_time": args.at,
+        "time": state.time,
+        "completed": state.completed,
+        "state_digest": digest,
+        "cells": len(state.snapshot.heads),
+        "roots": len(state.snapshot.roots),
+    }
+    print(
+        ascii_table(
+            ["field", "value"],
+            [[k, v] for k, v in report.items()],
+            title=f"Replay to t={args.at}",
+        )
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            _json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"\nJSON written to {args.json}")
+    return 0
+
+
+def cmd_bisect(args) -> int:
+    import json as _json
+
+    from .sim.replay import PREDICATES, bisect_onset, state_digest
+
+    scenario = _load_scenario(args.path)
+    seed = args.replay_seed if args.replay_seed is not None else scenario.seed
+    result = bisect_onset(
+        scenario,
+        seed,
+        PREDICATES[args.predicate],
+        t_max=args.t_max,
+        t_min=args.t_min,
+        tol=args.tol,
+    )
+    report = result.to_dict()
+    report["scenario_digest"] = scenario.canonical_digest()
+    report["seed"] = seed
+    report["predicate"] = args.predicate
+    if result.state is not None:
+        report["onset_state_digest"] = state_digest(result.state.snapshot)
+    rows = [
+        ["predicate", args.predicate],
+        ["seed", seed],
+        ["replays", result.replays],
+        ["bisect steps", result.bisect_steps],
+    ]
+    if result.onset is None:
+        rows.append(["onset", f"never true by t={args.t_max}"])
+    else:
+        rows.append(["onset", f"t = {result.onset}"])
+        rows.append(["false until", result.lo])
+        rows.append(["onset state digest", report["onset_state_digest"]])
+    print(ascii_table(["field", "value"], rows, title="Onset bisection"))
+    if result.onset is not None:
+        print(
+            f"\nreproduce with: repro replay {args.path} "
+            f"--replay-seed {seed} --at {result.onset}"
+        )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            _json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"\nJSON written to {args.json}")
+    return 0 if result.onset is not None else 1
 
 
 def cmd_figures(args) -> int:
@@ -510,6 +744,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_sweep(args)
     if args.command == "chaos":
         return cmd_chaos(args)
+    if args.command == "replay":
+        return cmd_replay(args)
+    if args.command == "bisect":
+        return cmd_bisect(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 

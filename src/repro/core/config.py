@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Any, Dict
 
 from ..geometry import search_alpha, search_radius
 
@@ -112,6 +113,12 @@ class GS3Config:
             raise ValueError(
                 f"location_error must be >= 0, got {self.location_error}"
             )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """All configured fields as plain data (for canonical digests)."""
+        return {
+            name: getattr(self, name) for name in self.__dataclass_fields__
+        }
 
     # -- derived geometry ---------------------------------------------------
 

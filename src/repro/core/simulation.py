@@ -77,6 +77,9 @@ class StabilityReport:
     pending_events: int
     #: Invariant violations at the end (empty when not checked).
     violations: Tuple[str, ...] = ()
+    #: Whether the run was cut off at a replay ``horizon`` before
+    #: stability could be decided (see :meth:`Gs3Simulation.stabilize`).
+    horizon_reached: bool = False
 
     @property
     def healed(self) -> bool:
@@ -93,6 +96,7 @@ class StabilityReport:
             "last_change_time": self.last_change_time,
             "pending_events": self.pending_events,
             "violations": list(self.violations),
+            "horizon_reached": self.horizon_reached,
         }
 
 
@@ -214,6 +218,7 @@ class Gs3Simulation:
         check_invariants: bool = True,
         field: Optional[Disk] = None,
         dynamic: bool = True,
+        horizon: Optional[float] = None,
     ) -> StabilityReport:
         """Non-raising :meth:`run_until_stable`: always a report.
 
@@ -227,6 +232,15 @@ class Gs3Simulation:
         (pass the deployment ``field`` for the boundary-aware checks;
         ``dynamic`` selects the DI children bound).  Skipped checks
         leave ``violations`` empty.
+
+        ``horizon`` is the deterministic-replay cut-off: the run stops
+        the moment virtual time reaches it (events at times ``<=
+        horizon`` are processed, nothing beyond) and the report comes
+        back with ``horizon_reached=True``.  Crucially the stabilise
+        loop still advances in exactly the same ``window``-sized steps
+        as an uncapped run up to that point, so the pre-horizon
+        trajectory — and therefore the state at the horizon — is
+        byte-identical to the uninterrupted run's.
         """
         self.start()
         sim = self.runtime.sim
@@ -235,6 +249,18 @@ class Gs3Simulation:
         stable = False
         converged_at: Optional[float] = None
         while sim.now < max_time:
+            if horizon is not None and sim.now + window > horizon:
+                if sim.now < horizon:
+                    sim.run(until=horizon)
+                return StabilityReport(
+                    stable=False,
+                    time=sim.now,
+                    converged_at=None,
+                    last_change_category=None,
+                    last_change_time=None,
+                    pending_events=sim.pending_events,
+                    horizon_reached=True,
+                )
             sim.run_for(window)
             last_change = tracer.last_time(*categories)
             if last_change is None or last_change <= sim.now - window:

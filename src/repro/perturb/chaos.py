@@ -318,6 +318,9 @@ def run_chaos_campaigns(
     base_seed: Optional[int] = None,
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    store=None,
+    resume: bool = False,
+    retries: int = 0,
 ) -> List[ReplicateOutcome]:
     """Fan a campaign description across ``campaigns`` derived seeds.
 
@@ -326,6 +329,14 @@ def run_chaos_campaigns(
     outcomes come back index-ordered and byte-identical for any
     ``workers`` / ``chunk_size`` — :class:`~repro.sim.SweepRunner`'s
     contract.
+
+    With a :class:`~repro.sim.RunStore` in ``store``, every verdict is
+    persisted as it lands; ``resume=True`` serves previously completed
+    replicates from the store (``cached=True`` outcomes, byte-identical
+    payloads) and re-executes crashed ones up to ``retries`` extra
+    times.  The run's identity key is the campaign description's
+    canonical digest together with ``base`` — a changed description or
+    base seed never collides with old records.
     """
     base = base_seed if base_seed is not None else int(data.get("seed", 0))
     specs = [
@@ -335,7 +346,15 @@ def run_chaos_campaigns(
     runner = SweepRunner(
         run_chaos_replicate, workers=workers, chunk_size=chunk_size
     )
-    return runner.run(specs)
+    if store is None:
+        return runner.run(specs)
+    with store.session(
+        "chaos",
+        {"data": data, "base_seed": base},
+        retries=retries,
+        resume=resume,
+    ) as session:
+        return runner.run(specs, resume=session)
 
 
 def _percentile(sorted_values: Sequence[float], q: float) -> float:

@@ -50,18 +50,24 @@ from .core import (
     Gs3MobileNode,
     check_static_invariant,
 )
-from .geometry import Disk, Vec2
+from .geometry import Vec2
 from .net import ChannelFaultConfig, deployment_from_spec
 from .perturb import PerturbationInjector, churn_workload
-from .sim import RngStreams
+from .sim import RngStreams, canonical_digest
 
 __all__ = [
+    "HorizonReached",
     "KNOWN_PERTURBATION_KINDS",
     "Scenario",
+    "ScenarioExecution",
     "ScenarioResult",
     "run_scenario",
     "run_scenario_replicate",
 ]
+
+
+class HorizonReached(Exception):
+    """A :class:`ScenarioExecution` hit its virtual-time horizon."""
 
 #: Perturbation kinds ``_apply_perturbation`` understands; validated at
 #: parse time so a typo fails before the expensive configuration phase.
@@ -175,6 +181,35 @@ class Scenario:
         """Parse a scenario from a JSON string."""
         return Scenario.from_dict(json.loads(text))
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data round trip of the parsed scenario.
+
+        Only fields that differ from the parse-time defaults appear, so
+        a scenario parsed from minimal JSON canonicalises back to the
+        same digest-relevant content.
+        """
+        data: Dict[str, Any] = {
+            "seed": self.seed,
+            "config": self.config.to_dict(),
+            "deployment": dict(self.deployment_spec),
+            "perturbations": [dict(p) for p in self.perturbations],
+            "mobile": self.mobile,
+            "settle_window": self.settle_window,
+        }
+        if self.channel is not None:
+            data["channel"] = self.channel.to_dict()
+        return data
+
+    def canonical_digest(self) -> str:
+        """Content address of this scenario (canonical-JSON SHA-256).
+
+        The identity key of the run-persistence layer
+        (:class:`repro.sim.RunStore`): two scenarios digest equal iff
+        their parsed content is equal, independent of key order or
+        whitespace in the source JSON.
+        """
+        return canonical_digest(self.to_dict())
+
     def build_deployment(self):
         return deployment_from_spec(self.deployment_spec, RngStreams(self.seed))
 
@@ -193,114 +228,211 @@ def _non_big_head(sim: Gs3DynamicSimulation, kind: str):
     return victim
 
 
-def _apply_perturbation(
-    sim: Gs3DynamicSimulation, spec: Dict[str, Any], field: Disk
-) -> str:
-    kind = spec["kind"]
-    if kind == "kill_head":
-        victim = _non_big_head(sim, kind)
-        sim.kill_node(victim.node_id)
-        return f"killed head {victim.node_id}"
-    if kind == "kill_node":
-        sim.kill_node(int(spec["node_id"]))
-        return f"killed node {spec['node_id']}"
-    if kind == "region_kill":
-        center = Vec2(*spec["center"])
-        victims = sim.kill_region(center, float(spec["radius"]))
-        return f"killed {len(victims)} nodes"
-    if kind == "join":
-        node_id = sim.add_node(Vec2(*spec["position"]))
-        return f"joined node {node_id}"
-    if kind == "corrupt_head":
-        victim = _non_big_head(sim, kind)
-        sim.corrupt_node(victim.node_id)
-        return f"corrupted head {victim.node_id}"
-    if kind == "move_big":
-        sim.move_node(sim.network.big_id, Vec2(*spec["to"]))
-        return "moved big node"
-    if kind == "move_node":
-        sim.move_node(int(spec["node_id"]), Vec2(*spec["to"]))
-        return f"moved node {spec['node_id']}"
-    if kind == "jam_region":
-        window = sim.jam_region(
-            Vec2(*spec["center"]), float(spec["radius"]), float(spec["duration"])
+class ScenarioExecution:
+    """Step-wise scenario executor with an optional virtual-time horizon.
+
+    Drives exactly the control flow of :func:`run_scenario` — configure,
+    then for each perturbation: advance, apply, re-stabilise — but every
+    clock advance is capped at ``horizon``.  The moment virtual time
+    reaches the horizon, execution stops with the simulation left in
+    precisely the state the *uncapped* run had at that instant: the
+    driver computes the same window boundaries and processes the same
+    event prefix, so replaying to ``t`` is deterministic and
+    trajectory-faithful (the contract :mod:`repro.sim.replay` builds
+    time-travel bisection on).
+
+    Driver actions scheduled exactly *at* the horizon (perturbation
+    applications with ``at == horizon``) are included, mirroring the
+    engine's events-at-``<= t`` semantics.
+    """
+
+    def __init__(self, scenario: Scenario, horizon: Optional[float] = None):
+        if horizon is not None and horizon < 0.0:
+            raise ValueError(f"horizon must be >= 0, got {horizon}")
+        self.scenario = scenario
+        self.horizon = horizon
+        self.deployment = scenario.build_deployment()
+        self.simulation = Gs3DynamicSimulation.from_deployment(
+            self.deployment,
+            scenario.config,
+            seed=scenario.seed,
+            node_class=Gs3MobileNode if scenario.mobile else Gs3DynamicNode,
+            channel_faults=scenario.channel,
         )
-        return f"jammed disk r={spec['radius']} until t={window.end}"
-    if kind == "churn":
-        duration = float(spec["duration"])
-        events = churn_workload(
-            [n.node_id for n in sim.network.alive_nodes()],
-            field.radius,
-            sim.runtime.rng,
-            sim.now,
-            sim.now + duration,
-            join_rate=float(spec.get("join_rate", 0.0)),
-            leave_rate=float(spec.get("leave_rate", 0.0)),
-            corruption_rate=float(spec.get("corruption_rate", 0.0)),
+        self.configured_at: Optional[float] = None
+        self.log: List[Dict[str, Any]] = []
+        self.result: Optional[ScenarioResult] = None
+        self.horizon_reached = False
+
+    # -- capped clock advances -----------------------------------------
+
+    def _run_for(self, duration: float) -> None:
+        """Advance ``duration`` ticks, stopping at the horizon.
+
+        Computes the target as ``now + duration`` — the exact float
+        arithmetic of the uncapped driver — so capping never shifts a
+        window boundary that the full run would have used.
+        """
+        sim = self.simulation
+        sim.start()
+        engine = sim.runtime.sim
+        target = engine.now + duration
+        if self.horizon is not None and target > self.horizon:
+            if engine.now < self.horizon:
+                engine.run(until=self.horizon)
+            raise HorizonReached(self.horizon)
+        engine.run(until=target)
+
+    def _stabilize(self, window: float, max_time: float) -> float:
+        """Horizon-aware :meth:`Gs3Simulation.run_until_stable`."""
+        report = self.simulation.stabilize(
+            window=window,
+            max_time=max_time,
+            check_invariants=False,
+            horizon=self.horizon,
         )
-        count = PerturbationInjector(sim).schedule(events)
-        sim.run_for(duration)
-        return f"injected {count} churn events over {duration} ticks"
-    raise ValueError(f"unknown perturbation kind {kind!r}")
+        if report.horizon_reached:
+            raise HorizonReached(self.horizon)
+        if not report.stable:
+            raise TimeoutError(
+                f"structure did not stabilise within {max_time} ticks"
+            )
+        assert report.converged_at is not None
+        return report.converged_at
+
+    # -- perturbations --------------------------------------------------
+
+    def _apply_perturbation(self, spec: Dict[str, Any]) -> str:
+        sim = self.simulation
+        field = self.deployment.field
+        kind = spec["kind"]
+        if kind == "kill_head":
+            victim = _non_big_head(sim, kind)
+            sim.kill_node(victim.node_id)
+            return f"killed head {victim.node_id}"
+        if kind == "kill_node":
+            sim.kill_node(int(spec["node_id"]))
+            return f"killed node {spec['node_id']}"
+        if kind == "region_kill":
+            center = Vec2(*spec["center"])
+            victims = sim.kill_region(center, float(spec["radius"]))
+            return f"killed {len(victims)} nodes"
+        if kind == "join":
+            node_id = sim.add_node(Vec2(*spec["position"]))
+            return f"joined node {node_id}"
+        if kind == "corrupt_head":
+            victim = _non_big_head(sim, kind)
+            sim.corrupt_node(victim.node_id)
+            return f"corrupted head {victim.node_id}"
+        if kind == "move_big":
+            sim.move_node(sim.network.big_id, Vec2(*spec["to"]))
+            return "moved big node"
+        if kind == "move_node":
+            sim.move_node(int(spec["node_id"]), Vec2(*spec["to"]))
+            return f"moved node {spec['node_id']}"
+        if kind == "jam_region":
+            window = sim.jam_region(
+                Vec2(*spec["center"]),
+                float(spec["radius"]),
+                float(spec["duration"]),
+            )
+            return f"jammed disk r={spec['radius']} until t={window.end}"
+        if kind == "churn":
+            duration = float(spec["duration"])
+            events = churn_workload(
+                [n.node_id for n in sim.network.alive_nodes()],
+                field.radius,
+                sim.runtime.rng,
+                sim.now,
+                sim.now + duration,
+                join_rate=float(spec.get("join_rate", 0.0)),
+                leave_rate=float(spec.get("leave_rate", 0.0)),
+                corruption_rate=float(spec.get("corruption_rate", 0.0)),
+            )
+            count = PerturbationInjector(sim).schedule(events)
+            self._run_for(duration)
+            return f"injected {count} churn events over {duration} ticks"
+        raise ValueError(f"unknown perturbation kind {kind!r}")
+
+    # -- driving ---------------------------------------------------------
+
+    def execute(self) -> Optional[ScenarioResult]:
+        """Run to completion or to the horizon.
+
+        Returns the :class:`ScenarioResult` when the scenario finished;
+        ``None`` when the horizon cut execution short (the state is
+        then inspectable via :attr:`simulation`).
+        """
+        sim = self.simulation
+        scenario = self.scenario
+        try:
+            self.configured_at = self._stabilize(
+                window=scenario.settle_window, max_time=50_000.0
+            )
+            ordered = sorted(
+                scenario.perturbations, key=lambda p: float(p["at"])
+            )
+            for spec in ordered:
+                at = float(spec["at"])
+                if sim.now < at:
+                    self._run_for(at - sim.now)
+                before = sim.snapshot()
+                start = sim.now
+                what = self._apply_perturbation(spec)
+                healed_at = self._stabilize(
+                    window=scenario.settle_window,
+                    max_time=sim.now + 60_000.0,
+                )
+                after = sim.snapshot()
+                self.log.append(
+                    {
+                        "kind": spec["kind"],
+                        "detail": what,
+                        "healing_time": max(0.0, healed_at - start),
+                        "cells_changed": len(changed_cells(before, after)),
+                    }
+                )
+        except HorizonReached:
+            self.horizon_reached = True
+            return None
+        self.result = self._final_result()
+        return self.result
+
+    def _final_result(self) -> ScenarioResult:
+        sim = self.simulation
+        scenario = self.scenario
+        final = sim.snapshot()
+        violations = check_static_invariant(
+            final,
+            sim.network,
+            field=self.deployment.field,
+            gap_axials=sim.gap_axials(),
+            dynamic=True,
+            gap_diameter=2.0
+            * max(
+                (
+                    float(p.get("radius", 0.0))
+                    for p in scenario.perturbations
+                    if p["kind"] == "region_kill"
+                ),
+                default=0.0,
+            ),
+        )
+        assert self.configured_at is not None
+        return ScenarioResult(
+            configured_at=self.configured_at,
+            perturbation_log=self.log,
+            final_violations=violations,
+            final_cells=len(final.heads),
+        )
 
 
 def run_scenario(scenario: Scenario) -> ScenarioResult:
     """Execute a scenario: configure, perturb, heal, measure."""
-    deployment = scenario.build_deployment()
-    sim = Gs3DynamicSimulation.from_deployment(
-        deployment,
-        scenario.config,
-        seed=scenario.seed,
-        node_class=Gs3MobileNode if scenario.mobile else Gs3DynamicNode,
-        channel_faults=scenario.channel,
-    )
-    configured_at = sim.run_until_stable(
-        window=scenario.settle_window, max_time=50_000.0
-    )
-    log: List[Dict[str, Any]] = []
-    ordered = sorted(scenario.perturbations, key=lambda p: float(p["at"]))
-    for spec in ordered:
-        at = float(spec["at"])
-        if sim.now < at:
-            sim.run_for(at - sim.now)
-        before = sim.snapshot()
-        start = sim.now
-        what = _apply_perturbation(sim, spec, deployment.field)
-        healed_at = sim.run_until_stable(
-            window=scenario.settle_window, max_time=sim.now + 60_000.0
-        )
-        after = sim.snapshot()
-        log.append(
-            {
-                "kind": spec["kind"],
-                "detail": what,
-                "healing_time": max(0.0, healed_at - start),
-                "cells_changed": len(changed_cells(before, after)),
-            }
-        )
-    final = sim.snapshot()
-    violations = check_static_invariant(
-        final,
-        sim.network,
-        field=deployment.field,
-        gap_axials=sim.gap_axials(),
-        dynamic=True,
-        gap_diameter=2.0
-        * max(
-            (
-                float(p.get("radius", 0.0))
-                for p in scenario.perturbations
-                if p["kind"] == "region_kill"
-            ),
-            default=0.0,
-        ),
-    )
-    return ScenarioResult(
-        configured_at=configured_at,
-        perturbation_log=log,
-        final_violations=violations,
-        final_cells=len(final.heads),
-    )
+    result = ScenarioExecution(scenario).execute()
+    # Without a horizon, execute() always returns a result.
+    assert result is not None
+    return result
 
 
 def run_scenario_replicate(spec: Dict[str, Any]) -> Dict[str, Any]:

@@ -11,7 +11,27 @@ from .parallel import (
     run_sweep,
     sweep_results,
 )
+from .replay import (
+    PREDICATES,
+    BisectResult,
+    ReplayState,
+    bisect_onset,
+    head_tree_partitioned,
+    invariant_violated,
+    replay_to,
+    state_digest,
+)
 from .rng import RngStreams, derive_seed
+from .store import (
+    ResumeSession,
+    RunStore,
+    RunStoreError,
+    StoredRecord,
+    atomic_write_text,
+    canonical_digest,
+    canonical_json,
+    run_provenance,
+)
 from .tracing import TraceRecord, Tracer
 
 __all__ = [
@@ -29,8 +49,24 @@ __all__ = [
     "replicate_streams",
     "run_sweep",
     "sweep_results",
+    "PREDICATES",
+    "BisectResult",
+    "ReplayState",
+    "bisect_onset",
+    "head_tree_partitioned",
+    "invariant_violated",
+    "replay_to",
+    "state_digest",
     "RngStreams",
     "derive_seed",
+    "ResumeSession",
+    "RunStore",
+    "RunStoreError",
+    "StoredRecord",
+    "atomic_write_text",
+    "canonical_digest",
+    "canonical_json",
+    "run_provenance",
     "TraceRecord",
     "Tracer",
 ]

@@ -34,7 +34,7 @@ import os
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from .rng import RngStreams, derive_seed
@@ -77,6 +77,10 @@ class ReplicateOutcome:
     ``error`` carries the formatted traceback when the replicate
     raised.  ``elapsed`` is the wall-clock seconds spent inside the
     worker function (metadata — excluded from deterministic payloads).
+    ``cached`` marks an outcome served from a
+    :class:`~repro.sim.store.RunStore` instead of being executed; by
+    the determinism contract its ``result`` is indistinguishable from a
+    fresh execution's.
     """
 
     index: int
@@ -84,6 +88,7 @@ class ReplicateOutcome:
     result: Any = None
     error: Optional[str] = None
     elapsed: float = 0.0
+    cached: bool = False
 
 
 def _run_chunk(
@@ -139,9 +144,9 @@ class SweepRunner:
         return max(0, min(workers, n_specs))
 
     def _chunks(
-        self, specs: Sequence[Any], workers: int
+        self, indexed: Sequence[Tuple[int, Any]], workers: int
     ) -> List[List[Tuple[int, Any]]]:
-        indexed = list(enumerate(specs))
+        indexed = list(indexed)
         size = self.chunk_size
         if size is None:
             # ~4 chunks per worker balances load without flooding the
@@ -151,21 +156,52 @@ class SweepRunner:
             indexed[i : i + size] for i in range(0, len(indexed), size)
         ]
 
-    def run(self, specs: Sequence[Any]) -> List[ReplicateOutcome]:
-        """Execute every spec; outcomes ordered by replicate index."""
+    def run(
+        self, specs: Sequence[Any], resume: Optional[Any] = None
+    ) -> List[ReplicateOutcome]:
+        """Execute every spec; outcomes ordered by replicate index.
+
+        ``resume`` is an optional
+        :class:`~repro.sim.store.ResumeSession`-shaped handle
+        (``lookup(spec)`` / ``record(spec, outcome)``): specs with a
+        stored outcome are served from the store (marked ``cached``)
+        and skipped, everything else executes normally and is
+        persisted.  Because replicates are deterministic, the
+        aggregated outcome list is byte-identical to an uninterrupted
+        run — resumption only changes *which* replicates execute.
+        """
         specs = list(specs)
         if not specs:
             return []
-        workers = self.resolve_workers(len(specs))
         slots: List[Optional[ReplicateOutcome]] = [None] * len(specs)
-        if workers == 0:
-            for index, ok, payload, elapsed in _run_chunk(
-                self.fn, list(enumerate(specs))
-            ):
-                slots[index] = _outcome(index, ok, payload, elapsed)
-            return [o for o in slots if o is not None]
+        pending: List[Tuple[int, Any]] = []
+        if resume is None:
+            pending = list(enumerate(specs))
+        else:
+            for index, spec in enumerate(specs):
+                cached = resume.lookup(spec)
+                if cached is not None:
+                    slots[index] = replace(cached, index=index)
+                else:
+                    pending.append((index, spec))
+        for index, ok, payload, elapsed in self._execute(pending):
+            outcome = _outcome(index, ok, payload, elapsed)
+            if resume is not None:
+                outcome = resume.record(specs[index], outcome)
+            slots[index] = outcome
+        return [o for o in slots if o is not None]
 
-        chunks = self._chunks(specs, workers)
+    def _execute(
+        self, pending: Sequence[Tuple[int, Any]]
+    ) -> List[Tuple[int, bool, Any, float]]:
+        """Run (index, spec) pairs, in-process or across the pool."""
+        if not pending:
+            return []
+        workers = self.resolve_workers(len(pending))
+        if workers == 0:
+            return _run_chunk(self.fn, list(pending))
+
+        chunks = self._chunks(pending, workers)
         # ``fork`` keeps worker functions defined in benchmark/test
         # modules picklable by reference; fall back to the platform
         # default where fork does not exist (the repro.* sweep workers
@@ -176,19 +212,18 @@ class SweepRunner:
             if "fork" in methods
             else multiprocessing.get_context()
         )
+        rows: List[Tuple[int, bool, Any, float]] = []
         with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
             futures = [pool.submit(_run_chunk, self.fn, c) for c in chunks]
             for chunk, future in zip(chunks, futures):
                 try:
-                    rows = future.result()
+                    rows.extend(future.result())
                 except Exception:
                     # Pool-level failure (unpicklable result, dead
                     # worker): charge it to the shard, keep sweeping.
                     err = traceback.format_exc()
-                    rows = [(i, False, err, 0.0) for i, _ in chunk]
-                for index, ok, payload, elapsed in rows:
-                    slots[index] = _outcome(index, ok, payload, elapsed)
-        return [o for o in slots if o is not None]
+                    rows.extend((i, False, err, 0.0) for i, _ in chunk)
+        return rows
 
 
 def _outcome(

@@ -1,0 +1,76 @@
+"""Resume/retry semantics of chaos campaigns backed by a RunStore."""
+
+import pytest
+
+from repro.perturb import run_chaos_campaigns
+from repro.sim import RunStore, canonical_json
+
+SMALL = {
+    "seed": 11,
+    "config": {"ideal_radius": 100.0, "radius_tolerance": 25.0},
+    "deployment": {
+        "kind": "uniform",
+        "field_radius": 130.0,
+        "n_nodes": 160,
+    },
+    "chaos": {
+        "duration": 200.0,
+        "kill_rate": 0.004,
+        "join_rate": 0.002,
+        "settle_window": 80.0,
+    },
+}
+
+
+def _payloads(outcomes):
+    return canonical_json([o.result for o in outcomes])
+
+
+@pytest.mark.slow
+class TestChaosResume:
+    def test_interrupted_campaign_resumes_with_identical_payloads(
+        self, tmp_path
+    ):
+        n, k = 3, 2
+        baseline = run_chaos_campaigns(SMALL, campaigns=n, workers=0)
+        store = RunStore(tmp_path)
+        # "Interrupt" after k campaigns by only running k of them.
+        run_chaos_campaigns(SMALL, campaigns=k, workers=0, store=store)
+        resumed = run_chaos_campaigns(
+            SMALL, campaigns=n, workers=0, store=store, resume=True
+        )
+        assert [o.cached for o in resumed] == [True] * k + [False] * (n - k)
+        assert all(o.ok for o in resumed)
+        # Byte-identical aggregation versus the uninterrupted run.
+        assert _payloads(resumed) == _payloads(baseline)
+        # Exactly n - k campaigns executed in the resumed run: every
+        # stored record still carries attempts == 1.
+        records = store.load_records(next(iter(store.runs())))
+        assert len(records) == n
+        assert all(r.attempts == 1 for r in records.values())
+
+    def test_second_resume_is_fully_cached(self, tmp_path):
+        store = RunStore(tmp_path)
+        first = run_chaos_campaigns(
+            SMALL, campaigns=2, workers=0, store=store, resume=True
+        )
+        again = run_chaos_campaigns(
+            SMALL, campaigns=2, workers=0, store=store, resume=True
+        )
+        assert all(o.cached for o in again)
+        assert _payloads(first) == _payloads(again)
+
+    def test_base_seed_forks_the_run_identity(self, tmp_path):
+        store = RunStore(tmp_path)
+        run_chaos_campaigns(
+            SMALL, campaigns=1, workers=0, store=store, resume=True
+        )
+        run_chaos_campaigns(
+            SMALL,
+            campaigns=1,
+            base_seed=99,
+            workers=0,
+            store=store,
+            resume=True,
+        )
+        assert len(store.runs()) == 2

@@ -1,0 +1,84 @@
+"""Edge cases of ``Summary.merge`` (the sweep-aggregation combiner)."""
+
+import math
+
+import pytest
+
+from repro.sim import Summary
+
+
+def _filled(values):
+    summary = Summary()
+    for value in values:
+        summary.add(value)
+    return summary
+
+
+class TestSummaryMergeEdgeCases:
+    def test_empty_merge_empty(self):
+        merged = Summary().merge(Summary())
+        assert merged.count == 0
+        assert merged.mean == 0.0
+        assert merged.variance == 0.0
+        assert merged.as_dict()["min"] == 0.0
+        assert merged.as_dict()["max"] == 0.0
+
+    def test_empty_merge_nonempty_adopts_other(self):
+        other = _filled([2.0, 4.0, 6.0])
+        merged = Summary().merge(other)
+        assert merged.count == 3
+        assert merged.mean == pytest.approx(4.0)
+        assert merged.min == 2.0
+        assert merged.max == 6.0
+        assert merged.variance == pytest.approx(other.variance)
+
+    def test_nonempty_merge_empty_is_identity(self):
+        summary = _filled([1.0, 3.0])
+        before = (summary.count, summary.mean, summary.variance)
+        summary.merge(Summary())
+        assert (summary.count, summary.mean, summary.variance) == before
+
+    def test_single_sample_merge_single_sample(self):
+        # Two one-sample streams: variance must come out as the
+        # two-sample population variance, not zero.
+        merged = _filled([2.0]).merge(_filled([4.0]))
+        assert merged.count == 2
+        assert merged.mean == pytest.approx(3.0)
+        assert merged.variance == pytest.approx(1.0)
+        assert merged.stddev == pytest.approx(1.0)
+        assert (merged.min, merged.max) == (2.0, 4.0)
+
+    def test_single_sample_variance_is_zero(self):
+        summary = _filled([7.5])
+        assert summary.variance == 0.0
+        assert summary.stddev == 0.0
+
+    def test_merge_matches_streaming_everything(self):
+        left = [1.0, 5.0, -2.0]
+        right = [10.0, 0.5]
+        merged = _filled(left).merge(_filled(right))
+        streamed = _filled(left + right)
+        assert merged.count == streamed.count
+        assert merged.mean == pytest.approx(streamed.mean)
+        assert merged.variance == pytest.approx(streamed.variance)
+        assert merged.min == streamed.min
+        assert merged.max == streamed.max
+
+    def test_merge_returns_self_for_chaining(self):
+        summary = _filled([1.0])
+        assert summary.merge(_filled([2.0])) is summary
+
+    def test_merge_preserves_infinite_sentinels_when_both_empty(self):
+        merged = Summary().merge(Summary())
+        # Internal sentinels stay consistent for later ``add`` calls.
+        merged.add(3.0)
+        assert (merged.min, merged.max) == (3.0, 3.0)
+        assert merged.mean == pytest.approx(3.0)
+
+    def test_empty_merge_then_more_samples(self):
+        summary = Summary().merge(_filled([4.0]))
+        summary.add(6.0)
+        assert summary.count == 2
+        assert summary.mean == pytest.approx(5.0)
+        assert summary.variance == pytest.approx(1.0)
+        assert not math.isinf(summary.min)

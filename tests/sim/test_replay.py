@@ -1,0 +1,221 @@
+"""Tests for deterministic replay, state digests, and bisection."""
+
+import json
+import math
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.scenario import Scenario
+from repro.sim import SweepRunner
+from repro.sim.replay import (
+    PREDICATES,
+    bisect_onset,
+    head_tree_partitioned,
+    replay_to,
+    state_digest,
+)
+
+#: A small, fast scenario: configures in a few hundred ticks, one head
+#: kill, completes around t=600 in well under a second.
+TINY = {
+    "seed": 3,
+    "config": {"ideal_radius": 100.0, "radius_tolerance": 25.0},
+    "deployment": {"kind": "uniform", "field_radius": 160.0, "n_nodes": 80},
+    "perturbations": [{"kind": "kill_head", "at": 400.0}],
+    "settle_window": 60.0,
+}
+
+#: The EXPERIMENTS.md jam-wedge reproduction: a jam window covering the
+#: big node's region leaves the head tree rootless with parent cycles,
+#: quiescent but broken.  Completes (broken) around t=800.
+WEDGE = {
+    "seed": 0,
+    "config": {"ideal_radius": 100.0, "radius_tolerance": 25.0},
+    "deployment": {"kind": "uniform", "field_radius": 200.0, "n_nodes": 150},
+    "perturbations": [
+        {
+            "kind": "jam_region",
+            "at": 400.0,
+            "center": [0.0, 0.0],
+            "radius": 150.0,
+            "duration": 400.0,
+        }
+    ],
+    "settle_window": 100.0,
+}
+
+
+def _digest_at(data, seed, t):
+    scenario = Scenario.from_dict(data)
+    return state_digest(replay_to(scenario, seed, t).snapshot)
+
+
+def _digest_worker(spec):
+    """Picklable pool worker: digest of a replayed state."""
+    return _digest_at(spec["data"], spec["seed"], spec["at"])
+
+
+class TestReplayTo:
+    def test_stops_exactly_at_horizon(self):
+        state = replay_to(Scenario.from_dict(TINY), 3, 450.0)
+        assert state.time == 450.0
+        assert not state.completed
+        assert state.result is None
+        assert state.simulation.now == 450.0
+
+    def test_completes_before_far_horizon(self):
+        state = replay_to(Scenario.from_dict(TINY), 3, 1e9)
+        assert state.completed
+        assert state.result is not None
+        assert state.time < 1e9
+
+    def test_seed_override(self):
+        scenario = Scenario.from_dict(TINY)
+        state = replay_to(scenario, 12345, 100.0)
+        assert state.seed == 12345
+        assert state.scenario.seed == 12345
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            replay_to(Scenario.from_dict(TINY), 3, -1.0)
+
+    def test_state_beyond_completion_is_final_state(self):
+        # Any horizon past completion yields the same final state.
+        assert _digest_at(TINY, 3, 1e8) == _digest_at(TINY, 3, 1e9)
+
+
+class TestStateDigest:
+    def test_deterministic_in_process(self):
+        assert _digest_at(TINY, 3, 450.0) == _digest_at(TINY, 3, 450.0)
+
+    def test_sensitive_to_seed_and_time(self):
+        base = _digest_at(TINY, 3, 450.0)
+        assert base != _digest_at(TINY, 4, 450.0)
+        assert base != _digest_at(TINY, 3, 200.0)
+
+    def test_identical_in_fork_pool_worker(self):
+        spec = {"data": TINY, "seed": 3, "at": 450.0}
+        pooled = SweepRunner(_digest_worker, workers=1).run([spec])
+        assert pooled[0].ok, pooled[0].error
+        assert pooled[0].result == _digest_at(TINY, 3, 450.0)
+
+    @pytest.mark.slow
+    def test_identical_across_separate_processes(self, tmp_path):
+        # Two cold python processes — separate interpreter, separate
+        # hash randomisation — must agree on the digest byte-for-byte.
+        script = (
+            "import json, sys; "
+            "from repro.scenario import Scenario; "
+            "from repro.sim.replay import replay_to, state_digest; "
+            "data = json.loads(sys.argv[1]); "
+            "print(state_digest("
+            "replay_to(Scenario.from_dict(data), 3, 450.0).snapshot))"
+        )
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        digests = []
+        for _ in range(2):
+            proc = subprocess.run(
+                [sys.executable, "-c", script, json.dumps(TINY)],
+                capture_output=True,
+                text=True,
+                env={"PYTHONPATH": src, "PYTHONHASHSEED": "random"},
+                check=True,
+            )
+            digests.append(proc.stdout.strip())
+        assert digests[0] == digests[1] == _digest_at(TINY, 3, 450.0)
+
+
+class TestPredicates:
+    def test_partition_false_on_healthy_structure(self):
+        state = replay_to(Scenario.from_dict(TINY), 3, 350.0)
+        assert not head_tree_partitioned(state)
+
+    def test_partition_false_with_no_heads(self):
+        # At t=0 nothing has booted yet: no heads, trivially false.
+        state = replay_to(Scenario.from_dict(TINY), 3, 0.0)
+        assert not state.snapshot.heads
+        assert not head_tree_partitioned(state)
+
+    @pytest.mark.slow
+    def test_partition_true_on_wedged_structure(self):
+        scenario = Scenario.from_dict(WEDGE)
+        final = replay_to(scenario, 0, 1e9)
+        assert final.completed
+        violations = final.result.final_violations
+        assert any("root" in v or "cycle" in v for v in violations)
+        assert head_tree_partitioned(final)
+        assert PREDICATES["invariant"](final)
+        # Before the jam the configured structure is intact.
+        assert not head_tree_partitioned(replay_to(scenario, 0, 390.0))
+
+
+class TestBisectOnset:
+    def test_rejects_bad_window_and_tol(self):
+        scenario = Scenario.from_dict(TINY)
+        with pytest.raises(ValueError):
+            bisect_onset(scenario, 3, lambda s: True, t_max=5.0, t_min=5.0)
+        with pytest.raises(ValueError):
+            bisect_onset(scenario, 3, lambda s: True, t_max=10.0, tol=0.0)
+
+    def test_never_true_returns_no_onset(self):
+        result = bisect_onset(
+            Scenario.from_dict(TINY),
+            3,
+            lambda state: False,
+            t_max=100.0,
+        )
+        assert result.onset is None
+        assert result.bisect_steps == 0
+        assert result.replays == 1
+        assert result.state is None
+
+    def test_simple_time_threshold(self):
+        # A pure-time predicate lets us check the search arithmetic
+        # exactly: first true instant within tol of the threshold.
+        result = bisect_onset(
+            Scenario.from_dict(TINY),
+            3,
+            lambda state: state.time >= 300.0,
+            t_max=512.0,
+            tol=1.0,
+        )
+        assert result.onset is not None
+        assert 300.0 <= result.onset < 301.0
+        assert result.onset - result.lo <= 1.0
+        assert result.bisect_steps <= math.ceil(math.log2(512.0 / 1.0))
+
+    @pytest.mark.slow
+    def test_wedge_onset_regression(self):
+        """Pin the jam-wedge onset: one failure timeout after jam start.
+
+        The WEDGE scenario jams the big node's region at t=400; heads
+        inside the disk are declared failed one failure_timeout
+        (3.5 * 10 = 35 ticks) later, and the head tree partitions.  The
+        bisection must find that instant within the step bound.
+        """
+        scenario = Scenario.from_dict(WEDGE)
+        t_max = 800.0  # the wedged run completes (broken) at t=800
+        tol = 1.0
+        result = bisect_onset(
+            scenario,
+            0,
+            PREDICATES["partition"],
+            t_max=t_max,
+            tol=tol,
+        )
+        assert result.onset is not None
+        # Regression pin: onset in the failure-timeout window after the
+        # jam hits at t=400 (measured: ~435.16).
+        assert 430.0 <= result.onset <= 440.0
+        assert result.onset - result.lo <= tol
+        assert result.bisect_steps <= math.ceil(math.log2(t_max / tol))
+        # The returned state is the earliest true probe and usable for
+        # forensics without another replay.
+        assert result.state is not None
+        assert head_tree_partitioned(result.state)
+        assert not head_tree_partitioned(
+            replay_to(scenario, 0, result.lo)
+        )

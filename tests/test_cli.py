@@ -287,3 +287,132 @@ class TestCommands:
         out = capsys.readouterr().out
         assert code == 1
         assert "TIMEOUT" in out
+
+
+class TestStoreAndReplayParser:
+    def test_sweep_store_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "s.json", "--store", "runs", "--resume",
+             "--retries", "2"]
+        )
+        assert args.store == "runs"
+        assert args.resume is True
+        assert args.retries == 2
+
+    def test_store_flags_default_off(self):
+        for command in ("sweep", "chaos"):
+            args = build_parser().parse_args([command, "x.json"])
+            assert args.store is None
+            assert args.resume is False
+            assert args.retries == 0
+
+    def test_replay_requires_at(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["replay", "s.json"])
+        args = build_parser().parse_args(
+            ["replay", "s.json", "--at", "450", "--replay-seed", "7"]
+        )
+        assert args.at == 450.0
+        assert args.replay_seed == 7
+
+    def test_bisect_options(self):
+        args = build_parser().parse_args(
+            ["bisect", "s.json", "--predicate", "partition",
+             "--t-max", "960", "--tol", "2"]
+        )
+        assert args.predicate == "partition"
+        assert args.t_max == 960.0
+        assert args.tol == 2.0
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["bisect", "s.json", "--predicate", "nope", "--t-max", "10"]
+            )
+
+
+class TestStoreAndReplayCommands:
+    TINY = {
+        "seed": 3,
+        "config": {"ideal_radius": 100.0, "radius_tolerance": 25.0},
+        "deployment": {
+            "kind": "uniform",
+            "field_radius": 160.0,
+            "n_nodes": 80,
+        },
+        "perturbations": [{"kind": "kill_head", "at": 400.0}],
+        "settle_window": 60.0,
+    }
+
+    def _scenario_file(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps(self.TINY))
+        return path
+
+    def test_sweep_resume_is_byte_identical(self, tmp_path, capsys):
+        scenario_path = self._scenario_file(tmp_path)
+        store = tmp_path / "runs"
+        reports = []
+        for name, extra in (("a.json", []), ("b.json", ["--resume"])):
+            report = tmp_path / name
+            code = main(
+                [
+                    "sweep",
+                    str(scenario_path),
+                    "--replicates",
+                    "2",
+                    "--workers",
+                    "0",
+                    "--store",
+                    str(store),
+                    "--json",
+                    str(report),
+                    *extra,
+                ]
+            )
+            assert code == 0
+            reports.append(report.read_bytes())
+        out = capsys.readouterr().out
+        assert "cached: 0/2" in out
+        assert "cached: 2/2" in out
+        assert reports[0] == reports[1]
+        report = json.loads(reports[1])
+        assert report["provenance"]["kind"] == "sweep"
+        assert report["provenance"]["base_seed"] == 3
+        assert len(report["provenance"]["scenario_digest"]) == 64
+
+    def test_replay_prints_digest(self, tmp_path, capsys):
+        scenario_path = self._scenario_file(tmp_path)
+        report_path = tmp_path / "replay.json"
+        code = main(
+            [
+                "replay",
+                str(scenario_path),
+                "--at",
+                "450",
+                "--json",
+                str(report_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "state_digest" in out
+        report = json.loads(report_path.read_text())
+        assert report["time"] == 450.0
+        assert report["completed"] is False
+        assert len(report["state_digest"]) == 64
+
+    def test_bisect_without_onset_exits_1(self, tmp_path, capsys):
+        scenario_path = self._scenario_file(tmp_path)
+        # The healthy TINY run never partitions: no onset, exit 1.
+        code = main(
+            [
+                "bisect",
+                str(scenario_path),
+                "--predicate",
+                "partition",
+                "--t-max",
+                "100",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "never true" in out
