@@ -231,6 +231,14 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument(
         "--json", metavar="PATH", help="write the replay report as JSON"
     )
+    replay.add_argument(
+        "--check",
+        metavar="PREDICATE",
+        default=None,
+        help="evaluate a named predicate (invariant | partition | "
+        "root_stale) on the replayed state and exit 1 if it holds — "
+        "the CI wedge-heal smoke is `replay ... --check partition`",
+    )
 
     bisect = sub.add_parser(
         "bisect",
@@ -639,8 +647,13 @@ def _load_scenario(path: str):
 def cmd_replay(args) -> int:
     import json as _json
 
-    from .sim.replay import replay_to, state_digest
+    from .sim.replay import PREDICATES, replay_to, state_digest
 
+    check = getattr(args, "check", None)
+    if check is not None and check not in PREDICATES:
+        known = ", ".join(sorted(PREDICATES))
+        print(f"unknown predicate {check!r} (known: {known})")
+        return 2
     scenario = _load_scenario(args.path)
     seed = args.replay_seed if args.replay_seed is not None else scenario.seed
     state = replay_to(scenario, seed, args.at)
@@ -655,6 +668,10 @@ def cmd_replay(args) -> int:
         "cells": len(state.snapshot.heads),
         "roots": len(state.snapshot.roots),
     }
+    verdict = None
+    if check is not None:
+        verdict = bool(PREDICATES[check](state))
+        report[f"check:{check}"] = verdict
     print(
         ascii_table(
             ["field", "value"],
@@ -666,6 +683,9 @@ def cmd_replay(args) -> int:
         with open(args.json, "w", encoding="utf-8") as handle:
             _json.dump(report, handle, indent=2, sort_keys=True)
         print(f"\nJSON written to {args.json}")
+    if verdict:
+        print(f"\npredicate {check!r} holds at t={state.time}: FAIL")
+        return 1
     return 0
 
 

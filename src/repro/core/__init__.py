@@ -21,11 +21,17 @@ from .invariants import (
     check_i2_inner_six,
     check_i2_neighbors,
     check_i3_associate_optimality,
+    check_root_liveness,
     check_static_fixpoint,
     check_static_invariant,
     inner_head_ids,
 )
-from .multibig import MultiBigSimulation, RegionAssignment, partition_by_big
+from .multibig import (
+    MultiBigSimulation,
+    RegionAssignment,
+    partition_by_big,
+    root_rank,
+)
 from .runtime import Gs3Runtime
 from .simulation import (
     STRUCTURE_CHANGE_CATEGORIES,
@@ -56,12 +62,14 @@ __all__ = [
     "check_i2_inner_six",
     "check_i2_neighbors",
     "check_i3_associate_optimality",
+    "check_root_liveness",
     "check_static_fixpoint",
     "check_static_invariant",
     "inner_head_ids",
     "MultiBigSimulation",
     "RegionAssignment",
     "partition_by_big",
+    "root_rank",
     "Gs3Runtime",
     "STRUCTURE_CHANGE_CATEGORIES",
     "Gs3Simulation",

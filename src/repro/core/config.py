@@ -68,6 +68,27 @@ class GS3Config:
         min_candidates: cell shift triggers when the number of live
             candidates drops below this.
         broadcast_loss: per-receiver broadcast drop probability.
+
+    Root liveness (GS3-D head maintenance):
+
+    Attributes:
+        root_stale_timeouts: ``K`` — a head treats an advertised
+            ``hops_to_root`` as valid only while the advertiser's root
+            freshness (``root_heard_at``) is within
+            ``K * failure_timeout`` of now.  This is the DSDV-style
+            staleness horizon that kills count-to-infinity parent
+            cycles after the root falls silent.  Must cover the
+            freshness propagation lag of the deepest expected tree
+            (one heartbeat per hop), so keep
+            ``K * failure_timeout_beats`` well above the tree depth.
+        enable_root_regeneration: when a head's own root freshness
+            expires and PARENT_SEEK finds no fresh-epoch parent, it
+            enters ROOT_SEEK and — if it wins the deterministic
+            election (closest to the last known root position, then
+            lowest id) — regenerates as a replacement root with a new
+            ``root_epoch``.  Duplicate roots reconcile when
+            connectivity returns (higher epoch wins).  Disable to
+            reproduce the pre-fix wedge behaviour.
     """
 
     ideal_radius: float = 100.0
@@ -94,6 +115,9 @@ class GS3Config:
     #: the believed position; radio delivery uses the true one.
     location_error: float = 0.0
 
+    root_stale_timeouts: float = 3.0
+    enable_root_regeneration: bool = True
+
     def __post_init__(self) -> None:
         if self.ideal_radius <= 0.0:
             raise ValueError(
@@ -112,6 +136,12 @@ class GS3Config:
         if self.location_error < 0.0:
             raise ValueError(
                 f"location_error must be >= 0, got {self.location_error}"
+            )
+        if self.root_stale_timeouts < 1.0:
+            raise ValueError(
+                "root_stale_timeouts must be >= 1 (the root-freshness "
+                "horizon cannot be shorter than the liveness horizon), "
+                f"got {self.root_stale_timeouts}"
             )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -163,6 +193,15 @@ class GS3Config:
     def failure_timeout(self) -> float:
         """Silence (ticks) after which a heartbeat peer is failed."""
         return self.failure_timeout_beats * self.heartbeat_interval
+
+    @property
+    def root_stale_horizon(self) -> float:
+        """Root-freshness horizon: ``root_stale_timeouts * failure_timeout``.
+
+        An advertised ``hops_to_root`` whose ``root_heard_at`` stamp is
+        older than this is discarded by parent adoption.
+        """
+        return self.root_stale_timeouts * self.failure_timeout
 
     @property
     def recommended_max_range(self) -> float:

@@ -54,6 +54,7 @@ from .messages import (
     ProxyGrant,
     ProxyRevoke,
     ReplacingHead,
+    RootSeek,
     SanityCheckReq,
     SanityCheckValid,
 )
@@ -96,6 +97,13 @@ class Gs3DynamicNode(Gs3StaticNode):
         self._last_activity: float = -math.inf
         #: When each (forward) neighbouring cell was seen vacant.
         self._vacant_since: Dict = {}
+        #: Last PARENT_SEEK broadcast (rate-limits the probe: parent
+        #: adoption runs on every received beat, not just on ticks).
+        self._last_parent_seek: float = -math.inf
+        #: When this head entered ROOT_SEEK (``None`` = not seeking).
+        self._root_seek_since: Optional[float] = None
+        #: Last instant the away big node heard any head (reseed timer).
+        self._away_heard: float = -math.inf
 
     # ------------------------------------------------------------------
     # root position
@@ -230,6 +238,9 @@ class Gs3DynamicNode(Gs3StaticNode):
                 return
         if self.is_root or self.is_proxy:
             state.root_position = self.position
+            # The root is the origin of liveness: stamp every beat.
+            state.root_epoch = max(state.root_epoch, 1)
+            state.root_heard_at = now
         alive = HeadIntraAlive(
             sender=self.node_id,
             position=self.position,
@@ -240,6 +251,8 @@ class Gs3DynamicNode(Gs3StaticNode):
             candidates=tuple(c for c, _ in candidates),
             hops_to_root=state.hops_to_root,
             root_position=self.root_position,
+            root_epoch=state.root_epoch,
+            root_heard_at=state.root_heard_at,
         )
         self.rt.radio.broadcast(
             self.node_id, alive, tx_range=self.cfg.cell_broadcast_range
@@ -368,12 +381,41 @@ class Gs3DynamicNode(Gs3StaticNode):
         state.parent_il = None
 
     def _reset_to_bootup(self) -> None:
+        if self.is_big:
+            # The big node never re-enters plain BOOTUP: it *is* the
+            # root.  When its cell collapses under it (abandonment,
+            # sanity reset — e.g. every associate silenced by a jam) it
+            # steps aside BIG_SLIDE-style and reclaims a cell when one
+            # becomes audible again, with a fresh epoch.
+            self._big_step_aside()
+            return
         self._cancel_claim()
         self._finish_org()
         self.state.reset()
         self.rt.trace("node.bootup", self.node_id)
         self._last_probe = -math.inf
         self._probe_backoff = 0.0
+        self._root_seek_since = None
+
+    def _big_step_aside(self) -> None:
+        """The big node's cell dissolved with no successor candidate:
+        wait in the away status until any cell's IL drifts within R_t
+        (``_big_await_resume``), instead of rebooting as a small node."""
+        self._cancel_claim()
+        self._finish_org()
+        state = self.state
+        state.status = self.big_away_status
+        state.parent_id = None
+        state.parent_il = None
+        state.children = set()
+        state.candidate_ids = set()
+        state.associate_positions = {}
+        self._associate_last_heard.clear()
+        state.head_id = None
+        state.head_position = None
+        self._root_seek_since = None
+        self._away_heard = self.rt.sim.now
+        self.rt.trace("big.step_aside", self.node_id)
 
     # ------------------------------------------------------------------
     # ASSOCIATE / CANDIDATE _INTRA_CELL
@@ -455,6 +497,8 @@ class Gs3DynamicNode(Gs3StaticNode):
                 icc_icp=state.icc_icp,
                 hops_to_root=state.hops_to_root,
                 root_position=self.root_position,
+                root_epoch=state.root_epoch,
+                root_heard_at=state.root_heard_at,
             ),
             tx_range=self.cfg.search_radius,
         )
@@ -483,14 +527,31 @@ class Gs3DynamicNode(Gs3StaticNode):
             state.hops_to_root = 0
             state.parent_id = self.node_id
             state.root_position = self.position
+            state.root_epoch = max(state.root_epoch, 1)
+            state.root_heard_at = now
             self._parent_ok_since = now
+            self._root_seek_since = None
         else:
             # Re-evaluate the parent each beat: neighbour positions or
             # the root's position may have changed (GS3-M).
             self._adopt_best_parent()
             if self.state.parent_id is not None:
                 self._parent_ok_since = now
+                self._root_seek_since = None
             else:
+                if (
+                    self.cfg.enable_root_regeneration
+                    and state.root_heard_at is not None
+                    and now - state.root_heard_at
+                    > self.cfg.root_stale_horizon
+                ):
+                    # Our whole reachable neighbourhood lost the root
+                    # (PARENT_SEEK keeps failing and our own root view
+                    # expired): probe for any fresh-epoch path and, if
+                    # none answers, elect a replacement root.
+                    self._root_seek(now)
+                    if not state.status.is_head_like:
+                        return
                 if (
                     now - self._parent_ok_since
                     > 3.0 * self.cfg.failure_timeout
@@ -522,7 +583,12 @@ class Gs3DynamicNode(Gs3StaticNode):
             info.axial for info in state.neighbor_heads.values()
         } | {info.axial for info in self.known_heads.values()}
         for axial in list(self._vacant_since):
-            if axial in occupied_now:
+            # Re-occupied cells stop being vacant; cells that left the
+            # forward candidate set (e.g. after a cell shift changed
+            # our spiral offset) are no longer ours to re-organise —
+            # without the second clause the dict grows without bound
+            # and keeps triggering spurious re-organisation.
+            if axial in occupied_now or axial not in forward:
                 del self._vacant_since[axial]
         claim_grace = 2.0 * self.cfg.failure_timeout
         needs_reorg = any(
@@ -549,6 +615,8 @@ class Gs3DynamicNode(Gs3StaticNode):
             parent_id=state.parent_id,
             is_root=self.is_root or self.is_proxy,
             root_position=self.root_position,
+            root_epoch=state.root_epoch,
+            root_heard_at=state.root_heard_at,
         )
         targets = {info.node_id for info in state.neighbor_heads.values()}
         for known in self.known_heads.values():
@@ -574,17 +642,46 @@ class Gs3DynamicNode(Gs3StaticNode):
         head adopts the neighbouring head with the fewest hops to the
         root (ties broken by ideal-location distance to the root, then
         id).  Switching is *sticky*: the current parent is kept unless
-        a neighbour is strictly closer (in hops) than it.  Stickiness
-        is what contains the impact of a big-node move (Theorem 11):
-        heads whose hop count merely shifts with the root keep their
-        parents, and only the watershed near the move must re-point.
+        a neighbour is strictly better; stickiness is what contains the
+        impact of a big-node move (Theorem 11): heads whose hop count
+        merely shifts with the root keep their parents, and only the
+        watershed near the move must re-point.
+
+        An advertised ``hops_to_root`` is only valid *relative to a
+        live root*, so candidates are filtered DSDV-style: entries not
+        heard within the failure timeout are skipped (a dead head must
+        not re-enter via the known-heads merge), and entries whose
+        advertised root freshness exceeds ``root_stale_horizon`` are
+        discarded — once the root falls silent, every member of a
+        parent cycle stops re-stamping, the whole cycle expires
+        together, and count-to-infinity is structurally impossible.
+        Among valid entries a higher ``root_epoch`` beats any hop
+        count.  On adoption the head takes over the parent's root view
+        (epoch + freshness), which is what diffuses liveness one hop
+        per beat down the tree.
         """
         state = self.state
         if self.is_root or self.is_proxy:
             return
+        now = self.rt.sim.now
         root = self.root_position
+        live_horizon = now - self.cfg.failure_timeout
+        fresh_horizon = now - self.cfg.root_stale_horizon
+
+        def usable(info) -> bool:
+            if info.last_heard < live_horizon:
+                return False
+            # ``None`` = advertiser predates the liveness layer (or no
+            # root stamp has reached it yet): treated as fresh so that
+            # boot-time adoption is unchanged.
+            if info.root_heard_at is None:
+                return True
+            return info.root_heard_at >= fresh_horizon
+
         entries = {
-            info.node_id: info for info in state.neighbor_heads.values()
+            info.node_id: info
+            for info in state.neighbor_heads.values()
+            if usable(info)
         }
         if state.cell_axial is not None:
             for known in self.known_heads.values():
@@ -592,11 +689,14 @@ class Gs3DynamicNode(Gs3StaticNode):
                     continue
                 if hex_distance(known.axial, state.cell_axial) != 1:
                     continue
+                if not usable(known):
+                    continue
                 entries[known.node_id] = known
         entries.pop(self.node_id, None)
 
         def key(info):
             return (
+                -info.root_epoch,
                 info.hops_to_root,
                 info.il.distance_to(root),
                 info.node_id,
@@ -608,16 +708,27 @@ class Gs3DynamicNode(Gs3StaticNode):
             if not initial:
                 state.parent_id = None
                 # PARENT_SEEK: actively probe for heads we cannot hear
-                # passively (e.g. after large perturbations).
-                self.rt.radio.broadcast(
-                    self.node_id,
-                    ParentSeek(sender=self.node_id, axial=state.cell_axial),
-                    tx_range=self.cfg.recommended_max_range,
-                )
+                # passively (e.g. after large perturbations).  Rate
+                # limited: adoption re-runs on every received beat.
+                if now - self._last_parent_seek >= self.cfg.heartbeat_interval:
+                    self._last_parent_seek = now
+                    self.rt.radio.broadcast(
+                        self.node_id,
+                        ParentSeek(
+                            sender=self.node_id,
+                            axial=state.cell_axial,
+                            root_epoch=state.root_epoch,
+                            root_heard_at=state.root_heard_at,
+                        ),
+                        tx_range=self.cfg.recommended_max_range,
+                    )
             return
         chosen = best
         if current is not None and current.node_id != best.node_id:
-            if best.hops_to_root >= current.hops_to_root:
+            if (-best.root_epoch, best.hops_to_root) >= (
+                -current.root_epoch,
+                current.hops_to_root,
+            ):
                 chosen = current  # sticky: no strict improvement
         if state.parent_id != chosen.node_id:
             previous_parent = state.parent_id
@@ -641,6 +752,111 @@ class Gs3DynamicNode(Gs3StaticNode):
         else:
             state.parent_il = chosen.il
             state.hops_to_root = chosen.hops_to_root + 1
+        # DSDV view adoption: our root view is our parent's root view.
+        if chosen.root_heard_at is not None:
+            state.root_epoch = chosen.root_epoch
+            state.root_heard_at = chosen.root_heard_at
+        else:
+            self._merge_root_freshness(chosen.root_epoch, chosen.root_heard_at)
+
+    # ------------------------------------------------------------------
+    # ROOT_SEEK / big regeneration
+    # ------------------------------------------------------------------
+
+    def _root_seek(self, now: float) -> None:
+        """ROOT_SEEK: the head's own root freshness expired and no
+        fresh-epoch parent candidate exists anywhere in earshot.
+
+        Probe for heads that still hold a fresh path (they answer with
+        a full heartbeat, restoring a parent through the normal
+        adoption path); after a grace of two beats with no restored
+        parent, run the deterministic replacement-root election.
+        """
+        state = self.state
+        if self._root_seek_since is None:
+            self._root_seek_since = now
+            self.rt.trace(
+                "root.seek",
+                self.node_id,
+                axial=state.cell_axial,
+                epoch=state.root_epoch,
+            )
+        self.rt.radio.broadcast(
+            self.node_id,
+            RootSeek(
+                sender=self.node_id,
+                axial=state.cell_axial,
+                max_epoch_heard=self._max_epoch_heard,
+            ),
+            tx_range=self.cfg.recommended_max_range,
+        )
+        if now - self._root_seek_since < 2.0 * self.cfg.heartbeat_interval:
+            return
+        if self._wins_root_election():
+            self._regenerate_root(now)
+
+    def _wins_root_election(self) -> bool:
+        """Deterministic replacement-root election among live heads.
+
+        Every stale head evaluates the same rule over its local view:
+        the head closest to the last known root position (then lowest
+        id) wins.  Views are local, so disconnected clusters may each
+        elect one replacement — duplicate roots reconcile through
+        :meth:`_reconcile_roots` once connectivity returns.
+        """
+        now = self.rt.sim.now
+        live_horizon = now - self.cfg.failure_timeout
+        root = self.root_position
+        mine = (self.position.distance_to(root), self.node_id)
+        seen = set()
+        for info in self.state.neighbor_heads.values():
+            if info.last_heard >= live_horizon:
+                seen.add(info.node_id)
+                if (info.position.distance_to(root), info.node_id) < mine:
+                    return False
+        for info in self.known_heads.values():
+            if info.node_id in seen or info.last_heard < live_horizon:
+                continue
+            if (info.position.distance_to(root), info.node_id) < mine:
+                return False
+        return True
+
+    def _regenerate_root(self, now: float) -> None:
+        """Boot a replacement root with a fresh (strictly higher) epoch."""
+        state = self.state
+        state.root_epoch = self._next_root_epoch()
+        state.root_heard_at = now
+        state.parent_id = self.node_id
+        state.parent_il = state.current_il
+        state.hops_to_root = 0
+        state.root_position = self.position
+        self._parent_ok_since = now
+        self._root_seek_since = None
+        self.rt.trace(
+            "root.regenerate",
+            self.node_id,
+            axial=state.cell_axial,
+            epoch=state.root_epoch,
+        )
+        # Announce immediately so sibling seekers adopt us instead of
+        # electing themselves on their own grace expiry.
+        self.rt.radio.broadcast(
+            self.node_id,
+            HeadInterAlive(
+                sender=self.node_id,
+                position=self.position,
+                axial=state.cell_axial,
+                il=state.current_il,
+                icc_icp=state.icc_icp,
+                hops_to_root=0,
+                parent_id=state.parent_id,
+                is_root=True,
+                root_position=self.position,
+                root_epoch=state.root_epoch,
+                root_heard_at=state.root_heard_at,
+            ),
+            tx_range=self.cfg.recommended_max_range,
+        )
 
     # ------------------------------------------------------------------
     # SANITY_CHECK
@@ -786,7 +1002,9 @@ class Gs3DynamicNode(Gs3StaticNode):
             )
         self._proxy_id = head_id
         self.rt.radio.unicast(
-            self.node_id, head_id, ProxyGrant(sender=self.node_id)
+            self.node_id,
+            head_id,
+            ProxyGrant(sender=self.node_id, root_epoch=self.state.root_epoch),
         )
         self.rt.trace("proxy.grant", self.node_id, proxy=head_id)
 
@@ -815,6 +1033,11 @@ class Gs3DynamicNode(Gs3StaticNode):
                 state.parent_id = self.node_id
                 state.hops_to_root = 0
                 state.head_id = None
+                # Resume with a strictly higher epoch than anything
+                # heard while away: any roots regenerated during the
+                # outage demote to us on first contact.
+                state.root_epoch = self._next_root_epoch()
+                state.root_heard_at = self.rt.sim.now
                 self._head_since = self.rt.sim.now
                 if self._proxy_id is not None:
                     self.rt.radio.unicast(
@@ -827,6 +1050,7 @@ class Gs3DynamicNode(Gs3StaticNode):
                 return
         # Keep the proxy pointed at the closest fresh head.
         if self.known_heads:
+            self._away_heard = self.rt.sim.now
             closest = min(
                 self.known_heads.values(),
                 key=lambda info: (
@@ -835,6 +1059,26 @@ class Gs3DynamicNode(Gs3StaticNode):
                 ),
             )
             self._grant_proxy(closest.node_id)
+            return
+        # Total collapse: the whole structure dissolved (e.g. a jam
+        # over the entire field) and there is no head left to proxy
+        # through or resume into — every small node is waiting in
+        # boot-up for an organiser.  Without this reseed the big node
+        # would wait forever in the away status: the mirror image of
+        # the pre-root-liveness wedge.  Re-become the root (with a
+        # strictly higher epoch, so any stale view demotes to us) and
+        # restart HEAD_ORG from scratch.
+        now = self.rt.sim.now
+        if now - self._away_heard > 3.0 * self.cfg.failure_timeout:
+            if self._proxy_id is not None:
+                self.rt.radio.unicast(
+                    self.node_id,
+                    self._proxy_id,
+                    ProxyRevoke(sender=self.node_id),
+                )
+                self._proxy_id = None
+            self.rt.trace("big.reseed", self.node_id)
+            self.become_root()
 
     # ------------------------------------------------------------------
     # message handlers (new in GS3-D)
@@ -862,6 +1106,9 @@ class Gs3DynamicNode(Gs3StaticNode):
             state.icc_icp = msg.icc_icp
             if msg.root_position is not None:
                 state.root_position = msg.root_position
+            # Inherit the head's root view so a later claim starts
+            # from an honest freshness value.
+            self._merge_root_freshness(msg.root_epoch, msg.root_heard_at)
             state.known_candidates = msg.candidates
             state.is_candidate = self.node_id in msg.candidates
             state.candidate_rank = (
@@ -886,6 +1133,7 @@ class Gs3DynamicNode(Gs3StaticNode):
             state.icc_icp = msg.icc_icp
             if msg.root_position is not None:
                 state.root_position = msg.root_position
+            self._merge_root_freshness(msg.root_epoch, msg.root_heard_at)
             state.known_candidates = msg.candidates
             state.is_candidate = self.node_id in msg.candidates
             state.surrogate_of = None
@@ -944,6 +1192,7 @@ class Gs3DynamicNode(Gs3StaticNode):
         il = getattr(msg, "il", None) or getattr(msg, "current_il", None)
         is_root = bool(getattr(msg, "is_root", False))
         hops = 0 if is_root else msg.hops_to_root
+        root_epoch = getattr(msg, "root_epoch", 0)
         state.neighbor_heads[axial] = NeighborInfo(
             node_id=sender,
             axial=axial,
@@ -952,12 +1201,18 @@ class Gs3DynamicNode(Gs3StaticNode):
             hops_to_root=hops,
             icc_icp=msg.icc_icp,
             last_heard=self.rt.sim.now,
+            root_epoch=root_epoch,
+            root_heard_at=getattr(msg, "root_heard_at", None),
         )
         # Learn the root's position from upstream: our parent and any
-        # root-flagged sender are authoritative.
+        # root-flagged sender are authoritative — unless they serve an
+        # older epoch than ours (a demoted root's last beats must not
+        # drag the believed root position backwards).
         root_position = getattr(msg, "root_position", None)
-        if root_position is not None and (
-            sender == state.parent_id or is_root
+        if (
+            root_position is not None
+            and (sender == state.parent_id or is_root)
+            and root_epoch >= state.root_epoch
         ):
             state.root_position = root_position
         # Re-evaluate the parent choice (F1.2: the head graph is a
@@ -966,10 +1221,111 @@ class Gs3DynamicNode(Gs3StaticNode):
 
     def _on_headinteralive(self, msg: HeadInterAlive, sender: NodeId) -> None:
         self._remember_head(
-            sender, msg.position, msg.il, msg.axial, 0 if msg.is_root else msg.hops_to_root
+            sender,
+            msg.position,
+            msg.il,
+            msg.axial,
+            0 if msg.is_root else msg.hops_to_root,
+            msg.root_epoch,
+            msg.root_heard_at,
         )
+        if not self.state.status.is_head_like:
+            return
+        self._reconcile_roots(msg, sender)
+        # Reconciliation may have demoted us (handback): re-check.
         if self.state.status.is_head_like:
             self._update_neighbor(msg, sender)
+
+    def _reconcile_roots(self, msg: HeadInterAlive, sender: NodeId) -> None:
+        """Duplicate-root reconciliation (multibig merge machinery).
+
+        When two roots meet — after a healed partition, or when the
+        big node resurfaces among regenerated roots — the lower
+        :func:`~repro.core.multibig.root_rank` wins: newer epoch first,
+        then the big node over any regenerated root, then lowest id.
+        The loser demotes: a regenerated (small) root simply rejoins
+        the tree; the big node hands its cell back BIG_SLIDE-style and
+        re-claims later with a fresh epoch via ``_big_await_resume``.
+        """
+        if not (self.is_root or self.is_proxy):
+            return
+        from .multibig import root_rank
+
+        state = self.state
+        if msg.is_root:
+            sender_is_big = (
+                self.rt.network.has_node(sender)
+                and self.rt.network.node(sender).is_big
+            )
+            theirs = root_rank(msg.root_epoch, sender_is_big, sender)
+        elif msg.root_epoch > state.root_epoch:
+            # A non-root neighbour already serves a strictly newer
+            # root: ours is obsolete even though we cannot hear the
+            # winner directly.
+            theirs = root_rank(msg.root_epoch, False, sender)
+        else:
+            return
+        mine = root_rank(state.root_epoch, self.is_big, self.node_id)
+        if theirs >= mine:
+            return
+        self.rt.trace(
+            "root.handback",
+            self.node_id,
+            to=sender,
+            epoch=msg.root_epoch,
+        )
+        if self.is_big:
+            self._step_down_to_associate(sender, msg.position)
+            return
+        self.is_proxy = False
+        state.parent_id = None
+        self._parent_ok_since = self.rt.sim.now
+        self._root_seek_since = None
+        self._merge_root_freshness(msg.root_epoch, msg.root_heard_at)
+        self._adopt_best_parent()
+
+    def _on_rootseek(self, msg: RootSeek, sender: NodeId) -> None:
+        """Answer a ROOT_SEEK probe — but only from a *fresh* root view.
+
+        A wedge of mutually stale heads must not echo each other back
+        to apparent health; only heads that are the root, deputise for
+        it, or hold an unexpired root stamp respond.
+        """
+        if msg.max_epoch_heard > self._max_epoch_heard:
+            self._max_epoch_heard = msg.max_epoch_heard
+        state = self.state
+        if not state.status.is_head_like:
+            return
+        if state.parent_id == sender:
+            return  # our own parent cannot adopt us back (cycle)
+        now = self.rt.sim.now
+        fresh = (
+            self.is_root
+            or self.is_proxy
+            or (
+                state.root_heard_at is not None
+                and now - state.root_heard_at <= self.cfg.root_stale_horizon
+            )
+        )
+        if not fresh:
+            return
+        self.rt.radio.unicast(
+            self.node_id,
+            sender,
+            HeadInterAlive(
+                sender=self.node_id,
+                position=self.position,
+                axial=state.cell_axial,
+                il=state.current_il,
+                icc_icp=state.icc_icp,
+                hops_to_root=state.hops_to_root,
+                parent_id=state.parent_id,
+                is_root=self.is_root or self.is_proxy,
+                root_position=self.root_position,
+                root_epoch=state.root_epoch,
+                root_heard_at=state.root_heard_at,
+            ),
+        )
 
     def _on_associatealive(self, msg: AssociateAlive, sender: NodeId) -> None:
         if not self.state.status.is_head_like:
@@ -1011,7 +1367,13 @@ class Gs3DynamicNode(Gs3StaticNode):
 
     def _on_headclaim(self, msg: HeadClaim, sender: NodeId) -> None:
         self._remember_head(
-            sender, msg.position, msg.current_il, msg.axial, msg.hops_to_root
+            sender,
+            msg.position,
+            msg.current_il,
+            msg.axial,
+            msg.hops_to_root,
+            msg.root_epoch,
+            msg.root_heard_at,
         )
         state = self.state
         if state.status.is_head_like:
@@ -1039,6 +1401,7 @@ class Gs3DynamicNode(Gs3StaticNode):
             state.icc_icp = msg.icc_icp
             if msg.root_position is not None:
                 state.root_position = msg.root_position
+            self._merge_root_freshness(msg.root_epoch, msg.root_heard_at)
             self._cancel_claim()
             self.rt.radio.unicast(
                 self.node_id,
@@ -1103,7 +1466,15 @@ class Gs3DynamicNode(Gs3StaticNode):
     def _on_headjoinoffer(self, msg: HeadJoinOffer, sender: NodeId) -> None:
         # Hops unknown from the offer; a conservative large value keeps
         # parent selection honest until a heartbeat refreshes it.
-        self._remember_head(sender, msg.position, msg.il, msg.axial, 1 << 20)
+        self._remember_head(
+            sender,
+            msg.position,
+            msg.il,
+            msg.axial,
+            1 << 20,
+            msg.root_epoch,
+            msg.root_heard_at,
+        )
 
     def _on_associatejoinoffer(
         self, msg: AssociateJoinOffer, sender: NodeId
@@ -1127,6 +1498,12 @@ class Gs3DynamicNode(Gs3StaticNode):
             self.is_proxy = True
             self.state.parent_id = self.node_id
             self.state.hops_to_root = 0
+            # Epoch continuity across the slide: the proxy carries the
+            # big node's epoch forward rather than booting a new one.
+            self.state.root_epoch = max(
+                self.state.root_epoch, msg.root_epoch, 1
+            )
+            self.state.root_heard_at = self.rt.sim.now
             self.rt.trace("proxy.accept", self.node_id)
 
     def _on_proxyrevoke(self, msg: ProxyRevoke, sender: NodeId) -> None:
@@ -1153,6 +1530,8 @@ class Gs3DynamicNode(Gs3StaticNode):
                 sender=self.node_id,
                 axial=state.cell_axial,
                 hops_to_root=state.hops_to_root,
+                root_epoch=state.root_epoch,
+                root_heard_at=state.root_heard_at,
             ),
         )
         # Also resend a full heartbeat so the seeker learns our
@@ -1170,6 +1549,8 @@ class Gs3DynamicNode(Gs3StaticNode):
                 parent_id=state.parent_id,
                 is_root=self.is_root or self.is_proxy,
                 root_position=self.root_position,
+                root_epoch=state.root_epoch,
+                root_heard_at=state.root_heard_at,
             ),
         )
 
@@ -1254,6 +1635,11 @@ class Gs3DynamicNode(Gs3StaticNode):
 
     def on_message(self, payload, sender: NodeId) -> None:
         self._last_activity = self.rt.sim.now
+        # Track the highest epoch ever heard from *any* message so a
+        # later regeneration or resume always outbids it.
+        epoch = getattr(payload, "root_epoch", 0)
+        if epoch > self._max_epoch_heard:
+            self._max_epoch_heard = epoch
         super().on_message(payload, sender)
 
     def _on_org(self, msg, sender: NodeId) -> None:

@@ -27,6 +27,13 @@ through the heartbeat exchange (and re-joins from scratch if it left
 its cell's radio range), and a moved *head* detects at its next
 maintenance tick that it drifted more than ``R_t`` from its IL and
 hands the cell to the best candidate (GS3-D's mobility retreat).
+
+Root liveness (PR 5) is inherited wholesale from GS3-D: the
+``root_epoch`` survives *big_move* through the proxy grant (the proxy
+continues the epoch rather than booting a new one), and the big node
+resumes with a strictly higher epoch via ``_big_await_resume`` — so
+any roots regenerated while the big node travelled demote to it on
+first contact, exactly as after a jam.
 """
 
 from __future__ import annotations

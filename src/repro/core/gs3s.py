@@ -57,6 +57,10 @@ class KnownHead:
     axial: Axial
     hops_to_root: int
     last_heard: float
+    #: Root epoch the head advertised with its hop count.
+    root_epoch: int = 0
+    #: The head's advertised root freshness (``None`` = unknown).
+    root_heard_at: Optional[float] = None
 
 
 @dataclass
@@ -86,6 +90,9 @@ class Gs3StaticNode:
         #: Vacant neighbouring cells found R_t-gap perturbed during
         #: HEAD_ORG (GS3-D re-probes them).
         self.gap_axials: set = set()
+        #: Highest root epoch ever heard (monotonic; survives resets so
+        #: a regenerated or resuming root always outbids it).
+        self._max_epoch_heard: int = 0
         self._org: Optional[_OrgRound] = None
         if runtime.config.location_error > 0.0:
             rng = runtime.rng.stream(f"location.{node_id}")
@@ -161,9 +168,36 @@ class Gs3StaticNode:
         state.parent_id = self.node_id
         state.parent_il = state.current_il
         state.hops_to_root = 0
+        state.root_epoch = self._next_root_epoch()
+        state.root_heard_at = self.rt.sim.now
         self.rt.trace("head.become", self.node_id, axial=state.cell_axial)
         self.on_became_head()
         self.start_head_org()
+
+    def _next_root_epoch(self) -> int:
+        """A root epoch strictly above everything this node has seen."""
+        return max(self.state.root_epoch, self._max_epoch_heard) + 1
+
+    def _merge_root_freshness(
+        self, root_epoch: int, root_heard_at: Optional[float]
+    ) -> None:
+        """Adopt an advertised root view if it beats the current one.
+
+        Ordered by (epoch, freshness); an unknown freshness (``None``)
+        never displaces a known one at equal epoch.
+        """
+        state = self.state
+        current = (
+            state.root_epoch,
+            -math.inf if state.root_heard_at is None else state.root_heard_at,
+        )
+        offered = (
+            root_epoch,
+            -math.inf if root_heard_at is None else root_heard_at,
+        )
+        if offered > current:
+            state.root_epoch = root_epoch
+            state.root_heard_at = root_heard_at
 
     # -- HEAD_ORG ---------------------------------------------------------
 
@@ -198,6 +232,8 @@ class Gs3StaticNode:
                 axial=state.cell_axial,
                 icc_icp=state.icc_icp,
                 hops_to_root=state.hops_to_root,
+                root_epoch=state.root_epoch,
+                root_heard_at=state.root_heard_at,
             ),
             tx_range=self.cfg.recommended_max_range,
         )
@@ -345,6 +381,8 @@ class Gs3StaticNode:
                 organizer_icc_icp=state.icc_icp,
                 organizer_hops=state.hops_to_root,
                 assignments=assignments,
+                root_epoch=state.root_epoch,
+                root_heard_at=state.root_heard_at,
             ),
             tx_range=self.cfg.recommended_max_range,
         )
@@ -376,7 +414,13 @@ class Gs3StaticNode:
 
     def _on_org(self, msg: Org, sender: NodeId) -> None:
         self._remember_head(
-            sender, msg.head_position, msg.il, msg.axial, msg.hops_to_root
+            sender,
+            msg.head_position,
+            msg.il,
+            msg.axial,
+            msg.hops_to_root,
+            msg.root_epoch,
+            msg.root_heard_at,
         )
         status = self.state.status
         if status.is_head_like:
@@ -392,6 +436,8 @@ class Gs3StaticNode:
                     axial=self.state.cell_axial,
                     icc_icp=self.state.icc_icp,
                     hops_to_root=self.state.hops_to_root,
+                    root_epoch=self.state.root_epoch,
+                    root_heard_at=self.state.root_heard_at,
                 ),
             )
             return
@@ -455,7 +501,13 @@ class Gs3StaticNode:
 
     def _on_headorgreply(self, msg: HeadOrgReply, sender: NodeId) -> None:
         self._remember_head(
-            sender, msg.position, msg.il, msg.axial, msg.hops_to_root
+            sender,
+            msg.position,
+            msg.il,
+            msg.axial,
+            msg.hops_to_root,
+            msg.root_epoch,
+            msg.root_heard_at,
         )
         if self._org is not None and not self._org.closed:
             self._org.head_replies[sender] = msg
@@ -469,6 +521,8 @@ class Gs3StaticNode:
             msg.organizer_il,
             msg.organizer_axial,
             msg.organizer_hops,
+            msg.root_epoch,
+            msg.root_heard_at,
         )
         mine: Optional[HeadAssignment] = None
         for assignment in msg.assignments:
@@ -478,6 +532,8 @@ class Gs3StaticNode:
                 assignment.il,
                 assignment.axial,
                 msg.organizer_hops + 1,
+                msg.root_epoch,
+                msg.root_heard_at,
             )
             if assignment.node_id == self.node_id:
                 mine = assignment
@@ -501,6 +557,7 @@ class Gs3StaticNode:
         state.parent_id = msg.sender
         state.parent_il = msg.organizer_il
         state.hops_to_root = msg.organizer_hops + 1
+        self._merge_root_freshness(msg.root_epoch, msg.root_heard_at)
         state.head_id = None
         state.head_position = None
         state.is_candidate = False
@@ -578,7 +635,11 @@ class Gs3StaticNode:
         il: Vec2,
         axial: Axial,
         hops: int,
+        root_epoch: int = 0,
+        root_heard_at: Optional[float] = None,
     ) -> None:
+        if root_epoch > self._max_epoch_heard:
+            self._max_epoch_heard = root_epoch
         if node_id == self.node_id:
             return
         # Local knowledge: only heads within the coordination radius
@@ -593,6 +654,8 @@ class Gs3StaticNode:
             axial=axial,
             hops_to_root=hops,
             last_heard=self.rt.sim.now,
+            root_epoch=root_epoch,
+            root_heard_at=root_heard_at,
         )
 
     def forget_head(self, node_id: NodeId) -> None:

@@ -41,6 +41,7 @@ __all__ = [
     "check_i2_cell_radius",
     "check_i3_associate_optimality",
     "check_f4_coverage",
+    "check_root_liveness",
     "inner_head_ids",
     "check_static_invariant",
     "check_static_fixpoint",
@@ -332,6 +333,37 @@ def check_f4_coverage(
             violations.append(
                 f"visible node {node_id} (status {view.status.value}) "
                 "belongs to no cell"
+            )
+    return violations
+
+
+def check_root_liveness(
+    snapshot: StructureSnapshot, horizon: float
+) -> List[str]:
+    """Root-liveness bound (GS3-D head maintenance, PR 5).
+
+    Every live head's root freshness (``root_heard_at``) must be within
+    ``horizon`` of snapshot time.  The protocol guarantees this
+    *eventually*: a head whose freshness expires either finds a
+    fresh-epoch parent, or ROOT_SEEK regenerates a replacement root —
+    so a quiescent structure violating this bound is exactly the
+    pre-fix jam wedge.  ``None`` freshness means no stamped beat has
+    reached the head yet (boot) and is not a violation.
+
+    Deliberately *not* part of :func:`check_static_invariant`: GS3-S
+    runs never re-stamp after convergence, so freshness legitimately
+    ages in static simulations.
+    """
+    violations = []
+    cutoff = snapshot.time - horizon
+    for head_id, view in snapshot.heads.items():
+        if view.root_heard_at is None:
+            continue
+        if view.root_heard_at < cutoff:
+            violations.append(
+                f"head {head_id}: root freshness {view.root_heard_at:.2f} "
+                f"older than horizon (cutoff {cutoff:.2f}, "
+                f"epoch {view.root_epoch})"
             )
     return violations
 

@@ -39,6 +39,7 @@ __all__ = [
     "NewChildHead",
     "ParentSeek",
     "ParentSeekAck",
+    "RootSeek",
     "SanityCheckReq",
     "SanityCheckValid",
     "HeadRetreatCorrupted",
@@ -69,6 +70,10 @@ class Org(Message):
         axial: the organising cell's axial address.
         icc_icp: the organising cell's <ICC, ICP>.
         hops_to_root: the organiser's distance (hops) to the root.
+        root_epoch: monotonic epoch of the root the organiser serves
+            (DSDV-style sequence number; 0 = unknown/legacy).
+        root_heard_at: virtual time the organiser's root path last
+            carried a live root stamp (``None`` = unknown).
     """
 
     head_position: Vec2
@@ -76,6 +81,8 @@ class Org(Message):
     axial: Axial
     icc_icp: IccIcp
     hops_to_root: int
+    root_epoch: int = 0
+    root_heard_at: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -95,6 +102,8 @@ class HeadOrgReply(Message):
     axial: Axial
     icc_icp: IccIcp
     hops_to_root: int
+    root_epoch: int = 0
+    root_heard_at: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -121,6 +130,10 @@ class HeadSet(Message):
     organizer_icc_icp: IccIcp
     organizer_hops: int
     assignments: Tuple[HeadAssignment, ...]
+    #: Root liveness of the organiser: new heads inherit this as their
+    #: initial root view.
+    root_epoch: int = 0
+    root_heard_at: Optional[float] = None
 
 
 # ---------------------------------------------------------------------------
@@ -143,6 +156,8 @@ class HeadJoinOffer(Message):
     il: Vec2
     axial: Axial
     icc_icp: IccIcp
+    root_epoch: int = 0
+    root_heard_at: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -185,6 +200,11 @@ class HeadIntraAlive(Message):
     #: Current position of the root (big node or proxy), diffused down
     #: the tree so heads can pick the neighbour closest to it.
     root_position: Optional[Vec2] = None
+    #: Root liveness of the sender's path to the root (see
+    #: :class:`HeadInterAlive`); associates inherit it so a later claim
+    #: starts from an honest freshness value.
+    root_epoch: int = 0
+    root_heard_at: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -224,6 +244,8 @@ class HeadClaim(Message):
     icc_icp: IccIcp
     hops_to_root: int
     root_position: Optional[Vec2] = None
+    root_epoch: int = 0
+    root_heard_at: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -263,6 +285,14 @@ class HeadInterAlive(Message):
     is_root: bool = False
     #: Current position of the root (big node or proxy).
     root_position: Optional[Vec2] = None
+    #: Monotonic root epoch of the sender's path to the root.  Only a
+    #: root originates a new epoch; everyone else copies its parent's.
+    root_epoch: int = 0
+    #: Virtual time the sender's root path last carried a live root
+    #: stamp (roots stamp "now" each beat; the value diffuses one hop
+    #: per beat).  ``None`` = unknown (legacy sender) — receivers treat
+    #: that as fresh.
+    root_heard_at: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -277,6 +307,10 @@ class ParentSeek(Message):
     """A head that lost its parent probes for a new one (*parent_seek*)."""
 
     axial: Axial
+    #: The seeker's own (stale) root view, for diagnostics and so that
+    #: responders can tell a fresh seeker from a wedged one.
+    root_epoch: int = 0
+    root_heard_at: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -285,6 +319,26 @@ class ParentSeekAck(Message):
 
     axial: Axial
     hops_to_root: int
+    root_epoch: int = 0
+    root_heard_at: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class RootSeek(Message):
+    """ROOT_SEEK: a head whose root freshness expired probes for any
+    head that still has a *fresh-epoch* path to a root.
+
+    Answered (like :class:`ParentSeek`) with a full
+    :class:`HeadInterAlive` — but only by heads whose own root view is
+    fresh, so a wedge of mutually stale heads cannot echo each other
+    back to health.  If no answer restores a parent within the election
+    grace, the seeker runs the deterministic replacement-root election.
+    """
+
+    axial: Axial
+    #: Highest root epoch the seeker has ever heard (a regenerated root
+    #: must exceed every epoch any elector has seen).
+    max_epoch_heard: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -327,6 +381,10 @@ class ProxyGrant(Message):
     root so the head graph stays a minimum-distance tree towards the
     big node.
     """
+
+    #: The big node's root epoch at grant time; the proxy continues it
+    #: (merge-max with its own), keeping epoch continuity across slides.
+    root_epoch: int = 0
 
 
 @dataclass(frozen=True)

@@ -27,7 +27,27 @@ from .gs3d import Gs3DynamicNode
 from .gs3s import Gs3StaticNode
 from .snapshot import StructureSnapshot
 
-__all__ = ["RegionAssignment", "MultiBigSimulation", "partition_by_big"]
+__all__ = [
+    "RegionAssignment",
+    "MultiBigSimulation",
+    "partition_by_big",
+    "root_rank",
+]
+
+
+def root_rank(
+    root_epoch: int, is_big: bool, node_id: NodeId
+) -> Tuple[int, int, NodeId]:
+    """Total order over competing root claims (lower rank wins).
+
+    Used when duplicate roots meet — after a healed partition, a jam
+    that forced big regeneration, or in multi-big deployments: a newer
+    epoch beats an older one, the big node beats any regenerated
+    (small-node) root at equal epoch, and node id breaks the remaining
+    ties deterministically.  The losing root demotes via the
+    BIG_SLIDE-style handback in ``gs3d``.
+    """
+    return (-int(root_epoch), 0 if is_big else 1, node_id)
 
 
 @dataclass(frozen=True)

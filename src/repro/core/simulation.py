@@ -47,6 +47,10 @@ STRUCTURE_CHANGE_CATEGORIES = (
     "cell.abandoned",
     "node.bootup",
     "sanity.reset",
+    "root.regenerate",
+    "root.handback",
+    "big.step_aside",
+    "big.reseed",
 )
 
 

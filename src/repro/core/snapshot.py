@@ -38,6 +38,10 @@ class NodeView:
     hops_to_root: int
     head_id: Optional[NodeId]
     is_candidate: bool
+    #: Root epoch the node's tree path serves (0 = none heard yet).
+    root_epoch: int = 0
+    #: Virtual time the node's path last carried a live root stamp.
+    root_heard_at: Optional[float] = None
 
     @property
     def is_head(self) -> bool:
@@ -208,6 +212,8 @@ def take_snapshot(runtime: Gs3Runtime) -> StructureSnapshot:
             hops_to_root=state.hops_to_root,
             head_id=state.head_id,
             is_candidate=state.is_candidate,
+            root_epoch=state.root_epoch,
+            root_heard_at=state.root_heard_at,
         )
     return StructureSnapshot(
         time=runtime.sim.now,

@@ -54,6 +54,10 @@ class NeighborInfo:
     hops_to_root: int
     icc_icp: IccIcp = (0, 0)
     last_heard: float = 0.0
+    #: Root epoch the neighbour advertised with its hop count.
+    root_epoch: int = 0
+    #: The neighbour's advertised root freshness (``None`` = unknown).
+    root_heard_at: Optional[float] = None
 
 
 @dataclass
@@ -88,6 +92,14 @@ class ProtocolState:
     #: Last known position of the root (big node or its proxy); the
     #: lattice origin until told otherwise.
     root_position: Optional[Vec2] = None
+    #: Monotonic epoch of the root this node's tree path serves.  Only
+    #: roots originate epochs (DSDV-style); 0 = no root heard yet.
+    root_epoch: int = 0
+    #: Virtual time this node's root path last carried a live root
+    #: stamp.  Roots stamp every beat; children merge their parent's
+    #: value, so in a rootless parent cycle the value stops advancing
+    #: and the staleness horizon dissolves the cycle.
+    root_heard_at: Optional[float] = None
     #: Children heads.
     children: Set[NodeId] = field(default_factory=set)
     #: Known neighbouring heads, keyed by their cell axial.
@@ -126,6 +138,8 @@ class ProtocolState:
         self.parent_il = None
         self.hops_to_root = 0
         self.root_position = None
+        self.root_epoch = 0
+        self.root_heard_at = None
         self.children = set()
         self.neighbor_heads = {}
         self.candidate_ids = set()

@@ -213,6 +213,9 @@ class StabilizationVerdict:
     #: Broadcast deliveries dropped by jamming / by stochastic loss.
     jam_drops: int = 0
     loss_drops: int = 0
+    #: Replacement roots elected during the replicate (ROOT_SEEK fired
+    #: after a root outage; 0 = the original root never went stale).
+    root_regenerations: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-compatible payload (deterministic; no wall timing)."""
@@ -228,6 +231,7 @@ class StabilizationVerdict:
             "configured_at": self.configured_at,
             "jam_drops": self.jam_drops,
             "loss_drops": self.loss_drops,
+            "root_regenerations": self.root_regenerations,
         }
 
 
@@ -309,6 +313,7 @@ def run_chaos_replicate(spec: Dict[str, Any]) -> Dict[str, Any]:
         configured_at=configured.converged_at,
         jam_drops=faults.jam_drops if faults is not None else 0,
         loss_drops=faults.loss_drops if faults is not None else 0,
+        root_regenerations=simulation.tracer.count("root.regenerate"),
     ).to_dict()
 
 

@@ -336,6 +336,12 @@ class ScenarioExecution:
                 float(spec["radius"]),
                 float(spec["duration"]),
             )
+            # A jam touches no node state, so the network can look
+            # perfectly quiescent mid-outage (the pre-0.2 "quiescent
+            # wedge": the driver settled during the jam and recorded a
+            # wedged structure as stable).  Healing is only judgeable
+            # once the channel clears — run through the window first.
+            self._run_for(float(spec["duration"]))
             return f"jammed disk r={spec['radius']} until t={window.end}"
         if kind == "churn":
             duration = float(spec["duration"])

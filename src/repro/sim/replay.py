@@ -43,6 +43,7 @@ __all__ = [
     "head_tree_partitioned",
     "invariant_violated",
     "replay_to",
+    "root_liveness_violated",
     "state_digest",
 ]
 
@@ -138,6 +139,10 @@ def state_digest(snapshot) -> str:
                 view.hops_to_root,
                 view.head_id,
                 view.is_candidate,
+                view.root_epoch,
+                None
+                if view.root_heard_at is None
+                else _num(view.root_heard_at),
             ]
         )
     payload = {
@@ -214,10 +219,26 @@ def invariant_violated(state: ReplayState) -> bool:
     )
 
 
+def root_liveness_violated(state: ReplayState) -> bool:
+    """Some head's root freshness exceeds the staleness horizon.
+
+    Uses the run's configured ``root_stale_horizon`` plus one failure
+    timeout of slack for propagation lag (freshness diffuses one hop
+    per beat, so deep heads legitimately trail the root).  True during
+    a wedge; false again once ROOT_SEEK regenerated a root.
+    """
+    from ..core import check_root_liveness
+
+    config = state.simulation.config
+    horizon = config.root_stale_horizon + config.failure_timeout
+    return bool(check_root_liveness(state.snapshot, horizon))
+
+
 #: Named predicates for the ``repro bisect`` CLI.
 PREDICATES: Dict[str, Callable[[ReplayState], bool]] = {
     "invariant": invariant_violated,
     "partition": head_tree_partitioned,
+    "root_stale": root_liveness_violated,
 }
 
 

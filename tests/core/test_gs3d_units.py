@@ -141,7 +141,10 @@ class TestSanityExchange:
             SanityCheckValid(sender=1, axial=(1, 0), il=bogus_il, icc_icp=(0, 0)),
             1,
         )
-        assert big.state.status is NodeStatus.BOOTUP
+        # The big node steps aside (BIG_SLIDE) rather than re-entering
+        # plain BOOTUP: it stays the root-in-waiting and reclaims a
+        # cell via _big_await_resume (PR 5 root-liveness semantics).
+        assert big.state.status is NodeStatus.BIG_SLIDE
 
     def test_valid_reply_with_good_relation_is_harmless(self):
         runtime, big, head, _ = build_two_heads()

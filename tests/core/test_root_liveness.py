@@ -1,0 +1,470 @@
+"""Root-liveness tests: epoch monotonicity, stale-view filtering,
+ROOT_SEEK / regeneration, duplicate-root reconciliation, and the
+DSDV-style cycle-impossibility property.
+
+The jam-wedge integration proof lives in ``tests/sim/test_replay.py``;
+these tests drive the machinery directly on hand-built miniature
+networks (the jam scenario does exercise it end-to-end, but a single
+trajectory cannot pin each branch).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GS3Config, Gs3DynamicNode, NodeStatus
+from repro.core.invariants import check_root_liveness
+from repro.core.messages import HeadInterAlive, RootSeek
+from repro.core.multibig import root_rank
+from repro.core.runtime import Gs3Runtime
+from repro.core.state import NeighborInfo
+from repro.geometry import Vec2
+from repro.net import Network
+
+CFG = GS3Config(ideal_radius=100.0, radius_tolerance=25.0)
+SPACING = CFG.lattice_spacing
+HORIZON = CFG.root_stale_horizon
+
+
+def build_chain(n, big_root=False, seed=1):
+    """``n`` heads in a line of cells (0,0), (1,0), ... (i heads cell
+    (i, 0) and parents head i-1); no node runs its periodic timer, so
+    tests drive maintenance and message delivery by hand."""
+    network = Network(cell_size=200.0)
+    for i in range(n):
+        network.add_node(
+            Vec2(i * SPACING, 0),
+            CFG.recommended_max_range,
+            is_big=(big_root and i == 0),
+        )
+    if not big_root:
+        # The runtime requires a big node; park one far out of radio
+        # range, in BOOTUP with no timer — it never participates.
+        network.add_node(
+            Vec2(-50.0 * SPACING, 50.0 * SPACING),
+            CFG.recommended_max_range,
+            is_big=True,
+        )
+    runtime = Gs3Runtime.build(network, CFG, seed=seed)
+    if not big_root:
+        Gs3DynamicNode(runtime, n)  # the parked big, passive
+    nodes = [Gs3DynamicNode(runtime, i) for i in range(n)]
+    for i, node in enumerate(nodes):
+        state = node.state
+        state.status = NodeStatus.WORK
+        state.cell_axial = (i, 0)
+        state.oil = state.current_il = runtime.lattice.point((i, 0))
+        state.parent_id = i if i == 0 else i - 1
+        state.hops_to_root = i
+        state.root_position = Vec2(0, 0)
+        node._parent_ok_since = runtime.sim.now
+    return runtime, nodes
+
+
+def beat_from(node, is_root=None):
+    """The HeadInterAlive heartbeat ``node`` would emit right now."""
+    state = node.state
+    return HeadInterAlive(
+        sender=node.node_id,
+        position=node.position,
+        axial=state.cell_axial,
+        il=state.current_il,
+        icc_icp=state.icc_icp,
+        hops_to_root=state.hops_to_root,
+        parent_id=state.parent_id,
+        is_root=(node.is_root or node.is_proxy) if is_root is None else is_root,
+        root_position=node.root_position,
+        root_epoch=state.root_epoch,
+        root_heard_at=state.root_heard_at,
+    )
+
+
+def parent_chain_acyclic(nodes):
+    """Every parent chain ends at a root (or at None) without looping."""
+    by_id = {node.node_id: node for node in nodes}
+    for start in nodes:
+        seen = set()
+        current = start
+        while True:
+            if current.is_root or current.state.parent_id is None:
+                break
+            if current.node_id in seen:
+                return False
+            seen.add(current.node_id)
+            parent = by_id.get(current.state.parent_id)
+            if parent is None:
+                break  # points outside the group: no cycle here
+            current = parent
+    return True
+
+
+class TestEpochMonotonicity:
+    def test_next_epoch_beats_own_and_heard(self):
+        runtime, nodes = build_chain(1)
+        node = nodes[0]
+        node.state.root_epoch = 3
+        node._max_epoch_heard = 7
+        assert node._next_root_epoch() == 8
+        node._max_epoch_heard = 1
+        assert node._next_root_epoch() == 4
+
+    def test_become_root_bumps_epoch_each_time(self):
+        runtime, nodes = build_chain(1, big_root=True)
+        big = nodes[0]
+        big.become_root()
+        first = big.state.root_epoch
+        assert first >= 1
+        big.become_root()
+        assert big.state.root_epoch > first
+
+    def test_any_message_raises_max_epoch_heard(self):
+        runtime, nodes = build_chain(2)
+        a, b = nodes
+        b.state.root_epoch = 9
+        a.on_message(beat_from(b), b.node_id)
+        assert a._max_epoch_heard >= 9
+        # ROOT_SEEK probes forward the highest epoch the seeker saw.
+        a.on_message(
+            RootSeek(sender=b.node_id, axial=(1, 0), max_epoch_heard=12),
+            b.node_id,
+        )
+        assert a._max_epoch_heard >= 12
+
+    def test_merge_never_regresses(self):
+        runtime, nodes = build_chain(1)
+        node = nodes[0]
+        node.state.root_epoch = 2
+        node.state.root_heard_at = 50.0
+        node._merge_root_freshness(1, 90.0)  # older epoch: ignored
+        assert (node.state.root_epoch, node.state.root_heard_at) == (2, 50.0)
+        node._merge_root_freshness(2, 40.0)  # same epoch, staler: ignored
+        assert node.state.root_heard_at == 50.0
+        node._merge_root_freshness(2, None)  # unknown freshness: ignored
+        assert node.state.root_heard_at == 50.0
+        node._merge_root_freshness(2, 60.0)  # same epoch, fresher: taken
+        assert node.state.root_heard_at == 60.0
+        node._merge_root_freshness(3, 10.0)  # newer epoch always wins
+        assert (node.state.root_epoch, node.state.root_heard_at) == (3, 10.0)
+
+
+class TestRootRank:
+    def test_newer_epoch_beats_everything(self):
+        assert root_rank(2, False, 99) < root_rank(1, True, 0)
+
+    def test_big_beats_regenerated_at_equal_epoch(self):
+        assert root_rank(1, True, 99) < root_rank(1, False, 0)
+
+    def test_lowest_id_breaks_full_ties(self):
+        assert root_rank(1, False, 3) < root_rank(1, False, 7)
+
+
+class TestStaleViewFiltering:
+    """``_adopt_best_parent`` must ignore entries whose root view
+    expired — the DSDV move that makes count-to-infinity impossible."""
+
+    def _wire_neighbor(self, node, other, root_heard_at, last_heard):
+        state = other.state
+        node.state.neighbor_heads[state.cell_axial] = NeighborInfo(
+            node_id=other.node_id,
+            axial=state.cell_axial,
+            il=state.current_il,
+            position=other.position,
+            hops_to_root=state.hops_to_root,
+            last_heard=last_heard,
+            root_epoch=state.root_epoch,
+            root_heard_at=root_heard_at,
+        )
+
+    def test_fresh_neighbor_adopted_and_view_copied(self):
+        runtime, nodes = build_chain(2)
+        a, b = nodes[1], nodes[0]
+        runtime.sim.run(until=200.0)
+        b.state.root_epoch = 2
+        a.state.parent_id = None
+        self._wire_neighbor(a, b, root_heard_at=180.0, last_heard=199.0)
+        a._adopt_best_parent()
+        assert a.state.parent_id == b.node_id
+        # DSDV view adoption: the child holds its parent's exact view.
+        assert a.state.root_epoch == 2
+        assert a.state.root_heard_at == 180.0
+
+    def test_stale_root_view_not_adopted(self):
+        runtime, nodes = build_chain(2)
+        a, b = nodes[1], nodes[0]
+        runtime.sim.run(until=200.0)
+        a.state.parent_id = None
+        # b heartbeats fine (live) but its root stamp expired.
+        self._wire_neighbor(
+            a, b, root_heard_at=200.0 - HORIZON - 1.0, last_heard=199.0
+        )
+        a._adopt_best_parent()
+        assert a.state.parent_id is None
+
+    def test_legacy_none_freshness_stays_adoptable(self):
+        runtime, nodes = build_chain(2)
+        a, b = nodes[1], nodes[0]
+        runtime.sim.run(until=200.0)
+        a.state.parent_id = None
+        self._wire_neighbor(a, b, root_heard_at=None, last_heard=199.0)
+        a._adopt_best_parent()
+        assert a.state.parent_id == b.node_id
+
+    def test_dead_known_head_not_resurrected_as_parent(self):
+        # Satellite of the wedge fix: known_heads entries past the
+        # failure timeout must not re-enter through the adoption merge.
+        runtime, nodes = build_chain(2)
+        a, b = nodes[1], nodes[0]
+        runtime.sim.run(until=200.0)
+        a.state.parent_id = None
+        a._remember_head(
+            b.node_id,
+            b.position,
+            b.state.current_il,
+            b.state.cell_axial,
+            0,
+            root_epoch=1,
+            root_heard_at=199.0,
+        )
+        a.known_heads[b.node_id].last_heard = (
+            200.0 - CFG.failure_timeout - 1.0
+        )
+        a._adopt_best_parent()
+        assert a.state.parent_id is None
+
+
+class TestRootSeekAndRegeneration:
+    def _strand(self, runtime, node, now):
+        """Leave ``node`` parentless with an expired root view at
+        ``now`` (but recently enough parented to not dissolve)."""
+        runtime.sim.run(until=now)
+        node.state.parent_id = None
+        node.state.root_epoch = 1
+        node.state.root_heard_at = now - HORIZON - 1.0
+        node._parent_ok_since = now - 1.0
+
+    def test_seek_then_regenerate_after_grace(self):
+        runtime, nodes = build_chain(1)
+        node = nodes[0]
+        self._strand(runtime, node, 200.0)
+        node._head_inter_cell()
+        assert node._root_seek_since == 200.0
+        assert runtime.tracer.count("root.seek") == 1
+        assert not node.is_root  # grace: probe first, elect later
+        runtime.sim.run(until=200.0 + 2.0 * CFG.heartbeat_interval + 1.0)
+        node._head_inter_cell()
+        assert node.is_root
+        assert node.state.root_epoch >= 2
+        assert node.state.hops_to_root == 0
+        assert runtime.tracer.count("root.regenerate") == 1
+
+    def test_election_defers_to_closer_live_head(self):
+        runtime, nodes = build_chain(2)
+        far, near = nodes[1], nodes[0]
+        self._strand(runtime, far, 200.0)
+        runtime.sim.run(until=230.0)
+        # ``near`` (closer to the last known root position) is alive in
+        # ``far``'s view: far must not elect itself.
+        far.state.neighbor_heads[(0, 0)] = NeighborInfo(
+            node_id=near.node_id,
+            axial=(0, 0),
+            il=near.state.current_il,
+            position=near.position,
+            hops_to_root=5,
+            last_heard=229.0,
+            root_epoch=1,
+            root_heard_at=229.0 - HORIZON - 1.0,  # stale too
+        )
+        far._root_seek_since = 200.0
+        assert not far._wins_root_election()
+        far._head_inter_cell()
+        assert not far.is_root
+
+    def test_stale_head_does_not_answer_seek(self):
+        # nodes[1] is a plain head (parent 0), nodes[2] the seeker.
+        runtime, nodes = build_chain(3)
+        answerer, seeker = nodes[1], nodes[2]
+        runtime.sim.run(until=200.0)
+        answerer.state.root_heard_at = 200.0 - HORIZON - 1.0
+        before = runtime.tracer.count("msg.unicast")
+        answerer.on_message(
+            RootSeek(sender=seeker.node_id, axial=(2, 0)), seeker.node_id
+        )
+        runtime.sim.run()
+        assert runtime.tracer.count("msg.unicast") == before
+
+    def test_fresh_head_answers_seek_with_full_beat(self):
+        runtime, nodes = build_chain(3)
+        answerer, seeker = nodes[1], nodes[2]
+        runtime.sim.run(until=200.0)
+        answerer.state.root_heard_at = 195.0
+        before = runtime.tracer.count("msg.unicast")
+        answerer.on_message(
+            RootSeek(sender=seeker.node_id, axial=(2, 0)), seeker.node_id
+        )
+        runtime.sim.run()
+        # At least the reply beat (the delivery may cascade: the
+        # seeker re-adopts and announces itself to the answerer).
+        assert runtime.tracer.count("msg.unicast") > before
+
+    def test_own_parent_does_not_answer_seek(self):
+        # The seeker's parent adopting it back would be a 2-cycle.
+        runtime, nodes = build_chain(3)
+        answerer, seeker = nodes[1], nodes[2]
+        runtime.sim.run(until=200.0)
+        answerer.state.parent_id = seeker.node_id
+        answerer.state.root_heard_at = 195.0
+        before = runtime.tracer.count("msg.unicast")
+        answerer.on_message(
+            RootSeek(sender=seeker.node_id, axial=(2, 0)), seeker.node_id
+        )
+        runtime.sim.run()
+        assert runtime.tracer.count("msg.unicast") == before
+
+
+class TestReconciliation:
+    def test_regenerated_root_demotes_to_big_on_equal_epoch(self):
+        runtime, nodes = build_chain(2, big_root=True)
+        big, regen = nodes
+        runtime.sim.run(until=100.0)
+        big.state.parent_id = big.node_id
+        big.state.hops_to_root = 0
+        big.state.root_epoch = 1
+        big.state.root_heard_at = 100.0
+        regen.state.parent_id = regen.node_id
+        regen.state.hops_to_root = 0
+        regen.state.root_epoch = 1
+        regen.state.root_heard_at = 99.0
+        assert big.is_root and regen.is_root
+        regen.on_message(beat_from(big), big.node_id)
+        assert not regen.is_root
+        assert runtime.tracer.count("root.handback") == 1
+        # The big node ignores the mirror-image beat (it outranks).
+        big.on_message(beat_from(regen, is_root=True), regen.node_id)
+        assert big.is_root
+
+    def test_big_defers_to_strictly_newer_epoch(self):
+        runtime, nodes = build_chain(2, big_root=True)
+        big, regen = nodes
+        runtime.sim.run(until=100.0)
+        big.state.parent_id = big.node_id
+        big.state.hops_to_root = 0
+        big.state.root_epoch = 1
+        big.state.root_heard_at = 100.0
+        regen.state.parent_id = regen.node_id
+        regen.state.hops_to_root = 0
+        regen.state.root_epoch = 2
+        regen.state.root_heard_at = 99.0
+        big.on_message(beat_from(regen), regen.node_id)
+        # BIG_SLIDE-style handback: the big steps aside (it will
+        # re-claim with a higher epoch via _big_await_resume).
+        assert big.state.status is big.big_away_status
+        assert runtime.tracer.count("root.handback") == 1
+
+    def test_non_root_heads_do_not_reconcile(self):
+        runtime, nodes = build_chain(3)
+        a, b = nodes[1], nodes[2]
+        runtime.sim.run(until=100.0)
+        a.state.root_epoch = 1
+        b.state.root_epoch = 5
+        a.on_message(beat_from(b), b.node_id)
+        assert runtime.tracer.count("root.handback") == 0
+
+
+class TestCheckRootLiveness:
+    def test_flags_stale_head_and_accepts_unknown(self):
+        runtime, nodes = build_chain(2)
+        a, b = nodes
+        runtime.sim.run(until=300.0)
+        a.state.root_heard_at = 300.0 - HORIZON - 50.0
+        b.state.root_heard_at = None  # legacy view: never flagged
+        from repro.core import take_snapshot
+
+        snapshot = take_snapshot(runtime)
+        violations = check_root_liveness(snapshot, HORIZON)
+        assert len(violations) == 1
+        assert str(a.node_id) in violations[0]
+        assert not check_root_liveness(snapshot, HORIZON + 100.0)
+
+
+class TestCycleImpossibility:
+    """Under arbitrary beat interleavings with no live root, no parent
+    cycle survives: freshness only originates at a root, so a rootless
+    cluster's views all expire within the staleness horizon and every
+    chain ends at a seeker or a regenerated root (never a loop)."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        actions=st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("beat"),
+                    st.integers(0, 3),
+                    st.integers(0, 3),
+                ),
+                st.tuples(
+                    st.just("advance"),
+                    st.floats(1.0, 25.0),
+                    st.just(0),
+                ),
+                st.tuples(st.just("tick"), st.integers(0, 3), st.just(0)),
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        seed=st.integers(0, 3),
+    )
+    def test_no_parent_cycle_survives(self, actions, seed):
+        runtime, nodes = build_chain(4, seed=seed)
+        t0 = 10.0
+        runtime.sim.run(until=t0)
+        for node in nodes:
+            node.state.root_epoch = 1
+            node.state.root_heard_at = t0  # last stamp a root ever made
+            node._parent_ok_since = t0
+        # Rootless: the head of the chain lost its parent (the real
+        # root died elsewhere); its hops_to_root=0 claim is stale data.
+        nodes[0].state.parent_id = None
+        for kind, i, j in actions:
+            if kind == "beat" and i != j:
+                nodes[j].on_message(beat_from(nodes[i]), nodes[i].node_id)
+            elif kind == "advance":
+                runtime.sim.run(until=runtime.sim.now + i)
+            elif kind == "tick":
+                node = nodes[i]
+                if node.state.status.is_head_like:
+                    node._parent_ok_since = max(
+                        node._parent_ok_since, runtime.sim.now - 100.0
+                    )
+                    node._head_inter_cell()
+            runtime.sim.run()
+            # Soundness: freshness is never invented.  Until some node
+            # regenerates (minting a new epoch and stamp), no view can
+            # be fresher than the last real root stamp at t0.
+            if runtime.tracer.count("root.regenerate") == 0:
+                for node in nodes:
+                    if not node.is_root:
+                        heard = node.state.root_heard_at
+                        assert heard is None or heard <= t0
+        # Let every surviving head pass the staleness horizon and run
+        # its maintenance a few times: seeks fire, at most one
+        # election winner regenerates per cluster, chains re-anchor.
+        for _ in range(4):
+            runtime.sim.run(
+                until=runtime.sim.now + HORIZON / 2.0 + CFG.heartbeat_interval
+            )
+            for node in nodes:
+                if node.state.status.is_head_like:
+                    node._parent_ok_since = runtime.sim.now - 1.0
+                    node._head_inter_cell()
+            runtime.sim.run()
+        assert parent_chain_acyclic(nodes)
+        # And specifically: nobody still *claims* a parent whose root
+        # view is expired relative to the claimant's own clock.
+        now = runtime.sim.now
+        for node in nodes:
+            if node.state.status.is_head_like and not node.is_root:
+                heard = node.state.root_heard_at
+                if node.state.parent_id is not None and heard is not None:
+                    assert now - heard <= HORIZON + CFG.failure_timeout

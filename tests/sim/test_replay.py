@@ -29,8 +29,11 @@ TINY = {
 }
 
 #: The EXPERIMENTS.md jam-wedge reproduction: a jam window covering the
-#: big node's region leaves the head tree rootless with parent cycles,
-#: quiescent but broken.  Completes (broken) around t=800.
+#: big node's region partitions the head tree one failure timeout after
+#: the jam hits.  Pre-0.2 the structure stayed wedged (rootless, parent
+#: cycles) forever; with root liveness the tree re-roots within one
+#: further failure timeout and the big node reclaims the root after the
+#: jam lifts (completes healed around t=1000).
 WEDGE = {
     "seed": 0,
     "config": {"ideal_radius": 100.0, "radius_tolerance": 25.0},
@@ -140,16 +143,37 @@ class TestPredicates:
         assert not head_tree_partitioned(state)
 
     @pytest.mark.slow
-    def test_partition_true_on_wedged_structure(self):
+    def test_wedge_heals_with_root_liveness(self):
+        """The jam wedge self-heals: transient partition, clean finish.
+
+        Pre-0.2 this scenario ended wedged — rootless head tree with
+        parent cycles, quiescent forever.  Root liveness makes the
+        partition transient: heads notice their root view went stale,
+        ROOT_SEEK elects a stand-in root during the outage, and the big
+        node reclaims the root (epoch-demoting the stand-in) once the
+        jam lifts.
+        """
         scenario = Scenario.from_dict(WEDGE)
         final = replay_to(scenario, 0, 1e9)
         assert final.completed
+        assert not head_tree_partitioned(final)
+        assert not PREDICATES["root_stale"](final)
         violations = final.result.final_violations
-        assert any("root" in v or "cycle" in v for v in violations)
-        assert head_tree_partitioned(final)
-        assert PREDICATES["invariant"](final)
-        # Before the jam the configured structure is intact.
+        assert not any("root" in v or "cycle" in v for v in violations)
+        # The big node is the root again at the end.
+        snapshot = final.snapshot
+        assert snapshot.roots == [snapshot.big_id]
+        # The healing went through the new machinery: the stale heads
+        # sought a root, one regenerated, and the regenerated root
+        # handed back to the big node after the jam.
+        tracer = final.simulation.tracer
+        assert tracer.count("root.seek") >= 1
+        assert tracer.count("root.regenerate") >= 1
+        assert tracer.count("root.handback") >= 1
+        # Before the jam the configured structure is intact; during the
+        # outage the partition is real (the predicate still detects it).
         assert not head_tree_partitioned(replay_to(scenario, 0, 390.0))
+        assert head_tree_partitioned(replay_to(scenario, 0, 450.0))
 
 
 class TestBisectOnset:
@@ -195,9 +219,14 @@ class TestBisectOnset:
         inside the disk are declared failed one failure_timeout
         (3.5 * 10 = 35 ticks) later, and the head tree partitions.  The
         bisection must find that instant within the step bound.
+
+        With root liveness the partition is *transient* (healed by
+        ~t=466), so the search window must end inside the outage —
+        bisection assumes monotonicity, and probing t=800 would see the
+        already-healed structure.
         """
         scenario = Scenario.from_dict(WEDGE)
-        t_max = 800.0  # the wedged run completes (broken) at t=800
+        t_max = 450.0  # inside the partition window [~435, ~465]
         tol = 1.0
         result = bisect_onset(
             scenario,
@@ -208,7 +237,7 @@ class TestBisectOnset:
         )
         assert result.onset is not None
         # Regression pin: onset in the failure-timeout window after the
-        # jam hits at t=400 (measured: ~435.16).
+        # jam hits at t=400 (measured: ~435.06).
         assert 430.0 <= result.onset <= 440.0
         assert result.onset - result.lo <= tol
         assert result.bisect_steps <= math.ceil(math.log2(t_max / tol))
@@ -219,3 +248,8 @@ class TestBisectOnset:
         assert not head_tree_partitioned(
             replay_to(scenario, 0, result.lo)
         )
+        # Recovery pin: the partition clears within roughly one
+        # failure timeout of the onset — long before the jam lifts at
+        # t=800 (measured: healed by ~466).
+        assert not head_tree_partitioned(replay_to(scenario, 0, 470.0))
+        assert not head_tree_partitioned(replay_to(scenario, 0, 800.0))
