@@ -1,0 +1,390 @@
+"""Incremental invariant checking from structure-change traces.
+
+``check_static_invariant`` rebuilds a full snapshot and rescans every
+cell on each call — fine once per run, quadratic when a chaos campaign
+checks after every perturbation wave.  :class:`IncrementalInvariantChecker`
+keeps a *maintained* view store between checks: a trace listener
+collects the ids of nodes whose state may have changed (dirty nodes),
+and each check refreshes exactly those views, rescans exactly the
+touched cells of the expensive I3 family, and re-runs the cheap O(H)
+families in full.  The result is identical to a fresh
+``check_static_invariant`` — the contract pinned by the differential
+suite in ``tests/core/test_incremental.py`` (violation *content* is
+identical; ordering within the list may differ).
+
+Soundness rules:
+
+* a node is dirty when any non-message trace names it, or a message is
+  delivered to it (state only changes while processing an event, and
+  every structural change is traced — the same contract
+  ``run_until_stable`` convergence detection relies on);
+* previously-violating items are always rescanned;
+* an I3 verdict is recomputed when the associate is dirty, its chosen
+  head's view changed, the head's inner-cell classification flipped,
+  or any head view changed within the associate's cached chosen
+  distance (a nearer head appearing is the one non-local invalidation,
+  bounded by the max cached chosen distance);
+* a trace with no node id (and any untraced mutation reported via
+  :meth:`mark_all_dirty`) degrades to a full rescan.
+
+Topology mutations must go through the simulation's perturbation API
+(``kill_node`` / ``revive_node`` / ``move_node`` / ``add_node``), which
+traces them.  Callers driving the :class:`~repro.net.topology.Network`
+directly (e.g. a mobility model) must call :meth:`mark_dirty` from
+their move listener, or :meth:`full_rescan`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..geometry import Disk, Vec2
+from ..net import NodeId
+from .invariants import (
+    _EPS,
+    _head_index,
+    check_f4_coverage,
+    check_i1_physical_connectivity,
+    check_i1_tree,
+    check_i2_cell_radius,
+    check_i2_children,
+    check_i2_inner_six,
+    check_i2_neighbors,
+    inner_head_ids,
+    nearest_head_distance,
+)
+from .snapshot import NodeView, StructureSnapshot, node_view
+from .state import NodeStatus
+
+__all__ = ["IncrementalInvariantChecker"]
+
+#: Per-associate I3 cache entry: (violation-or-None, the associate view
+#: it was computed from, the chosen head view, chosen distance, whether
+#: the head was inner, whether the associate was skipped by the inner
+#: filter).
+_I3Entry = Tuple[
+    Optional[str], NodeView, Optional[NodeView], float, bool, bool
+]
+
+
+class IncrementalInvariantChecker:
+    """Maintains SI/DI violations across checks, rescanning dirty cells.
+
+    Args:
+        simulation: the run to watch (its tracer is subscribed to).
+        field: deployment field for boundary-aware checks (as in
+            ``check_static_invariant``).
+        dynamic: DI children bound (GS3-D) vs SI (GS3-S).
+        gap_diameter: the paper's ``d_p`` for the boundary radius bound.
+    """
+
+    def __init__(
+        self,
+        simulation,
+        field: Optional[Disk] = None,
+        dynamic: bool = True,
+        gap_diameter: float = 0.0,
+    ):
+        self.simulation = simulation
+        self.field = field
+        self.dynamic = dynamic
+        self.gap_diameter = gap_diameter
+        self._dirty: Set[NodeId] = set()
+        self._full = True
+        self._views: Dict[NodeId, NodeView] = {}
+        self._heads: Dict[NodeId, NodeView] = {}
+        self._associates: Dict[NodeId, NodeView] = {}
+        self._i3: Dict[NodeId, _I3Entry] = {}
+        self._inner: Optional[Set[NodeId]] = None
+        simulation.tracer.subscribe_meta(self._on_trace)
+
+    def close(self) -> None:
+        """Detach from the tracer (the checker stops tracking)."""
+        self.simulation.tracer.unsubscribe_meta(self._on_trace)
+
+    # -- dirty tracking -----------------------------------------------------
+
+    def _on_trace(
+        self, time: float, category: str, node: Optional[int]
+    ) -> None:
+        if category.startswith("msg.") and category != "msg.deliver":
+            return
+        if category.startswith("trace."):
+            return
+        if node is None:
+            if category != "perturb.jam":  # jamming touches no state
+                self._full = True
+            return
+        self._dirty.add(node)
+
+    def mark_dirty(self, node_id: NodeId) -> None:
+        """Report an untraced state/topology change affecting a node."""
+        self._dirty.add(node_id)
+
+    def mark_all_dirty(self) -> None:
+        """Degrade the next check to a full rescan."""
+        self._full = True
+
+    @property
+    def dirty_count(self) -> int:
+        """Nodes queued for view refresh at the next check."""
+        return len(self._dirty)
+
+    # -- checking -----------------------------------------------------------
+
+    def full_rescan(self) -> List[str]:
+        """The escape hatch: rebuild everything, then check."""
+        self._full = True
+        return self.check()
+
+    def check(self, fixpoint: bool = False) -> List[str]:
+        """Current SI/DI violations (SF/DF with ``fixpoint``).
+
+        Content-identical to ``check_static_invariant`` /
+        ``check_static_fixpoint`` on a fresh snapshot; list order may
+        differ.
+        """
+        if self._full or not self._views:
+            self._rebuild()
+        else:
+            self._refresh_dirty()
+        self._dirty.clear()
+        self._full = False
+        snapshot = self._assemble_snapshot()
+        gap_axials = self._gap_axials(snapshot)
+        violations: List[str] = []
+        violations += check_i1_tree(snapshot)
+        violations += check_i1_physical_connectivity(
+            snapshot, self.simulation.network
+        )
+        violations += check_i2_neighbors(snapshot)
+        if self.field is not None:
+            violations += check_i2_inner_six(snapshot, self.field, gap_axials)
+        violations += check_i2_children(snapshot, dynamic=self.dynamic)
+        violations += check_i2_cell_radius(
+            snapshot, self.field, gap_axials, gap_diameter=self.gap_diameter
+        )
+        violations += self._check_i3(snapshot)
+        if fixpoint:
+            violations += self._check_i3(
+                snapshot, restrict_to_inner=False, cache=False
+            )
+            violations += check_f4_coverage(
+                snapshot, self.simulation.network
+            )
+        return violations
+
+    # -- view maintenance ---------------------------------------------------
+
+    def _rebuild(self) -> None:
+        runtime = self.simulation.runtime
+        self._views = {
+            node_id: node_view(runtime, node_id) for node_id in runtime.nodes
+        }
+        self._heads = {
+            v.node_id: v for v in self._views.values() if v.is_head
+        }
+        self._associates = {
+            v.node_id: v
+            for v in self._views.values()
+            if v.alive and v.status is NodeStatus.ASSOCIATE
+        }
+        self._i3 = {}
+        self._changed_head_positions: List[Vec2] = []
+        self._heads_changed = True
+
+    def _refresh_dirty(self) -> None:
+        runtime = self.simulation.runtime
+        changed_head_positions: List[Vec2] = []
+        heads_changed = False
+        known = self._views.keys()
+        dirty = self._dirty | (runtime.nodes.keys() - known)
+        for node_id in dirty:
+            old = self._views.get(node_id)
+            if node_id not in runtime.nodes:
+                if old is None:
+                    continue
+                fresh = None
+            else:
+                fresh = node_view(runtime, node_id)
+            if fresh is not None and old == fresh:
+                continue  # keep the old object; nothing to invalidate
+            old_head = old is not None and old.is_head
+            new_head = fresh is not None and fresh.is_head
+            if old_head:
+                changed_head_positions.append(old.position)
+            if new_head:
+                changed_head_positions.append(fresh.position)
+            heads_changed = heads_changed or old_head or new_head
+            if fresh is None:
+                del self._views[node_id]
+                self._heads.pop(node_id, None)
+                self._associates.pop(node_id, None)
+                self._i3.pop(node_id, None)
+                continue
+            self._views[node_id] = fresh
+            if new_head:
+                self._heads[node_id] = fresh
+            else:
+                self._heads.pop(node_id, None)
+            if fresh.alive and fresh.status is NodeStatus.ASSOCIATE:
+                self._associates[node_id] = fresh
+            else:
+                self._associates.pop(node_id, None)
+                self._i3.pop(node_id, None)
+        self._changed_head_positions = changed_head_positions
+        self._heads_changed = heads_changed
+
+    def _assemble_snapshot(self) -> StructureSnapshot:
+        runtime = self.simulation.runtime
+        snapshot = StructureSnapshot(
+            time=runtime.sim.now,
+            ideal_radius=runtime.config.ideal_radius,
+            radius_tolerance=runtime.config.radius_tolerance,
+            lattice=runtime.lattice,
+            big_id=self.simulation.network.big_id,
+            views=self._views,
+        )
+        # Seed the O(N)-to-rebuild cached properties with the
+        # maintained dicts (cached_property stores via __dict__, which
+        # is exactly how these would land anyway).
+        snapshot.__dict__["heads"] = self._heads
+        snapshot.__dict__["associates"] = self._associates
+        return snapshot
+
+    def _gap_axials(self, snapshot: StructureSnapshot) -> Set:
+        gaps: Set = set()
+        for node in self.simulation.runtime.nodes.values():
+            node_gaps = getattr(node, "gap_axials", None)
+            if node_gaps:
+                gaps |= node_gaps
+        if not gaps:
+            return gaps
+        return gaps - set(snapshot.head_by_axial)
+
+    # -- incremental I3 -----------------------------------------------------
+
+    def _check_i3(
+        self,
+        snapshot: StructureSnapshot,
+        restrict_to_inner: bool = True,
+        cache: bool = True,
+    ) -> List[str]:
+        heads = self._heads
+        if not heads:
+            self._i3 = {}
+            return []
+        inner: Optional[Set[NodeId]] = (
+            inner_head_ids(snapshot, self.field)
+            if restrict_to_inner and self.field
+            else None
+        )
+        if not cache:
+            return self._i3_scan(snapshot, self._associates, inner, {})
+        stale = self._stale_i3_ids(inner)
+        to_scan = {
+            node_id: self._associates[node_id]
+            for node_id in stale
+            if node_id in self._associates
+        }
+        fresh_entries: Dict[NodeId, _I3Entry] = {}
+        self._i3_scan(snapshot, to_scan, inner, fresh_entries)
+        self._i3.update(fresh_entries)
+        for node_id in list(self._i3):
+            if node_id not in self._associates:
+                del self._i3[node_id]
+        violations = [
+            entry[0]
+            for node_id, entry in self._i3.items()
+            if entry[0] is not None
+        ]
+        return violations
+
+    def _stale_i3_ids(self, inner: Optional[Set[NodeId]]) -> Set[NodeId]:
+        stale: Set[NodeId] = set()
+        max_chosen = 0.0
+        for node_id, view in self._associates.items():
+            entry = self._i3.get(node_id)
+            if entry is None:
+                stale.add(node_id)
+                continue
+            violation, assoc_view, head_view, chosen, was_inner, skipped = entry
+            if violation is not None:
+                stale.add(node_id)  # always rescan known violations
+                continue
+            if assoc_view is not view:
+                stale.add(node_id)
+                continue
+            current_head = self._heads.get(view.head_id)
+            if current_head is not head_view:
+                stale.add(node_id)
+                continue
+            now_inner = inner is None or view.head_id in inner
+            if skipped == now_inner:  # inner-filter verdict flipped
+                stale.add(node_id)
+                continue
+            if not skipped:
+                max_chosen = max(max_chosen, chosen)
+        if self._heads_changed and self._changed_head_positions:
+            network = self.simulation.network
+            radius = max_chosen + _EPS
+            for position in self._changed_head_positions:
+                for phys in network.nodes_within(position, radius):
+                    if phys.node_id in self._associates:
+                        stale.add(phys.node_id)
+        return stale
+
+    def _i3_scan(
+        self,
+        snapshot: StructureSnapshot,
+        associates: Dict[NodeId, NodeView],
+        inner: Optional[Set[NodeId]],
+        entries: Dict[NodeId, _I3Entry],
+    ) -> List[str]:
+        heads = self._heads
+        head_index = (
+            _head_index(snapshot)
+            if len(associates) * len(heads) >= 2_000
+            else None
+        )
+        violations: List[str] = []
+        for node_id, associate in associates.items():
+            head_view = heads.get(associate.head_id)
+            if head_view is None:
+                message = (
+                    f"associate {node_id} has dead/unknown head "
+                    f"{associate.head_id}"
+                )
+                violations.append(message)
+                entries[node_id] = (
+                    message, associate, None, 0.0, False, False
+                )
+                continue
+            if inner is not None and associate.head_id not in inner:
+                entries[node_id] = (
+                    None, associate, head_view, 0.0, False, True
+                )
+                continue
+            chosen_distance = associate.position.distance_to(
+                head_view.position
+            )
+            best_distance = nearest_head_distance(
+                snapshot, associate.position, chosen_distance, head_index
+            )
+            message = None
+            if chosen_distance > best_distance + _EPS:
+                message = (
+                    f"associate {node_id} chose head "
+                    f"{associate.head_id} at {chosen_distance:.2f} but a "
+                    f"head exists at {best_distance:.2f}"
+                )
+                violations.append(message)
+            entries[node_id] = (
+                message,
+                associate,
+                head_view,
+                chosen_distance,
+                inner is None or associate.head_id in inner,
+                False,
+            )
+        return violations

@@ -52,7 +52,13 @@ _EPS = 1e-6
 
 
 def check_i1_tree(snapshot: StructureSnapshot) -> List[str]:
-    """I1.2: the head graph is a tree rooted at the big node."""
+    """I1.2: the head graph is a tree rooted at the big node.
+
+    The per-head ancestor walk memoizes each node's terminal outcome,
+    so the whole check is O(H): every parent edge is traversed once
+    across all walks instead of once per descendant (the pre-scale
+    version was O(H * depth), quadratic on degenerate chains).
+    """
     violations = []
     heads = snapshot.heads
     if not heads:
@@ -74,26 +80,49 @@ def check_i1_tree(snapshot: StructureSnapshot) -> List[str]:
         if root_view.hops_to_root != 0:
             violations.append(f"root {root} has hops_to_root != 0")
     # Every head must reach a root through parent pointers, acyclically.
+    # outcomes[n]: ("root",), ("cycle",), ("dead", ancestor) or
+    # ("noparent", terminal) — the walk result from n, shared by every
+    # head whose path runs through n.
+    outcomes: dict = {}
     for head_id in heads:
-        seen: Set[NodeId] = set()
-        current = head_id
-        while True:
-            if current in seen:
-                violations.append(f"parent cycle through head {head_id}")
-                break
-            seen.add(current)
-            view = heads.get(current)
-            if view is None:
-                violations.append(
-                    f"head {head_id} has ancestor {current} that is not a live head"
-                )
-                break
-            if view.parent_id == current:
-                break  # reached a root
-            if view.parent_id is None:
-                violations.append(f"head {current} has no parent")
-                break
-            current = view.parent_id
+        if head_id in outcomes:
+            outcome = outcomes[head_id]
+        else:
+            path: List[NodeId] = []
+            on_path: Set[NodeId] = set()
+            current: NodeId = head_id
+            while True:
+                known = outcomes.get(current)
+                if known is not None:
+                    outcome = known
+                    break
+                if current in on_path:
+                    outcome = ("cycle",)
+                    break
+                path.append(current)
+                on_path.add(current)
+                view = heads.get(current)
+                if view is None:
+                    outcome = ("dead", current)
+                    break
+                if view.parent_id == current:
+                    outcome = ("root",)
+                    break
+                if view.parent_id is None:
+                    outcome = ("noparent", current)
+                    break
+                current = view.parent_id
+            for walked in path:
+                outcomes[walked] = outcome
+        kind = outcome[0]
+        if kind == "cycle":
+            violations.append(f"parent cycle through head {head_id}")
+        elif kind == "dead":
+            violations.append(
+                f"head {head_id} has ancestor {outcome[1]} that is not a live head"
+            )
+        elif kind == "noparent":
+            violations.append(f"head {outcome[1]} has no parent")
     return violations
 
 
@@ -268,25 +297,80 @@ def check_i2_cell_radius(
     return violations
 
 
+#: Above this ``heads * associates`` product the all-pairs I3 scan
+#: switches to a spatial head index (see ``check_i3_associate_optimality``).
+_I3_SPATIAL_THRESHOLD = 20_000
+
+
+def _head_index(snapshot: StructureSnapshot) -> Network:
+    """A throwaway spatial index over head positions, keyed by head id."""
+    index = Network(cell_size=max(snapshot.ideal_radius, 1.0))
+    for head_id, view in snapshot.heads.items():
+        index.add_node(view.position, max_range=1.0, node_id=head_id)
+    return index
+
+
+def nearest_head_distance(
+    snapshot: StructureSnapshot,
+    associate_position,
+    chosen_distance: float,
+    head_index: Optional[Network] = None,
+) -> float:
+    """Distance from an associate to its globally nearest head.
+
+    With a ``head_index``, only heads within ``chosen_distance`` are
+    examined: the associate's own head is a candidate at exactly that
+    distance, so the global argmin always lies inside the query disk
+    and the result is identical to the full scan (same ``hypot``
+    arithmetic on the same positions).
+    """
+    if head_index is not None:
+        candidates = head_index.nodes_within(
+            associate_position, chosen_distance
+        )
+        if candidates:
+            return min(
+                associate_position.distance_to(c.position)
+                for c in candidates
+            )
+    return min(
+        associate_position.distance_to(h.position)
+        for h in snapshot.heads.values()
+    )
+
+
 def check_i3_associate_optimality(
     snapshot: StructureSnapshot,
     restrict_to_inner: bool = False,
     field: Optional[Disk] = None,
+    spatial: Optional[bool] = None,
 ) -> List[str]:
     """I3 / F3: each associate chooses the closest head.
 
     With ``restrict_to_inner`` (I3) only associates of inner cells are
     checked; otherwise all associates (F3).
+
+    ``spatial`` selects the nearest-head strategy: ``True`` builds a
+    spatial index over head positions and queries each associate's
+    neighborhood (O(A * local) instead of the O(A * H) all-pairs scan),
+    ``False`` forces the all-pairs scan, and ``None`` (default) picks
+    spatially once ``A * H`` crosses a threshold.  Both strategies are
+    exact and produce identical violations.
     """
     violations = []
-    heads = list(snapshot.heads.values())
+    heads = snapshot.heads
     if not heads:
         return violations
+    if spatial is None:
+        spatial = (
+            len(heads) * len(snapshot.associates) >= _I3_SPATIAL_THRESHOLD
+        )
+    head_index = _head_index(snapshot) if spatial else None
     inner = (
         inner_head_ids(snapshot, field) if restrict_to_inner and field else None
     )
     for associate in snapshot.associates.values():
-        if associate.head_id not in snapshot.heads:
+        if associate.head_id not in heads:
             violations.append(
                 f"associate {associate.node_id} has dead/unknown head "
                 f"{associate.head_id}"
@@ -294,10 +378,10 @@ def check_i3_associate_optimality(
             continue
         if inner is not None and associate.head_id not in inner:
             continue
-        chosen = snapshot.heads[associate.head_id]
+        chosen = heads[associate.head_id]
         chosen_distance = associate.position.distance_to(chosen.position)
-        best_distance = min(
-            associate.position.distance_to(h.position) for h in heads
+        best_distance = nearest_head_distance(
+            snapshot, associate.position, chosen_distance, head_index
         )
         if chosen_distance > best_distance + _EPS:
             violations.append(

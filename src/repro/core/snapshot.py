@@ -18,10 +18,10 @@ from ..net import NodeId
 from .runtime import Gs3Runtime
 from .state import NodeStatus
 
-__all__ = ["NodeView", "StructureSnapshot", "take_snapshot"]
+__all__ = ["NodeView", "StructureSnapshot", "take_snapshot", "node_view"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NodeView:
     """One node's protocol-visible state at snapshot time."""
 
@@ -184,37 +184,46 @@ class StructureSnapshot:
         )
 
 
+def node_view(runtime: Gs3Runtime, node_id: NodeId) -> NodeView:
+    """One node's current view — the per-node unit of take_snapshot.
+
+    Exposed so the incremental invariant checker can refresh exactly
+    the dirty nodes of a maintained view store and stay byte-identical
+    with a fresh full snapshot.
+    """
+    node = runtime.nodes[node_id]
+    in_network = runtime.network.has_node(node_id)
+    alive = in_network and runtime.network.node(node_id).alive
+    position = (
+        runtime.network.node(node_id).position
+        if in_network
+        else Vec2(0.0, 0.0)
+    )
+    state = node.state
+    return NodeView(
+        node_id=node_id,
+        position=position,
+        status=state.status,
+        alive=alive,
+        is_big=in_network and runtime.network.node(node_id).is_big,
+        cell_axial=state.cell_axial,
+        current_il=state.current_il,
+        oil=state.oil,
+        icc_icp=state.icc_icp,
+        parent_id=state.parent_id,
+        hops_to_root=state.hops_to_root,
+        head_id=state.head_id,
+        is_candidate=state.is_candidate,
+        root_epoch=state.root_epoch,
+        root_heard_at=state.root_heard_at,
+    )
+
+
 def take_snapshot(runtime: Gs3Runtime) -> StructureSnapshot:
     """Capture the current structure of a protocol run."""
-    views: Dict[NodeId, NodeView] = {}
-    for node_id, node in runtime.nodes.items():
-        alive = runtime.network.has_node(node_id) and runtime.network.node(
-            node_id
-        ).alive
-        position = (
-            runtime.network.node(node_id).position
-            if runtime.network.has_node(node_id)
-            else Vec2(0.0, 0.0)
-        )
-        state = node.state
-        views[node_id] = NodeView(
-            node_id=node_id,
-            position=position,
-            status=state.status,
-            alive=alive,
-            is_big=runtime.network.has_node(node_id)
-            and runtime.network.node(node_id).is_big,
-            cell_axial=state.cell_axial,
-            current_il=state.current_il,
-            oil=state.oil,
-            icc_icp=state.icc_icp,
-            parent_id=state.parent_id,
-            hops_to_root=state.hops_to_root,
-            head_id=state.head_id,
-            is_candidate=state.is_candidate,
-            root_epoch=state.root_epoch,
-            root_heard_at=state.root_heard_at,
-        )
+    views: Dict[NodeId, NodeView] = {
+        node_id: node_view(runtime, node_id) for node_id in runtime.nodes
+    }
     return StructureSnapshot(
         time=runtime.sim.now,
         ideal_radius=runtime.config.ideal_radius,

@@ -43,7 +43,7 @@ class NodeStatus(enum.Enum):
         return self in (NodeStatus.HEAD, NodeStatus.WORK)
 
 
-@dataclass
+@dataclass(slots=True)
 class NeighborInfo:
     """What a head knows about one neighbouring head."""
 
@@ -60,7 +60,7 @@ class NeighborInfo:
     root_heard_at: Optional[float] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class ProtocolState:
     """The relational variables of one node's program.
 

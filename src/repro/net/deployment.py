@@ -68,8 +68,7 @@ class Deployment:
         """
         network = Network(cell_size=cell_size or max(max_range, 1.0))
         network.add_node(self.big_position, max_range, is_big=True)
-        for position in self.small_positions:
-            network.add_node(position, max_range)
+        network.add_nodes(self.small_positions, max_range)
         return network
 
     def density_lambda(self) -> float:

@@ -21,7 +21,7 @@ __all__ = ["NodeId", "PhysicalNode"]
 NodeId = int
 
 
-@dataclass
+@dataclass(slots=True)
 class PhysicalNode:
     """One radio node on the plane.
 

@@ -363,9 +363,16 @@ def run_chaos_campaigns(
 
 
 def _percentile(sorted_values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile of an ascending sequence."""
+    """Nearest-rank percentile of an ascending sequence.
+
+    ``rank = ceil(q * n) - 1`` clamped to ``[0, n - 1]``: q=0 hits the
+    minimum, q=1.0 hits the maximum (``ceil(n) - 1 == n - 1``), and a
+    single-element sequence returns that element for every q.
+    """
     if not sorted_values:
         raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"percentile q must be in [0, 1], got {q!r}")
     rank = max(0, math.ceil(q * len(sorted_values)) - 1)
     return sorted_values[min(rank, len(sorted_values) - 1)]
 

@@ -20,6 +20,21 @@ machinery), and the ``run`` loop binds the heap operations locally —
 together these roughly double raw dispatch throughput over the
 previous ``@dataclass(order=True)`` implementation (see
 ``benchmarks/results/BENCH_perf.json``).
+
+Recurring timers (one heartbeat per node — 100k of them at target
+scale) do not live on the one-shot heap at all: they go through a
+bucketed *timer wheel* (a calendar queue keyed by ``time //
+bucket_width``).  Each bucket is a small heap, and a secondary heap of
+per-bucket minima merges the wheel with the one-shot heap in the run
+loop.  Re-arming a heartbeat then costs ``O(log bucket)`` on a bucket
+holding only the timers due in one wheel slot, instead of ``O(log n)``
+on a global heap holding every pending timer in the system.
+
+Determinism contract: a wheel entry is assigned its ``(time, seq)``
+key *at arm time* from the same ``seq`` counter as one-shot events,
+and the run loop always executes the globally smallest ``(time,
+seq)`` across both structures — so a run's event order (and therefore
+its trajectory) is bit-identical to the single-heap engine's.
 """
 
 from __future__ import annotations
@@ -93,7 +108,11 @@ class Simulator:
     from FIFO execution of equal-timestamp events.
     """
 
-    def __init__(self, max_events: int = 50_000_000):
+    def __init__(
+        self,
+        max_events: int = 50_000_000,
+        timer_bucket_width: Optional[float] = None,
+    ):
         self._queue: List[Tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._now = 0.0
@@ -101,6 +120,17 @@ class Simulator:
         self._live = 0
         self._max_events = max_events
         self._running = False
+        # -- timer wheel (recurring events) --------------------------------
+        # Buckets keyed by int(time // width); each bucket is a heap of
+        # (time, seq, event) entries.  ``_wheel_minheap`` holds
+        # (time, seq, bucket_key) for every entry that has ever been a
+        # bucket minimum (stale entries are dropped lazily), and
+        # ``_wheel_min`` caches the exact current global minimum key so
+        # the run loop can merge wheel and heap with two comparisons.
+        self._wheel_width = timer_bucket_width
+        self._wheel_buckets: dict = {}
+        self._wheel_minheap: List[Tuple[float, int, int]] = []
+        self._wheel_min: Optional[Tuple[float, int]] = None
 
     # -- clock -----------------------------------------------------------
 
@@ -113,6 +143,24 @@ class Simulator:
     def executed_events(self) -> int:
         """Number of events executed so far."""
         return self._executed
+
+    @property
+    def max_events(self) -> int:
+        """Runaway-loop guard: executing more events than this raises.
+
+        Writable so scale campaigns (100k-node runs burn >50M events
+        legitimately) can raise the ceiling without rebuilding the
+        simulator the runtime already wired up.
+        """
+        return self._max_events
+
+    @max_events.setter
+    def max_events(self, value: int) -> None:
+        if value <= 0:
+            raise SimulationError(
+                f"max_events must be positive, got {value}"
+            )
+        self._max_events = value
 
     @property
     def pending_events(self) -> int:
@@ -161,6 +209,109 @@ class Simulator:
         same-time events)."""
         return self.schedule(0.0, callback)
 
+    # -- the timer wheel ---------------------------------------------------
+
+    def schedule_recurring(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        interval_hint: Optional[float] = None,
+    ) -> EventHandle:
+        """Schedule ``callback`` via the timer wheel.
+
+        Semantically identical to :meth:`schedule` (same clock, same
+        ``seq`` counter, same cancellation handle, counted by
+        :attr:`pending_events`), but the pending entry lives in a
+        calendar-queue bucket instead of the global heap — the arming
+        path for *recurring* timers, where the population is large and
+        long-lived.  ``interval_hint`` sizes the wheel's buckets on
+        first use (the timer's period is the natural choice); it is
+        ignored once the width is fixed.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: delay={delay}")
+        if self._wheel_width is None:
+            hint = interval_hint if interval_hint else delay
+            self._wheel_width = hint if hint > 0 else 1.0
+        time = self._now + delay
+        event = Event(self, time, callback)
+        seq = next(self._seq)
+        key = int(time // self._wheel_width)
+        bucket = self._wheel_buckets.get(key)
+        entry = (time, seq, event)
+        if bucket is None:
+            self._wheel_buckets[key] = [entry]
+            heapq.heappush(self._wheel_minheap, (time, seq, key))
+        else:
+            heapq.heappush(bucket, entry)
+            if bucket[0] is entry:
+                # New bucket minimum: publish it to the merge heap (the
+                # superseded minimum's entry goes stale and is dropped
+                # lazily).
+                heapq.heappush(self._wheel_minheap, (time, seq, key))
+        wheel_min = self._wheel_min
+        if wheel_min is None or (time, seq) < wheel_min:
+            self._wheel_min = (time, seq)
+        self._live += 1
+        return event
+
+    def _wheel_pop(self) -> Optional[Event]:
+        """Pop the event at the wheel's current minimum key.
+
+        Returns the event (which may be cancelled — the caller skips it
+        exactly like a cancelled heap entry) or ``None`` if the wheel
+        is empty.  Maintains the ``_wheel_min`` cache.
+        """
+        minheap = self._wheel_minheap
+        buckets = self._wheel_buckets
+        popped: Optional[Event] = None
+        while minheap:
+            time, seq, key = minheap[0]
+            bucket = buckets.get(key)
+            if (
+                bucket is None
+                or bucket[0][0] != time
+                or bucket[0][1] != seq
+            ):
+                # Stale: this entry stopped being its bucket's minimum
+                # (a smaller insert superseded it, or the bucket is
+                # gone).  The *current* minimum of every bucket is
+                # always present in the merge heap, so just drop it.
+                heapq.heappop(minheap)
+                continue
+            if popped is None:
+                heapq.heappop(minheap)
+                entry = heapq.heappop(bucket)
+                popped = entry[2]
+                if bucket:
+                    head = bucket[0]
+                    heapq.heappush(minheap, (head[0], head[1], key))
+                else:
+                    del buckets[key]
+                continue  # loop once more to normalise the new top
+            self._wheel_min = (time, seq)
+            return popped
+        self._wheel_min = None
+        return popped
+
+    def _wheel_peek(self) -> Optional[Tuple[float, int]]:
+        """Exact minimum (time, seq) of a *live* wheel entry, or None.
+
+        Unlike ``_wheel_min`` (which may reference a cancelled entry,
+        mirroring the heap's lazy deletion), this discards cancelled
+        entries — the :meth:`next_event_time` semantics.
+        """
+        while True:
+            wheel_min = self._wheel_min
+            if wheel_min is None:
+                return None
+            key = int(wheel_min[0] // self._wheel_width)
+            bucket = self._wheel_buckets.get(key)
+            if bucket is not None and bucket[0][2].cancelled:
+                self._wheel_pop()
+                continue
+            return wheel_min
+
     # -- execution ---------------------------------------------------------
 
     def step(self) -> bool:
@@ -171,9 +322,26 @@ class Simulator:
             was empty.
         """
         queue = self._queue
-        while queue:
-            time, _seq, event = heapq.heappop(queue)
-            if event.cancelled:
+        while True:
+            wheel_min = self._wheel_min
+            if queue:
+                head = queue[0]
+                if wheel_min is not None and (
+                    wheel_min[0] < head[0]
+                    or (wheel_min[0] == head[0] and wheel_min[1] < head[1])
+                ):
+                    time = wheel_min[0]
+                    event = self._wheel_pop()
+                else:
+                    heapq.heappop(queue)
+                    time = head[0]
+                    event = head[2]
+            elif wheel_min is not None:
+                time = wheel_min[0]
+                event = self._wheel_pop()
+            else:
+                return False
+            if event is None or event.cancelled:
                 continue
             event.consumed = True
             self._live -= 1
@@ -186,10 +354,9 @@ class Simulator:
                 )
             event.callback()
             return True
-        return False
 
     def run(self, until: Optional[float] = None) -> float:
-        """Run until the queue drains or virtual time passes ``until``.
+        """Run until the queues drain or virtual time passes ``until``.
 
         Returns:
             The virtual time when the run stopped.
@@ -200,48 +367,64 @@ class Simulator:
         queue = self._queue
         pop = heapq.heappop
         max_events = self._max_events
+        no_deadline = until is None
         try:
-            if until is None:
-                # Drain-the-queue path: no deadline check, so pop
-                # directly instead of peeking first.
-                while queue:
-                    time, _seq, event = pop(queue)
-                    if event.cancelled:
-                        continue
-                    event.consumed = True
-                    self._live -= 1
-                    self._now = time
-                    self._executed += 1
-                    if self._executed > max_events:
-                        raise SimulationError(
-                            f"exceeded max_events={max_events}; "
-                            "likely a runaway protocol loop"
-                        )
-                    event.callback()
-            else:
-                while queue:
+            while True:
+                # Pick the globally smallest (time, seq) across the
+                # one-shot heap and the timer wheel; with an empty
+                # wheel this costs one attribute load and a None test
+                # per event over the pure-heap loop.
+                wheel_min = self._wheel_min
+                if queue:
                     head = queue[0]
                     event = head[2]
                     if event.cancelled:
                         pop(queue)
                         continue
-                    if head[0] > until:
-                        self._now = until
-                        break
-                    pop(queue)
-                    event.consumed = True
-                    self._live -= 1
-                    self._now = head[0]
-                    self._executed += 1
-                    if self._executed > max_events:
-                        raise SimulationError(
-                            f"exceeded max_events={max_events}; "
-                            "likely a runaway protocol loop"
+                    if wheel_min is not None and (
+                        wheel_min[0] < head[0]
+                        or (
+                            wheel_min[0] == head[0]
+                            and wheel_min[1] < head[1]
                         )
-                    event.callback()
+                    ):
+                        time = wheel_min[0]
+                        from_wheel = True
+                    else:
+                        time = head[0]
+                        from_wheel = False
+                elif wheel_min is not None:
+                    time = wheel_min[0]
+                    from_wheel = True
+                else:
+                    break
+                if not no_deadline and time > until:
+                    self._now = until
+                    break
+                if from_wheel:
+                    event = self._wheel_pop()
+                    if event is None or event.cancelled:
+                        continue
+                else:
+                    pop(queue)
+                event.consumed = True
+                self._live -= 1
+                self._now = time
+                self._executed += 1
+                if self._executed > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; "
+                        "likely a runaway protocol loop"
+                    )
+                event.callback()
         finally:
             self._running = False
-        if until is not None and self._now < until and not self._queue:
+        if (
+            until is not None
+            and self._now < until
+            and not self._queue
+            and self._wheel_min is None
+        ):
             self._now = until
         return self._now
 
@@ -260,9 +443,17 @@ class Simulator:
         return None
 
     def next_event_time(self) -> Optional[float]:
-        """Timestamp of the next pending event, or ``None``."""
+        """Timestamp of the next pending event, or ``None``.
+
+        Considers both the one-shot heap and the timer wheel.
+        """
         event = self._peek()
-        return event.time if event else None
+        wheel_key = self._wheel_peek()
+        if event is None:
+            return wheel_key[0] if wheel_key is not None else None
+        if wheel_key is not None and wheel_key[0] < event.time:
+            return wheel_key[0]
+        return event.time
 
 
 @dataclass
@@ -293,7 +484,14 @@ class PeriodicTimer:
 
     def start(self, initial_delay: Optional[float] = None) -> "PeriodicTimer":
         """Arm the timer; first firing after ``initial_delay`` (default:
-        one jittered interval)."""
+        one jittered interval).
+
+        Re-starting an already-armed timer first cancels the pending
+        firing: without the cancel, the old handle was silently
+        overwritten and its firing chain kept re-arming alongside the
+        new one — every restart leaked a duplicate, permanently doubled
+        heartbeat.
+        """
         if self.interval <= 0:
             raise SimulationError(
                 f"timer interval must be positive, got {self.interval}"
@@ -308,9 +506,13 @@ class PeriodicTimer:
                 "nonzero jitter requires an rng (e.g. "
                 "RngStreams.stream('timer.jitter')) for deterministic draws"
             )
+        if self._handle is not None:
+            self._handle.cancel()
         delay = self._next_delay() if initial_delay is None else initial_delay
         self._stopped = False
-        self._handle = self.sim.schedule(delay, self._fire)
+        self._handle = self.sim.schedule_recurring(
+            delay, self._fire, interval_hint=self.interval
+        )
         return self
 
     def _next_delay(self) -> float:
@@ -348,5 +550,13 @@ class PeriodicTimer:
         except StopIteration:
             self.stop()
             return
-        if not self._stopped:
-            self._handle = self.sim.schedule(self._next_delay(), self._fire)
+        # Re-arm unless the callback stopped the timer — or re-started
+        # it itself (the handle is then already live; re-arming over it
+        # would leak a second firing chain, the same bug class start()
+        # guards against).
+        if not self._stopped and (
+            self._handle is None or not self._handle.active
+        ):
+            self._handle = self.sim.schedule_recurring(
+                self._next_delay(), self._fire, interval_hint=self.interval
+            )

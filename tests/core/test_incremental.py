@@ -1,0 +1,241 @@
+"""Differential suite: incremental invariant checking == full rescan.
+
+The scale refactor added :class:`IncrementalInvariantChecker` (dirty
+nodes from traces, cached I3 verdicts, seeded snapshots) and two
+rewrites inside ``invariants.py`` itself: a spatial-index nearest-head
+strategy for I3 and a memoized O(H) ancestor walk for I1.  Everything
+here pins one contract: the fast paths produce exactly the
+``check_static_invariant`` / ``check_static_fixpoint`` violations the
+slow paths do, under arbitrary perturbation sequences.
+"""
+
+import random
+
+import pytest
+
+from repro import GS3Config
+from repro.core import (
+    Gs3DynamicSimulation,
+    IncrementalInvariantChecker,
+    check_i1_tree,
+    check_i3_associate_optimality,
+    check_static_fixpoint,
+    check_static_invariant,
+)
+from repro.geometry import Vec2
+from repro.net import uniform_disk
+from repro.sim import RngStreams
+
+
+def build_sim(seed=11, n=220, radius=190.0):
+    deployment = uniform_disk(radius, n, RngStreams(seed))
+    sim = Gs3DynamicSimulation.from_deployment(
+        deployment, GS3Config(), seed=seed
+    )
+    return sim, deployment
+
+
+def full_violations(sim, deployment, fixpoint=False):
+    fn = check_static_fixpoint if fixpoint else check_static_invariant
+    return fn(
+        sim.snapshot(),
+        sim.network,
+        field=deployment.field,
+        gap_axials=sim.gap_axials(),
+        dynamic=True,
+    )
+
+
+def churn(sim, rng, ids, steps):
+    for _ in range(steps):
+        op = rng.choice(["kill", "kill", "revive", "move", "corrupt", "add"])
+        victim = rng.choice(ids)
+        if op == "kill":
+            sim.kill_node(victim)
+        elif op == "revive":
+            sim.revive_node(victim)
+        elif op == "corrupt":
+            sim.corrupt_node(victim)
+        elif op == "add":
+            ids.append(
+                sim.add_node(
+                    Vec2(rng.uniform(-180, 180), rng.uniform(-180, 180))
+                )
+            )
+        else:
+            sim.move_node(
+                victim,
+                Vec2(rng.uniform(-180, 180), rng.uniform(-180, 180)),
+            )
+
+
+class TestIncrementalEqualsFull:
+    @pytest.mark.parametrize("seed", [3, 7, 21])
+    def test_perturbation_sequences(self, seed):
+        sim, deployment = build_sim(seed=seed)
+        checker = IncrementalInvariantChecker(
+            sim, field=deployment.field, dynamic=True
+        )
+        sim.run_until_stable(window=50.0, max_time=30_000.0)
+        assert sorted(checker.check()) == sorted(
+            full_violations(sim, deployment)
+        )
+        rng = random.Random(seed * 13 + 1)
+        ids = [n.node_id for n in sim.network if not n.is_big]
+        exercised = 0
+        for _ in range(8):
+            churn(sim, rng, ids, steps=8)
+            # Checking mid-healing (or immediately) keeps violations
+            # nonzero, so the differential has teeth.
+            sim.run_for(rng.choice([0.0, 0.5, 4.0]))
+            incremental = checker.check()
+            full = full_violations(sim, deployment)
+            assert sorted(incremental) == sorted(full)
+            fix_inc = checker.check(fixpoint=True)
+            fix_full = full_violations(sim, deployment, fixpoint=True)
+            assert sorted(fix_inc) == sorted(fix_full)
+            exercised += len(full) + len(fix_full)
+        assert exercised > 0  # the sequences actually produced violations
+
+    def test_full_rescan_escape_hatch(self):
+        sim, deployment = build_sim(seed=5, n=120)
+        checker = IncrementalInvariantChecker(
+            sim, field=deployment.field, dynamic=True
+        )
+        sim.run_until_stable(window=50.0, max_time=30_000.0)
+        checker.check()
+        # An untraced, out-of-band mutation: the checker cannot see it...
+        victim = next(
+            n.node_id for n in sim.network if not n.is_big and n.alive
+        )
+        sim.network.kill_node(victim)
+        # ...until told to rescan.
+        checker.mark_all_dirty()
+        assert sorted(checker.check()) == sorted(
+            full_violations(sim, deployment)
+        )
+        sim.network.revive_node(victim)
+        assert sorted(checker.full_rescan()) == sorted(
+            full_violations(sim, deployment)
+        )
+
+    def test_mark_dirty_covers_untraced_moves(self):
+        sim, deployment = build_sim(seed=9, n=120)
+        checker = IncrementalInvariantChecker(
+            sim, field=deployment.field, dynamic=True
+        )
+        sim.run_until_stable(window=50.0, max_time=30_000.0)
+        checker.check()
+        victim = next(
+            n.node_id for n in sim.network if not n.is_big and n.alive
+        )
+        # A mobility-model style direct network move, reported via the
+        # documented mark_dirty listener hook.
+        sim.network.move_node(victim, Vec2(5.0, 5.0))
+        checker.mark_dirty(victim)
+        assert sorted(checker.check()) == sorted(
+            full_violations(sim, deployment)
+        )
+
+    def test_dirty_counter_drains(self):
+        sim, deployment = build_sim(seed=2, n=100)
+        checker = IncrementalInvariantChecker(
+            sim, field=deployment.field, dynamic=True
+        )
+        sim.run_until_stable(window=50.0, max_time=30_000.0)
+        checker.check()
+        sim.kill_node(
+            next(n.node_id for n in sim.network if not n.is_big and n.alive)
+        )
+        assert checker.dirty_count >= 1
+        checker.check()
+        assert checker.dirty_count == 0
+        checker.close()  # detaches without error
+
+
+class TestSpatialI3EqualsScan:
+    @pytest.mark.parametrize("seed", [1, 4])
+    def test_spatial_matches_all_pairs(self, seed):
+        sim, deployment = build_sim(seed=seed)
+        sim.run_until_stable(window=50.0, max_time=30_000.0)
+        rng = random.Random(seed)
+        ids = [n.node_id for n in sim.network if not n.is_big]
+        for _ in range(4):
+            churn(sim, rng, ids, steps=6)
+            sim.run_for(rng.choice([0.0, 2.0]))
+            snapshot = sim.snapshot()
+            for restrict, field in [(False, None), (True, deployment.field)]:
+                spatial = check_i3_associate_optimality(
+                    snapshot, restrict, field, spatial=True
+                )
+                scan = check_i3_associate_optimality(
+                    snapshot, restrict, field, spatial=False
+                )
+                assert spatial == scan  # same content, same order
+
+
+class TestMemoizedI1Tree:
+    def test_broken_parent_graphs_match_reference(self):
+        """Cycles, dead ancestors, and parentless chains produce the
+        same messages the per-head walk did."""
+        sim, deployment = build_sim(seed=6, n=150)
+        sim.run_until_stable(window=50.0, max_time=30_000.0)
+        rng = random.Random(17)
+        heads = [
+            node_id
+            for node_id, view in sim.snapshot().heads.items()
+            if not view.is_big
+        ]
+        # Wire a parent cycle and a dangling parent directly.
+        if len(heads) >= 4:
+            a, b, c, d = heads[:4]
+            sim.runtime.nodes[a].state.parent_id = b
+            sim.runtime.nodes[b].state.parent_id = a
+            sim.runtime.nodes[c].state.parent_id = None
+            sim.runtime.nodes[d].state.parent_id = 999_999
+        snapshot = sim.snapshot()
+        got = check_i1_tree(snapshot)
+        expected = reference_i1_tree(snapshot)
+        assert got == expected
+
+
+def reference_i1_tree(snapshot):
+    """The pre-memoization per-head walk, verbatim."""
+    violations = []
+    heads = snapshot.heads
+    if not heads:
+        return ["head graph is empty"]
+    roots = snapshot.roots
+    if len(roots) != 1:
+        violations.append(f"expected exactly one root, found {roots}")
+    else:
+        root = roots[0]
+        root_view = heads[root]
+        big_view = snapshot.views.get(snapshot.big_id)
+        if big_view is not None and big_view.is_head and root != snapshot.big_id:
+            violations.append(
+                f"big node {snapshot.big_id} is a head but root is {root}"
+            )
+        if root_view.hops_to_root != 0:
+            violations.append(f"root {root} has hops_to_root != 0")
+    for head_id in heads:
+        seen = set()
+        current = head_id
+        while True:
+            if current in seen:
+                violations.append(f"parent cycle through head {head_id}")
+                break
+            seen.add(current)
+            view = heads.get(current)
+            if view is None:
+                violations.append(
+                    f"head {head_id} has ancestor {current} that is not a live head"
+                )
+                break
+            if view.parent_id == current:
+                break
+            if view.parent_id is None:
+                violations.append(f"head {current} has no parent")
+                break
+            current = view.parent_id
+    return violations

@@ -1,0 +1,201 @@
+"""Differential suite: vectorized G_p vs an object-graph reference.
+
+The scale refactor rebuilt ``nodes_within`` and the adjacency
+construction on numpy arrays mirrored behind the spatial grid.  These
+properties drive a randomized churn workload (add / kill / revive /
+move) and assert the array path agrees with a brute-force object-graph
+reference *exactly* — same membership, same canonical id order, same
+epsilon behavior — plus the ``nearest_node`` deterministic tie-break
+fix that rode along.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Vec2
+from repro.net import Network
+
+coords = st.floats(
+    min_value=-120.0, max_value=120.0, allow_nan=False, allow_infinity=False
+)
+radii = st.floats(min_value=0.0, max_value=60.0, allow_nan=False)
+
+
+def brute_within(net, center, radius, alive_only=True):
+    r_sq = radius * radius + 1e-9
+    return sorted(
+        node.node_id
+        for node in net
+        if (node.alive or not alive_only)
+        and node.position.distance_sq_to(center) <= r_sq
+    )
+
+
+def brute_adjacency(net):
+    nodes = list(net)
+    adjacency = {}
+    for a in nodes:
+        adjacency[a.node_id] = tuple(
+            sorted(
+                b.node_id
+                for b in nodes
+                if b.node_id != a.node_id
+                and b.alive
+                and a.in_mutual_range(b)
+            )
+        )
+    return adjacency
+
+
+def brute_components(net, source_id):
+    adjacency = brute_adjacency(net)
+    if not net.node(source_id).alive:
+        return frozenset()
+    seen = {source_id}
+    frontier = [source_id]
+    while frontier:
+        current = frontier.pop()
+        for neighbor in adjacency[current]:
+            if neighbor not in seen:
+                seen.add(neighbor)
+                frontier.append(neighbor)
+    return frozenset(seen)
+
+
+@st.composite
+def churned_network(draw):
+    """A network taken through a random add/kill/revive/move history."""
+    cell = draw(st.sampled_from([7.0, 20.0, 50.0]))
+    net = Network(cell_size=cell)
+    n = draw(st.integers(min_value=1, max_value=25))
+    for _ in range(n):
+        net.add_node(
+            Vec2(draw(coords), draw(coords)),
+            draw(st.floats(min_value=0.0, max_value=60.0)),
+        )
+    ids = net.node_ids()
+    for _ in range(draw(st.integers(0, 15))):
+        action = draw(st.sampled_from(["kill", "revive", "move", "add"]))
+        if action == "kill":
+            net.kill_node(draw(st.sampled_from(ids)))
+        elif action == "revive":
+            net.revive_node(draw(st.sampled_from(ids)))
+        elif action == "move":
+            net.move_node(
+                draw(st.sampled_from(ids)), Vec2(draw(coords), draw(coords))
+            )
+        else:
+            node = net.add_node(
+                Vec2(draw(coords), draw(coords)),
+                draw(st.floats(min_value=0.0, max_value=60.0)),
+            )
+            ids.append(node.node_id)
+    return net
+
+
+class TestVectorizedMatchesReference:
+    @given(churned_network(), coords, coords, radii, st.booleans())
+    @settings(max_examples=150, deadline=None)
+    def test_nodes_within_exact(self, net, cx, cy, radius, alive_only):
+        center = Vec2(cx, cy)
+        got = [
+            n.node_id for n in net.nodes_within(center, radius, alive_only)
+        ]
+        expected = brute_within(net, center, radius, alive_only)
+        assert got == expected  # membership AND canonical id order
+
+    @given(churned_network())
+    @settings(max_examples=100, deadline=None)
+    def test_adjacency_exact(self, net):
+        assert dict(net.adjacency()) == brute_adjacency(net)
+
+    @given(churned_network())
+    @settings(max_examples=60, deadline=None)
+    def test_connected_components_exact(self, net):
+        for node_id in net.node_ids():
+            assert net.connected_to(node_id) == brute_components(net, node_id)
+            assert net.connected_to(node_id) == net.connected_to(
+                node_id, use_cache=False
+            )
+
+    @given(churned_network())
+    @settings(max_examples=60, deadline=None)
+    def test_adjacency_small_cell_fallback_agrees(self, net):
+        """A cell size below max_range forces the per-node fallback;
+        both construction paths produce identical adjacency."""
+        small = Network(cell_size=3.0)
+        for node in net:
+            small.add_node(
+                node.position, node.max_range, node_id=node.node_id
+            )
+            if not node.alive:
+                small.kill_node(node.node_id)
+        assert dict(small.adjacency()) == brute_adjacency(net)
+
+
+class TestNearestNodeTieBreak:
+    def test_ties_break_by_node_id(self):
+        net = Network(cell_size=10.0)
+        # Four nodes at identical distance 5 from the origin, inserted
+        # in descending-id-unfriendly order across distinct buckets.
+        for node_id, position in [
+            (7, Vec2(0.0, 5.0)),
+            (3, Vec2(5.0, 0.0)),
+            (9, Vec2(-5.0, 0.0)),
+            (5, Vec2(0.0, -5.0)),
+        ]:
+            net.add_node(position, 20.0, node_id=node_id)
+        found = net.nearest_node(Vec2(0.0, 0.0), 10.0)
+        assert found is not None and found.node_id == 3
+        found = net.nearest_node(Vec2(0.0, 0.0), 10.0, exclude=[3])
+        assert found is not None and found.node_id == 5
+
+    def test_strictly_nearer_beats_smaller_id(self):
+        net = Network(cell_size=10.0)
+        net.add_node(Vec2(4.0, 0.0), 20.0, node_id=1)
+        net.add_node(Vec2(3.0, 0.0), 20.0, node_id=8)
+        found = net.nearest_node(Vec2(0.0, 0.0), 10.0)
+        assert found is not None and found.node_id == 8
+
+    @given(churned_network(), coords, coords, radii)
+    @settings(max_examples=100, deadline=None)
+    def test_matches_reference_argmin(self, net, cx, cy, radius):
+        center = Vec2(cx, cy)
+        found = net.nearest_node(center, radius)
+        candidates = brute_within(net, center, radius, alive_only=True)
+        if not candidates:
+            assert found is None
+        else:
+            best = min(
+                candidates,
+                key=lambda i: (
+                    net.node(i).position.distance_sq_to(center),
+                    i,
+                ),
+            )
+            assert found is not None and found.node_id == best
+
+
+class TestBulkAdd:
+    def test_bulk_matches_incremental(self):
+        positions = [
+            Vec2(math.cos(i) * 40.0, math.sin(i * 1.7) * 40.0)
+            for i in range(50)
+        ]
+        bulk = Network(cell_size=10.0)
+        bulk.add_node(Vec2(0, 0), 15.0, is_big=True)
+        bulk.add_nodes(positions, 15.0)
+        incremental = Network(cell_size=10.0)
+        incremental.add_node(Vec2(0, 0), 15.0, is_big=True)
+        for p in positions:
+            incremental.add_node(p, 15.0)
+        assert bulk.node_ids() == incremental.node_ids()
+        assert dict(bulk.adjacency()) == dict(incremental.adjacency())
+        # Bulk rows stay valid through subsequent churn.
+        bulk.kill_node(10)
+        incremental.kill_node(10)
+        bulk.move_node(11, Vec2(1.0, 1.0))
+        incremental.move_node(11, Vec2(1.0, 1.0))
+        assert dict(bulk.adjacency()) == dict(incremental.adjacency())

@@ -1,0 +1,238 @@
+"""Timer wheel properties: the calendar queue vs the one-shot heap.
+
+The scale refactor moved recurring timers off the global event heap
+onto a bucketed timer wheel (``Simulator.schedule_recurring``).  The
+contract is that the wheel is *semantically invisible*: events keep
+their ``(time, seq)`` keys from the shared counter, the run loop
+executes the globally smallest key across both structures, handles
+cancel the same way, and ``pending_events`` stays exact.  These tests
+pin that equivalence, plus the ``PeriodicTimer.start()`` re-arm leak
+fix that rode along.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import PeriodicTimer, SimulationError, Simulator
+
+DELAYS = st.sampled_from([0.0, 0.25, 0.5, 1.0, 1.0, 2.0, 3.75, 7.0])
+
+
+@st.composite
+def mixed_case(draw):
+    """A mix of one-shot and wheel events with pre-cancellations."""
+    n = draw(st.integers(min_value=1, max_value=40))
+    events = draw(
+        st.lists(
+            st.tuples(st.booleans(), DELAYS), min_size=n, max_size=n
+        )
+    )
+    pre_cancels = draw(st.sets(st.integers(0, n - 1), max_size=n))
+    width = draw(st.sampled_from([0.5, 1.0, 3.0, 10.0]))
+    return events, pre_cancels, width
+
+
+class TestWheelHeapEquivalence:
+    @given(mixed_case())
+    @settings(max_examples=200, deadline=None)
+    def test_execution_order_matches_single_heap(self, case):
+        """Interleaved schedule/schedule_recurring executes in the
+        exact (time, seq) order a single heap would produce."""
+        events, pre_cancels, width = case
+        sim = Simulator(timer_bucket_width=width)
+        executed = []
+        handles = []
+        for i, (recurring, delay) in enumerate(events):
+            cb = lambda i=i: executed.append(i)
+            if recurring:
+                handles.append(sim.schedule_recurring(delay, cb))
+            else:
+                handles.append(sim.schedule(delay, cb))
+        for i in pre_cancels:
+            handles[i].cancel()
+        assert sim.pending_events == len(events) - len(pre_cancels)
+        sim.run()
+        expected = [
+            i
+            for i in sorted(
+                range(len(events)), key=lambda i: (events[i][1], i)
+            )
+            if i not in pre_cancels
+        ]
+        assert executed == expected
+        assert sim.pending_events == 0
+        assert all(not h.active for h in handles)
+
+    @given(mixed_case())
+    @settings(max_examples=100, deadline=None)
+    def test_run_until_deadline_equivalent(self, case):
+        """run(until=...) stops at the same point for both layouts."""
+        events, pre_cancels, width = case
+        deadline = 2.0
+
+        def build(use_wheel):
+            sim = Simulator(timer_bucket_width=width)
+            executed = []
+            handles = []
+            for i, (recurring, delay) in enumerate(events):
+                cb = lambda i=i, e=executed: e.append(i)
+                if recurring and use_wheel:
+                    handles.append(sim.schedule_recurring(delay, cb))
+                else:
+                    handles.append(sim.schedule(delay, cb))
+            for i in pre_cancels:
+                handles[i].cancel()
+            return sim, executed
+
+        wheel_sim, wheel_exec = build(True)
+        heap_sim, heap_exec = build(False)
+        assert wheel_sim.run(until=deadline) == heap_sim.run(until=deadline)
+        assert wheel_exec == heap_exec
+        assert wheel_sim.pending_events == heap_sim.pending_events
+        assert wheel_sim.next_event_time() == heap_sim.next_event_time()
+        # Drain the rest; the tails agree too.
+        wheel_sim.run()
+        heap_sim.run()
+        assert wheel_exec == heap_exec
+
+    @given(st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_pending_counter_tracks_brute_force(self, data):
+        """schedule/schedule_recurring/cancel/step keep the O(1)
+        counter equal to the brute-force live count."""
+        sim = Simulator(timer_bucket_width=1.0)
+        handles = []
+        live = 0
+        for _ in range(data.draw(st.integers(1, 40))):
+            action = data.draw(
+                st.sampled_from(["schedule", "recurring", "cancel", "step"])
+            )
+            if action == "schedule":
+                handles.append(sim.schedule(data.draw(DELAYS), lambda: None))
+                live += 1
+            elif action == "recurring":
+                handles.append(
+                    sim.schedule_recurring(data.draw(DELAYS), lambda: None)
+                )
+                live += 1
+            elif action == "cancel" and handles:
+                handle = handles[data.draw(st.integers(0, len(handles) - 1))]
+                if handle.active:
+                    live -= 1
+                handle.cancel()
+            elif action == "step":
+                if sim.step():
+                    live -= 1
+            assert sim.pending_events == live
+            assert sim.pending_events == sum(1 for h in handles if h.active)
+
+    def test_mid_run_cancellation_of_wheel_event(self):
+        sim = Simulator(timer_bucket_width=1.0)
+        executed = []
+        victim = sim.schedule_recurring(2.0, lambda: executed.append("victim"))
+        sim.schedule(1.0, victim.cancel)
+        sim.schedule_recurring(3.0, lambda: executed.append("survivor"))
+        sim.run()
+        assert executed == ["survivor"]
+        assert sim.pending_events == 0
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_recurring(-0.5, lambda: None)
+
+    def test_next_event_time_sees_wheel(self):
+        sim = Simulator(timer_bucket_width=1.0)
+        sim.schedule(5.0, lambda: None)
+        sim.schedule_recurring(2.0, lambda: None)
+        assert sim.next_event_time() == 2.0
+
+    def test_next_event_time_skips_cancelled_wheel_entry(self):
+        sim = Simulator(timer_bucket_width=1.0)
+        handle = sim.schedule_recurring(2.0, lambda: None)
+        sim.schedule_recurring(4.0, lambda: None)
+        handle.cancel()
+        assert sim.next_event_time() == 4.0
+
+    def test_wheel_only_run_advances_clock_to_until(self):
+        sim = Simulator(timer_bucket_width=1.0)
+        timer = PeriodicTimer(sim, 1.0, lambda: None)
+        timer.start()
+        assert sim.run(until=10.5) == 10.5
+        timer.stop()
+        assert sim.run(until=12.0) == 12.0
+
+
+class TestManyTimers:
+    def test_large_population_fires_in_order(self):
+        """A few thousand staggered recurring timers fire in exact
+        global time order, interleaved with one-shot traffic."""
+        sim = Simulator(timer_bucket_width=5.0)
+        fired = []
+        rng = random.Random(7)
+        timers = []
+        for i in range(2000):
+            interval = 5.0 + rng.random()
+            timer = PeriodicTimer(
+                sim, interval, lambda i=i: fired.append((sim.now, i))
+            )
+            timer.start(initial_delay=rng.random() * interval)
+            timers.append(timer)
+        for _ in range(200):
+            sim.schedule(rng.random() * 40.0, lambda: fired.append((sim.now, -1)))
+        sim.run(until=40.0)
+        assert fired == sorted(fired, key=lambda pair: pair[0])
+        assert len(fired) > 2000 * 5  # several full periods elapsed
+        for timer in timers:
+            assert timer.active
+            timer.stop()
+        assert sim.pending_events == 0
+
+
+class TestPeriodicTimerRearm:
+    def test_start_on_armed_timer_cancels_old_chain(self):
+        """Regression: start() on an armed timer must not leak the old
+        pending firing into a duplicate chain."""
+        sim = Simulator()
+        fires = []
+        timer = PeriodicTimer(sim, 10.0, lambda: fires.append(sim.now))
+        timer.start()
+        assert sim.pending_events == 1
+        timer.start()  # re-arm while armed: old firing cancelled
+        assert sim.pending_events == 1
+        sim.run(until=100.0)
+        # One firing per interval — a leaked chain would double this.
+        assert len(fires) == 10
+        timer.stop()
+
+    def test_restart_from_callback_does_not_duplicate(self):
+        """start() from inside the callback wins over the tail re-arm."""
+        sim = Simulator()
+        fires = []
+
+        def callback():
+            fires.append(sim.now)
+            if len(fires) == 1:
+                timer.start(initial_delay=3.0)  # reschedule self
+
+        timer = PeriodicTimer(sim, 10.0, callback)
+        timer.start()
+        sim.run(until=60.0)
+        timer.stop()
+        assert sim.pending_events == 0
+        # t=10 (restart +3), then 13, 23, 33, 43, 53.
+        assert fires == [10.0, 13.0, 23.0, 33.0, 43.0, 53.0]
+
+    def test_stop_then_start_single_chain(self):
+        sim = Simulator()
+        fires = []
+        timer = PeriodicTimer(sim, 5.0, lambda: fires.append(sim.now))
+        timer.start()
+        timer.stop()
+        timer.start()
+        sim.run(until=26.0)
+        timer.stop()
+        assert fires == [5.0, 10.0, 15.0, 20.0, 25.0]
