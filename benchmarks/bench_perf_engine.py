@@ -18,9 +18,17 @@ Tracks the raw-speed trajectory of the simulator core across PRs:
 
 * recurring-timer throughput through the calendar-queue wheel
   (``timer_wheel``), the 100k-heartbeat shape;
+* ``shard_scaling``: events/sec of the spatially-sharded executor at
+  shards ∈ {1, 2, 4} on the 10k and 100k campaign deployments, with a
+  cross-count state-digest byte-identity check.  On hosts with fewer
+  than 4 CPUs the numbers are recorded and the speedup assertion is
+  skipped (``scaling_meaningful: false``);
 * the ``scale_100k`` campaign: 100k nodes deploy → self-configure →
   chaos → heal, pinning events/sec and full/incremental
   invariant-check latency at scale.
+
+Every section carries a ``provenance`` block (cpu_count, python/numpy
+versions, package version) so numbers are interpretable across hosts.
 
 Results land in ``results/BENCH_perf.json`` so later PRs can diff the
 numbers.  Also runnable standalone::
@@ -37,6 +45,7 @@ exits nonzero if events/sec regresses more than 2x against
 import json
 import math
 import os
+import platform
 import random
 import sys
 import time
@@ -67,6 +76,26 @@ MAX_RANGE = 120.0
 SWEEP_REPLICATES = 16
 SWEEP_FIELD_RADIUS = 110.0
 SWEEP_WORKER_COUNTS = (0, 1, 4)
+
+
+def bench_provenance() -> dict:
+    """The host/toolchain block stamped into every report section.
+
+    Throughput numbers are only interpretable against the host that
+    produced them — ``cpu_count`` decides whether the scaling sections
+    measured anything real, and interpreter/library versions move the
+    absolute numbers between PRs.
+    """
+    import numpy
+
+    from repro import __version__
+
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "package_version": __version__,
+    }
 
 
 def build_static_network(
@@ -442,6 +471,86 @@ def bench_scale(
     }
 
 
+def bench_shard_scaling(
+    n_nodes: int,
+    shard_counts=(1, 2, 4),
+    run_ticks: float = 120.0,
+    seed: int = 23,
+) -> dict:
+    """Events/s of the spatially-sharded executor per shard count.
+
+    Runs the scale-campaign deployment through
+    :class:`repro.sim.ShardedSimulation` for a fixed virtual window at
+    each shard count, recording throughput and a cross-count state
+    digest (the byte-identity witness: every shard count must land on
+    the same snapshot digest).  On hosts without enough cores the
+    numbers are recorded honestly and ``scaling_meaningful`` is false —
+    the artifact test skips its speedup assertion then (a 1-CPU
+    container measuring ~1x is not a regression).
+    """
+    from repro.sim import ShardedSimulation, state_digest
+
+    config = GS3Config(**SCALE_CONFIG)
+    cell_area = 1.5 * math.sqrt(3.0) * config.ideal_radius**2
+    field_radius = math.sqrt(
+        n_nodes * cell_area / (SCALE_NODES_PER_CELL * math.pi)
+    )
+    spec = {
+        "kind": "uniform",
+        "field_radius": field_radius,
+        "n_nodes": n_nodes - 1,
+    }
+    cpu_count = os.cpu_count() or 1
+    executor = "process" if cpu_count > 1 else "inline"
+    section = {
+        "n_nodes": n_nodes,
+        "run_ticks": run_ticks,
+        "executor": executor,
+        "scaling_meaningful": cpu_count >= 4,
+    }
+    digests = {}
+    for shards in shard_counts:
+        sim = ShardedSimulation(
+            spec,
+            config,
+            seed=seed,
+            shards=shards,
+            executor=executor,
+            keep_trace_records=False,
+            max_events=2_000_000_000,
+        )
+        try:
+            sim.start()
+            start = time.perf_counter()
+            sim.run_for(run_ticks)
+            wall = time.perf_counter() - start
+            executed = sim.executed_events
+            digests[shards] = state_digest(sim.snapshot())
+        finally:
+            sim.close()
+        section[f"shards_{shards}"] = {
+            "executed": executed,
+            "wall_s": wall,
+            "events_per_sec": executed / wall,
+        }
+        print(
+            f"shard_scaling[{n_nodes}] shards={shards} "
+            f"events={executed:,} wall={wall:.1f}s",
+            file=sys.stderr,
+            flush=True,
+        )
+    first = shard_counts[0]
+    section["deterministic"] = all(
+        digests[s] == digests[first] for s in shard_counts
+    )
+    if 1 in shard_counts and 4 in shard_counts:
+        base = section["shards_1"]["events_per_sec"]
+        section["speedup_4_vs_1"] = (
+            section["shards_4"]["events_per_sec"] / base
+        )
+    return section
+
+
 def run_scale_smoke(n_nodes: int = 10_000) -> int:
     """CI guard: 10k-node campaign vs the recorded baseline.
 
@@ -503,11 +612,30 @@ def run_all(smoke: bool = False, scale_nodes: int = 100_000) -> dict:
             replicates=4 if smoke else SWEEP_REPLICATES,
             field_radius=40.0 if smoke else SWEEP_FIELD_RADIUS,
         ),
+        "shard_scaling": {
+            "10k": bench_shard_scaling(
+                1_000 if smoke else 10_000,
+                run_ticks=40.0 if smoke else 120.0,
+            ),
+        },
     }
     if not smoke:
         # The 100k section is minutes of wall clock; smoke runs and CI
         # guard the slope with run_scale_smoke instead.
+        report["shard_scaling"]["100k"] = bench_shard_scaling(
+            scale_nodes, run_ticks=60.0
+        )
         report["scale_100k"] = bench_scale(scale_nodes)
+    return _stamp_provenance(report)
+
+
+def _stamp_provenance(report: dict) -> dict:
+    """Stamp the provenance block into every top-level section."""
+    provenance = bench_provenance()
+    for value in report.values():
+        if isinstance(value, dict):
+            value["provenance"] = provenance
+    report["provenance"] = provenance
     return report
 
 
@@ -522,10 +650,19 @@ def test_perf_engine_artifact(results_dir):
     assert report["visible_sweep"]["speedup"] >= 3.0
     # Sweep payloads must not depend on how the sweep was sharded.
     assert report["sweep_scaling"]["deterministic"]
+    # Byte-identity contract: every shard count lands on the same
+    # state digest, on every host.
+    for section in report["shard_scaling"].values():
+        if isinstance(section, dict) and "deterministic" in section:
+            assert section["deterministic"]
     # Wall-clock scaling is only meaningful with real cores to scale
-    # onto; single-core containers record honest numbers instead.
+    # onto; single-core containers record honest numbers instead
+    # (record-and-skip: the numbers land in the artifact either way).
     if report["sweep_scaling"]["cpu_count"] >= 4:
         assert report["sweep_scaling"]["speedup_4_vs_1"] >= 3.0
+    for section in report["shard_scaling"].values():
+        if isinstance(section, dict) and section.get("scaling_meaningful"):
+            assert section["speedup_4_vs_1"] >= 1.5
 
 
 if __name__ == "__main__":

@@ -22,6 +22,10 @@ Commands:
 ``bisect``
     Binary-search virtual time for the first instant a predicate
     (invariant violation, head-tree partition) becomes true.
+``store``
+    Maintain a durable run store: ``store gc`` drops superseded
+    records (earlier attempts of retried replicates) and compacts the
+    shards in place, atomically.
 
 ``sweep`` and ``chaos`` accept ``--store DIR`` to persist every
 replicate outcome to a durable :class:`~repro.sim.RunStore`;
@@ -29,6 +33,11 @@ replicate outcome to a durable :class:`~repro.sim.RunStore`;
 (aggregation stays byte-identical to an uninterrupted run) and
 ``--retries N`` re-executes crashed replicates up to ``N`` extra
 times.
+
+``sweep``, ``chaos``, and ``replay`` accept ``--shards N`` to run
+each replicate on the spatially-sharded executor — results are
+byte-identical at every shard count (``--shard-executor`` picks the
+inline or process backend and never affects results).
 
 Exit codes for ``sweep`` and ``chaos``: 2 when any replicate crashed
 with a traceback, 1 when all ran but some ended unhealthy/unhealed,
@@ -85,6 +94,32 @@ def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
         default=0,
         help="with --resume, re-execute crashed replicates up to N extra "
         "times (default 0)",
+    )
+
+
+def _add_shard_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--shards`` / ``--shard-executor`` flags.
+
+    ``--shards N`` runs each replicate on the spatially-sharded
+    executor; results are byte-identical at every N (but distinct from
+    the unsharded legacy trajectory, so the flag is part of the run
+    identity).  ``--shard-executor`` picks the worker backend and is
+    never part of the identity.
+    """
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run on the sharded executor with N spatial shards "
+        "(byte-identical at every N; default: unsharded legacy path)",
+    )
+    parser.add_argument(
+        "--shard-executor",
+        choices=("inline", "process"),
+        default="inline",
+        help="sharded worker backend (default inline; never affects "
+        "results)",
     )
 
 
@@ -163,6 +198,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH", help="write the aggregate report as JSON"
     )
     _add_store_arguments(sweep)
+    _add_shard_arguments(sweep)
 
     chaos = sub.add_parser(
         "chaos",
@@ -208,6 +244,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH", help="write verdicts + summary as JSON"
     )
     _add_store_arguments(chaos)
+    _add_shard_arguments(chaos)
 
     replay = sub.add_parser(
         "replay",
@@ -238,6 +275,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate a named predicate (invariant | partition | "
         "root_stale) on the replayed state and exit 1 if it holds — "
         "the CI wedge-heal smoke is `replay ... --check partition`",
+    )
+    _add_shard_arguments(replay)
+
+    store = sub.add_parser(
+        "store", help="maintain a durable run store"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_gc = store_sub.add_parser(
+        "gc",
+        help="drop superseded records (earlier attempts of retried "
+        "replicates) and compact the shards",
+    )
+    store_gc.add_argument("dir", help="run-store directory")
+    store_gc.add_argument(
+        "--run",
+        metavar="DIGEST",
+        default=None,
+        help="compact only this run (default: every run in the manifest)",
+    )
+    store_gc.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="count superseded records without rewriting anything",
     )
 
     bisect = sub.add_parser(
@@ -418,6 +478,7 @@ def cmd_sweep(args) -> int:
 
     with open(args.path, "r", encoding="utf-8") as handle:
         data = _json.load(handle)
+    data = _apply_shard_flags(data, args)
     base_seed = (
         args.base_seed
         if args.base_seed is not None
@@ -532,6 +593,7 @@ def cmd_chaos(args) -> int:
 
     with open(args.path, "r", encoding="utf-8") as handle:
         data = _json.load(handle)
+    data = _apply_shard_flags(data, args)
     if args.budget is not None:
         data = dict(data)
         data["chaos"] = dict(data.get("chaos", {}))
@@ -637,6 +699,21 @@ def cmd_chaos(args) -> int:
     return 0 if summary["healed"] == summary["campaigns"] else 1
 
 
+def _apply_shard_flags(data, args):
+    """Fold ``--shards`` / ``--shard-executor`` into a scenario dict.
+
+    ``shards`` joins the run identity (it is digest-relevant); the
+    executor flavour rides along for this invocation only and is never
+    emitted back by ``Scenario.to_dict``.
+    """
+    if getattr(args, "shards", None) is None:
+        return data
+    data = dict(data)
+    data["shards"] = args.shards
+    data["shard_executor"] = args.shard_executor
+    return data
+
+
 def _load_scenario(path: str):
     from .scenario import Scenario
 
@@ -655,6 +732,14 @@ def cmd_replay(args) -> int:
         print(f"unknown predicate {check!r} (known: {known})")
         return 2
     scenario = _load_scenario(args.path)
+    if args.shards is not None:
+        from dataclasses import replace as _replace
+
+        scenario = _replace(
+            scenario,
+            shards=args.shards,
+            shard_executor=args.shard_executor,
+        )
     seed = args.replay_seed if args.replay_seed is not None else scenario.seed
     state = replay_to(scenario, seed, args.at)
     digest = state_digest(state.snapshot)
@@ -735,6 +820,30 @@ def cmd_bisect(args) -> int:
     return 0 if result.onset is not None else 1
 
 
+def cmd_store(args) -> int:
+    from .sim import RunStore
+
+    if args.store_command == "gc":
+        store = RunStore(args.dir)
+        report = store.gc(run_digest=args.run, dry_run=args.dry_run)
+        rows = [
+            [digest[:16], stats["kept"], stats["dropped"]]
+            for digest, stats in sorted(report.items())
+        ]
+        verb = "would drop" if args.dry_run else "dropped"
+        print(
+            ascii_table(
+                ["run", "kept", verb],
+                rows or [["(no runs)", 0, 0]],
+                title="Run-store gc" + (" (dry run)" if args.dry_run else ""),
+            )
+        )
+        total = sum(s["dropped"] for s in report.values())
+        print(f"\n{verb} {total} superseded record(s)")
+        return 0
+    return 2  # pragma: no cover - argparse enforces choices
+
+
 def cmd_figures(args) -> int:
     ratios = [0.005 + 0.0025 * i for i in range(19)]
     fig7 = figure7_curve(ratios, args.ideal_radius, 10.0)
@@ -768,6 +877,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_replay(args)
     if args.command == "bisect":
         return cmd_bisect(args)
+    if args.command == "store":
+        return cmd_store(args)
     return 2  # pragma: no cover - argparse enforces choices
 
 

@@ -282,7 +282,6 @@ class Gs3StaticNode:
             return neighbor_candidate_ils(
                 self.rt.lattice, state.cell_axial, parent_axial
             )
-        parent = self.rt.nodes.get(state.parent_id)
         parent_position = state.parent_il
         return drifted_candidate_ils(
             state.current_il,
@@ -303,7 +302,15 @@ class Gs3StaticNode:
         """
         if self.is_root:
             return None
-        parent = self.rt.nodes.get(self.state.parent_id)
+        # Under sharded execution the parent may be simulated elsewhere
+        # and reading its live state would be shard-count-dependent, so
+        # lane-keyed runs always derive from the message-built
+        # known-heads table.
+        parent = (
+            None
+            if self.rt.sim.lane_keys
+            else self.rt.nodes.get(self.state.parent_id)
+        )
         if parent is not None and parent.state.cell_axial is not None:
             axial = parent.state.cell_axial
         else:

@@ -218,7 +218,9 @@ class ChannelFaultConfig:
             ]
         return data
 
-    def build(self, rng: RngStreams) -> "ChannelFaultModel":
+    def build(
+        self, rng: RngStreams, per_sender: bool = False
+    ) -> "ChannelFaultModel":
         """Instantiate the stateful model on a run's rng streams."""
         return ChannelFaultModel(
             rng,
@@ -227,7 +229,27 @@ class ChannelFaultConfig:
             latency_jitter=self.latency_jitter,
             duplicate_prob=self.duplicate_prob,
             jam_windows=self.jam_windows,
+            per_sender=per_sender,
         )
+
+
+class _SenderChannel:
+    """Per-sender fault streams and burst state (per-sender mode).
+
+    Shared streams are consumed in global delivery order, which depends
+    on how the event population interleaves — a shard-count-dependent
+    quantity.  Keying the streams (and the Gilbert–Elliott chain state)
+    by *sender* makes every draw a function of that sender's own
+    deterministic send sequence, which is shard-invariant.
+    """
+
+    __slots__ = ("loss_rng", "jitter_rng", "dup_rng", "_in_burst")
+
+    def __init__(self, rng: RngStreams, sender: Any):
+        self.loss_rng = rng.stream(f"radio.loss.{sender}")
+        self.jitter_rng = rng.stream(f"radio.jitter.{sender}")
+        self.dup_rng = rng.stream(f"radio.duplicate.{sender}")
+        self._in_burst = False
 
 
 class ChannelFaultModel:
@@ -251,6 +273,7 @@ class ChannelFaultModel:
         latency_jitter: float = 0.0,
         duplicate_prob: float = 0.0,
         jam_windows: Sequence[JamWindow] = (),
+        per_sender: bool = False,
     ):
         # Route validation through the frozen config so programmatic and
         # JSON construction reject bad parameters identically.
@@ -264,10 +287,13 @@ class ChannelFaultModel:
         self.gilbert_elliott = gilbert_elliott
         self.latency_jitter = latency_jitter
         self.duplicate_prob = duplicate_prob
+        self._rng = rng
         self._loss_rng = rng.stream("radio.loss")
         self._jitter_rng = rng.stream("radio.jitter")
         self._dup_rng = rng.stream("radio.duplicate")
         self._in_burst = False
+        self.per_sender = per_sender
+        self._sender_channels: Dict[Any, _SenderChannel] = {}
         self._jam_windows: List[JamWindow] = list(jam_windows)
         self.jam_drops = 0
         self.loss_drops = 0
@@ -301,8 +327,31 @@ class ChannelFaultModel:
 
     # -- per-delivery consultation --------------------------------------
 
+    def _channel_for(self, sender: Any):
+        """The stream/state bundle draws come from.
+
+        In per-sender mode (sharded runs) each sender gets its own
+        streams and burst state; legacy mode shares one bundle (the
+        model itself) regardless of ``sender``.
+        """
+        if not self.per_sender:
+            return self
+        if sender is None:
+            raise ValueError(
+                "per-sender fault model consulted without a sender id"
+            )
+        channel = self._sender_channels.get(sender)
+        if channel is None:
+            channel = _SenderChannel(self._rng, sender)
+            self._sender_channels[sender] = channel
+        return channel
+
     def drop_broadcast(
-        self, now: float, sender_pos: Vec2, receiver_pos: Vec2
+        self,
+        now: float,
+        sender_pos: Vec2,
+        receiver_pos: Vec2,
+        sender: Any = None,
     ) -> bool:
         """Decide one broadcast delivery's fate (``True`` = dropped).
 
@@ -315,37 +364,47 @@ class ChannelFaultModel:
         ):
             self.jam_drops += 1
             return True
+        channel = self._channel_for(sender) if self.per_sender else self
         ge = self.gilbert_elliott
         if ge is not None:
-            rng = self._loss_rng
-            loss = ge.loss_bad if self._in_burst else ge.loss_good
+            rng = channel.loss_rng if self.per_sender else self._loss_rng
+            loss = ge.loss_bad if channel._in_burst else ge.loss_good
             dropped = loss > 0.0 and rng.random() < loss
-            flip = ge.p_exit_burst if self._in_burst else ge.p_enter_burst
+            flip = ge.p_exit_burst if channel._in_burst else ge.p_enter_burst
             if flip > 0.0 and rng.random() < flip:
-                self._in_burst = not self._in_burst
+                channel._in_burst = not channel._in_burst
             if dropped:
                 self.loss_drops += 1
             return dropped
-        if self.bernoulli_loss and (
-            self._loss_rng.random() < self.bernoulli_loss
-        ):
-            self.loss_drops += 1
-            return True
+        if self.bernoulli_loss:
+            rng = channel.loss_rng if self.per_sender else self._loss_rng
+            if rng.random() < self.bernoulli_loss:
+                self.loss_drops += 1
+                return True
         return False
 
-    def extra_latency(self) -> float:
+    def extra_latency(self, sender: Any = None) -> float:
         """Per-delivery latency jitter, uniform on ``[0, latency_jitter]``."""
         if self.latency_jitter:
-            return self._jitter_rng.uniform(0.0, self.latency_jitter)
+            rng = (
+                self._channel_for(sender).jitter_rng
+                if self.per_sender
+                else self._jitter_rng
+            )
+            return rng.uniform(0.0, self.latency_jitter)
         return 0.0
 
-    def extra_copies(self) -> int:
+    def extra_copies(self, sender: Any = None) -> int:
         """How many duplicate frames to deliver on top of the original."""
-        if self.duplicate_prob and (
-            self._dup_rng.random() < self.duplicate_prob
-        ):
-            self.duplicates_sent += 1
-            return 1
+        if self.duplicate_prob:
+            rng = (
+                self._channel_for(sender).dup_rng
+                if self.per_sender
+                else self._dup_rng
+            )
+            if rng.random() < self.duplicate_prob:
+                self.duplicates_sent += 1
+                return 1
         return 0
 
     @property

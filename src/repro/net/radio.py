@@ -95,10 +95,17 @@ class Radio:
         self._rng = rng or RngStreams(0)
         if faults is None and broadcast_loss:
             faults = ChannelFaultModel(
-                self._rng, bernoulli_loss=broadcast_loss
+                self._rng,
+                bernoulli_loss=broadcast_loss,
+                per_sender=sim.lane_keys,
             )
         self.faults = faults
         self._handlers: Dict[NodeId, Handler] = {}
+        # Sharded execution (lane-keyed mode only): a port deciding
+        # whether a destination is simulated locally and carrying
+        # cross-boundary deliveries to the coordinator.  ``None`` means
+        # every destination is local.
+        self.shard_port = None
 
     # -- handler registry -----------------------------------------------
 
@@ -120,7 +127,9 @@ class Radio:
         not pay the fault path until the first jam actually arrives.
         """
         if self.faults is None:
-            self.faults = ChannelFaultModel(self._rng)
+            self.faults = ChannelFaultModel(
+                self._rng, per_sender=self.sim.lane_keys
+            )
         return self.faults
 
     # -- transmission -----------------------------------------------------
@@ -144,6 +153,8 @@ class Radio:
         self.tracer.emit(
             self.sim.now, "msg.broadcast", node=sender_id, tx_range=effective
         )
+        if self.sim.lane_keys:
+            return self._broadcast_lane(sender, sender_id, payload, effective)
         scheduled = 0
         candidates = self.network.broadcast_candidates(sender_id, effective)
         faults = self.faults
@@ -202,6 +213,18 @@ class Radio:
             self.tracer.emit(self.sim.now, "msg.unreachable", node=sender_id)
             return False
         self.tracer.emit(self.sim.now, "msg.unicast", node=sender_id)
+        if self.sim.lane_keys:
+            extra = (
+                self.faults.extra_latency(sender_id)
+                if self.faults is not None
+                else 0.0
+            )
+            key = self.sim.claim_key()
+            self._dispatch(
+                self.sim.now + self.hop_latency + extra,
+                key, sender_id, dest_id, payload,
+            )
+            return True
         if self.faults is None:
             self._schedule_delivery(sender_id, dest_id, payload)
         else:
@@ -210,6 +233,74 @@ class Radio:
                 partial(self._deliver, sender_id, dest_id, payload),
             )
         return True
+
+    # -- lane-keyed (sharded) transmission -------------------------------
+
+    def _broadcast_lane(
+        self, sender, sender_id: NodeId, payload: Any, effective: float
+    ) -> int:
+        """Broadcast under the lane-key discipline.
+
+        Every delivery — local or cross-shard — claims a key from the
+        sender's lane in canonical candidate order, so lane counters
+        advance identically at every shard count.  Fault draws happen
+        at *send* time per candidate (per-sender streams), never at
+        receive time, for the same reason.
+        """
+        sim = self.sim
+        now = sim.now
+        hop = self.hop_latency
+        faults = self.faults
+        sender_pos = sender.position
+        tracer = self.tracer
+        scheduled = 0
+        for receiver in self.network.broadcast_candidates(
+            sender_id, effective
+        ):
+            dest_id = receiver.node_id
+            if faults is not None:
+                if faults.drop_broadcast(
+                    now, sender_pos, receiver.position, sender_id
+                ):
+                    tracer.emit(
+                        now, "msg.lost", node=dest_id, sender=sender_id
+                    )
+                    continue
+                arrivals = [now + hop + faults.extra_latency(sender_id)]
+                for _ in range(faults.extra_copies(sender_id)):
+                    tracer.emit(
+                        now, "msg.duplicate", node=dest_id, sender=sender_id
+                    )
+                    arrivals.append(
+                        now + hop + faults.extra_latency(sender_id)
+                    )
+            else:
+                arrivals = (now + hop,)
+            scheduled += 1
+            for arrival in arrivals:
+                self._dispatch(
+                    arrival, sim.claim_key(), sender_id, dest_id, payload
+                )
+        return scheduled
+
+    def _dispatch(
+        self,
+        arrival: float,
+        key,
+        sender_id: NodeId,
+        dest_id: NodeId,
+        payload: Any,
+    ) -> None:
+        port = self.shard_port
+        if port is None or port.is_local(dest_id):
+            self.sim.schedule_keyed(
+                arrival,
+                key,
+                partial(self._deliver, sender_id, dest_id, payload),
+                lane=dest_id,
+            )
+        else:
+            port.send_delivery(arrival, key, sender_id, dest_id, payload)
 
     # -- internals -----------------------------------------------------------
 

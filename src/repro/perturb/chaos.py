@@ -258,16 +258,61 @@ def run_chaos_replicate(spec: Dict[str, Any]) -> Dict[str, Any]:
     streams = RngStreams(seed)
     deployment = deployment_from_spec(data["deployment"], streams)
     channel = data.get("channel")
-    simulation = Gs3DynamicSimulation.from_deployment(
-        deployment,
-        config,
-        seed=seed,
-        node_class=Gs3MobileNode if data.get("mobile") else Gs3DynamicNode,
-        keep_trace_records=False,
-        channel_faults=(
-            ChannelFaultConfig.from_dict(channel) if channel else None
-        ),
-    )
+    shards = data.get("shards")
+    if shards is not None:
+        from ..sim.shard import ShardedSimulation
+
+        if data.get("mobile"):
+            raise ValueError("mobile campaigns are not supported sharded")
+        if chaos.move_rate > 0.0:
+            raise ValueError(
+                "move_rate > 0 is not supported sharded "
+                "(cross-region moves would be rejected mid-campaign)"
+            )
+        simulation = ShardedSimulation(
+            data["deployment"],
+            config,
+            seed=seed,
+            shards=int(shards),
+            executor=str(data.get("shard_executor", "inline")),
+            channel=(
+                ChannelFaultConfig.from_dict(channel) if channel else None
+            ),
+            keep_trace_records=False,
+        )
+    else:
+        simulation = Gs3DynamicSimulation.from_deployment(
+            deployment,
+            config,
+            seed=seed,
+            node_class=Gs3MobileNode if data.get("mobile") else Gs3DynamicNode,
+            keep_trace_records=False,
+            channel_faults=(
+                ChannelFaultConfig.from_dict(channel) if channel else None
+            ),
+        )
+    try:
+        return _run_chaos_verdict(
+            simulation, deployment, streams, chaos, seed
+        )
+    finally:
+        closer = getattr(simulation, "close", None)
+        if closer is not None:
+            closer()
+
+
+def _run_chaos_verdict(
+    simulation, deployment, streams: RngStreams, chaos: ChaosConfig, seed: int
+) -> Dict[str, Any]:
+    """Drive one campaign on an armed simulation; return the verdict dict.
+
+    Works identically against the in-process dynamic simulation and the
+    sharded facade — everything it touches (``stabilize``, ``snapshot``,
+    ``run_for``, ``runtime.radio.faults``, ``tracer``) is part of the
+    shared surface the facade mirrors.
+    """
+    from ..analysis import changed_cells
+
     configured = simulation.stabilize(
         window=chaos.settle_window,
         max_time=chaos.configure_budget,

@@ -138,6 +138,14 @@ class Scenario:
     #: Adversarial channel configuration (loss / jitter / duplication);
     #: ``None`` keeps the radio's reliable-broadcast fast path.
     channel: Optional[ChannelFaultConfig] = None
+    #: Spatial sharding: ``None`` runs the legacy single-simulator path;
+    #: an int (>= 1) runs the lane-keyed sharded executor, whose results
+    #: are byte-identical at every shard count (but distinct from the
+    #: legacy trajectory — hence ``shards`` is digest-relevant).
+    shards: Optional[int] = None
+    #: Shard executor flavour (``inline`` or ``process``).  Never
+    #: digest-relevant: executors are bit-identical by contract.
+    shard_executor: str = "inline"
 
     @staticmethod
     def from_dict(data: Dict[str, Any]) -> "Scenario":
@@ -162,18 +170,31 @@ class Scenario:
                     f"perturbation kind {p['kind']!r} needs {missing}: {p!r}"
                 )
         channel_data = data.get("channel")
+        shards = data.get("shards")
+        mobile = bool(data.get("mobile", False))
+        if shards is not None:
+            shards = int(shards)
+            if shards < 1:
+                raise ValueError(f"shards must be >= 1, got {shards}")
+            if mobile:
+                raise ValueError(
+                    "mobile scenarios are not supported sharded; "
+                    "drop 'shards' or 'mobile'"
+                )
         return Scenario(
             seed=int(data.get("seed", 0)),
             config=config,
             deployment_spec=dict(data["deployment"]),
             perturbations=perturbations,
-            mobile=bool(data.get("mobile", False)),
+            mobile=mobile,
             settle_window=float(data.get("settle_window", 120.0)),
             channel=(
                 ChannelFaultConfig.from_dict(channel_data)
                 if channel_data
                 else None
             ),
+            shards=shards,
+            shard_executor=str(data.get("shard_executor", "inline")),
         )
 
     @staticmethod
@@ -198,6 +219,12 @@ class Scenario:
         }
         if self.channel is not None:
             data["channel"] = self.channel.to_dict()
+        if self.shards is not None:
+            # Digest-relevant: sharded (lane-keyed) runs follow a
+            # different — internally consistent — trajectory than the
+            # legacy path, so their results must not collide in the run
+            # store.  The executor flavour is deliberately excluded.
+            data["shards"] = self.shards
         return data
 
     def canonical_digest(self) -> str:
@@ -252,13 +279,31 @@ class ScenarioExecution:
         self.scenario = scenario
         self.horizon = horizon
         self.deployment = scenario.build_deployment()
-        self.simulation = Gs3DynamicSimulation.from_deployment(
-            self.deployment,
-            scenario.config,
-            seed=scenario.seed,
-            node_class=Gs3MobileNode if scenario.mobile else Gs3DynamicNode,
-            channel_faults=scenario.channel,
-        )
+        if scenario.shards is not None:
+            if scenario.mobile:
+                raise ValueError(
+                    "mobile scenarios are not supported sharded"
+                )
+            from .sim.shard import ShardedSimulation
+
+            self.simulation = ShardedSimulation(
+                scenario.deployment_spec,
+                scenario.config,
+                seed=scenario.seed,
+                shards=scenario.shards,
+                executor=scenario.shard_executor,
+                channel=scenario.channel,
+            )
+        else:
+            self.simulation = Gs3DynamicSimulation.from_deployment(
+                self.deployment,
+                scenario.config,
+                seed=scenario.seed,
+                node_class=(
+                    Gs3MobileNode if scenario.mobile else Gs3DynamicNode
+                ),
+                channel_faults=scenario.channel,
+            )
         self.configured_at: Optional[float] = None
         self.log: List[Dict[str, Any]] = []
         self.result: Optional[ScenarioResult] = None
@@ -404,6 +449,16 @@ class ScenarioExecution:
         self.result = self._final_result()
         return self.result
 
+    def close(self) -> None:
+        """Release executor resources (worker processes, pipes).
+
+        A no-op for the legacy in-process simulation, which has no
+        ``close``; sharded simulations shut their workers down.
+        """
+        closer = getattr(self.simulation, "close", None)
+        if closer is not None:
+            closer()
+
     def _final_result(self) -> ScenarioResult:
         sim = self.simulation
         scenario = self.scenario
@@ -435,7 +490,11 @@ class ScenarioExecution:
 
 def run_scenario(scenario: Scenario) -> ScenarioResult:
     """Execute a scenario: configure, perturb, heal, measure."""
-    result = ScenarioExecution(scenario).execute()
+    execution = ScenarioExecution(scenario)
+    try:
+        result = execution.execute()
+    finally:
+        execution.close()
     # Without a horizon, execute() always returns a result.
     assert result is not None
     return result

@@ -22,6 +22,12 @@ from .replay import (
     state_digest,
 )
 from .rng import RngStreams, derive_seed
+from .shard import (
+    ShardedSimulation,
+    ShardError,
+    plan_partition,
+    shard_seed,
+)
 from .store import (
     ResumeSession,
     RunStore,
@@ -59,6 +65,10 @@ __all__ = [
     "state_digest",
     "RngStreams",
     "derive_seed",
+    "ShardedSimulation",
+    "ShardError",
+    "plan_partition",
+    "shard_seed",
     "ResumeSession",
     "RunStore",
     "RunStoreError",

@@ -35,6 +35,17 @@ key *at arm time* from the same ``seq`` counter as one-shot events,
 and the run loop always executes the globally smallest ``(time,
 seq)`` across both structures — so a run's event order (and therefore
 its trajectory) is bit-identical to the single-heap engine's.
+
+Lane-keyed mode (``lane_keys=True``) replaces the global ``seq``
+counter with per-*lane* counters: every event carries a key
+``(origin_lane, origin_seq)`` claimed from the lane that scheduled it,
+and equal-time ties break on that key instead of global arrival
+order.  Because each lane's counter advances only with that lane's own
+deterministic execution, the key assigned to an event is independent
+of how the overall event population is interleaved — which is what
+lets a spatially sharded run (``repro.sim.shard``) reproduce the
+exact same execution order at any shard count.  Legacy mode is the
+default and its key layout, hot loop, and trajectories are unchanged.
 """
 
 from __future__ import annotations
@@ -70,7 +81,7 @@ class Event:
     schedule path at one allocation per event.
     """
 
-    __slots__ = ("time", "callback", "cancelled", "consumed", "_sim")
+    __slots__ = ("time", "callback", "cancelled", "consumed", "lane", "_sim")
 
     def __init__(
         self, sim: "Simulator", time: float, callback: Callable[[], None]
@@ -80,6 +91,7 @@ class Event:
         self.callback = callback
         self.cancelled = False
         self.consumed = False
+        self.lane = None
 
     @property
     def active(self) -> bool:
@@ -112,9 +124,20 @@ class Simulator:
         self,
         max_events: int = 50_000_000,
         timer_bucket_width: Optional[float] = None,
+        lane_keys: bool = False,
     ):
         self._queue: List[Tuple[float, int, Event]] = []
         self._seq = itertools.count()
+        # -- lane-keyed mode ----------------------------------------------
+        # Keys become (origin_lane, origin_seq) tuples claimed from
+        # per-lane counters; the run loop switches the current lane to
+        # each event's execution lane before invoking its callback, so
+        # anything the callback schedules claims from that lane.  A
+        # simulator never mixes int and tuple keys: the mode is fixed at
+        # construction.
+        self._lane_keys = lane_keys
+        self._lane: Optional[int] = None
+        self._lane_counters: dict = {}
         self._now = 0.0
         self._executed = 0
         self._live = 0
@@ -171,6 +194,73 @@ class Simulator:
         """
         return self._live
 
+    # -- lanes (lane_keys mode only) ---------------------------------------
+
+    @property
+    def lane_keys(self) -> bool:
+        """Whether this simulator orders equal-time events by lane key."""
+        return self._lane_keys
+
+    @property
+    def current_lane(self) -> Optional[int]:
+        """The lane whose counter new events claim keys from."""
+        return self._lane
+
+    def set_lane(self, lane: Optional[int]) -> Optional[int]:
+        """Switch the current lane; returns the previous lane.
+
+        Used by drivers that schedule from *outside* any event callback
+        (node boot, barrier injections); within callbacks the run loop
+        sets the lane to the executing event's lane automatically.
+        """
+        previous = self._lane
+        self._lane = lane
+        return previous
+
+    def claim_key(self) -> Tuple[int, int]:
+        """Claim the next ``(origin_lane, origin_seq)`` key from the
+        current lane without scheduling anything.
+
+        The radio claims one key per delivery so lane counters advance
+        identically whether the destination is local or lives in
+        another shard (where the event is injected with
+        :meth:`schedule_keyed` at a barrier).
+        """
+        lane = self._lane
+        if lane is None:
+            raise SimulationError(
+                "lane-keyed scheduling requires a lane context"
+            )
+        counters = self._lane_counters
+        n = counters.get(lane, 0)
+        counters[lane] = n + 1
+        return (lane, n)
+
+    def schedule_keyed(
+        self,
+        time: float,
+        key: Tuple[int, int],
+        callback: Callable[[], None],
+        lane: int,
+    ) -> EventHandle:
+        """Schedule ``callback`` at ``time`` under a pre-claimed key.
+
+        ``lane`` is the *execution* lane the run loop switches to before
+        invoking the callback (for a radio delivery: the destination
+        node's lane).  Only valid in lane-keyed mode.
+        """
+        if not self._lane_keys:
+            raise SimulationError("schedule_keyed requires lane_keys mode")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before now={self._now}"
+            )
+        event = Event(self, time, callback)
+        event.lane = lane
+        heapq.heappush(self._queue, (time, key, event))
+        self._live += 1
+        return event
+
     # -- scheduling --------------------------------------------------------
 
     def schedule(
@@ -184,7 +274,12 @@ class Simulator:
             raise SimulationError(f"cannot schedule in the past: delay={delay}")
         time = self._now + delay
         event = Event(self, time, callback)
-        _push(self._queue, (time, next(self._seq), event))
+        if self._lane_keys:
+            key = self.claim_key()
+            event.lane = self._lane
+        else:
+            key = next(self._seq)
+        _push(self._queue, (time, key, event))
         self._live += 1
         return event
 
@@ -200,7 +295,12 @@ class Simulator:
                 f"cannot schedule at {time} before now={self._now}"
             )
         event = Event(self, time, callback)
-        _push(self._queue, (time, next(self._seq), event))
+        if self._lane_keys:
+            key = self.claim_key()
+            event.lane = self._lane
+        else:
+            key = next(self._seq)
+        _push(self._queue, (time, key, event))
         self._live += 1
         return event
 
@@ -235,7 +335,11 @@ class Simulator:
             self._wheel_width = hint if hint > 0 else 1.0
         time = self._now + delay
         event = Event(self, time, callback)
-        seq = next(self._seq)
+        if self._lane_keys:
+            seq = self.claim_key()
+            event.lane = self._lane
+        else:
+            seq = next(self._seq)
         key = int(time // self._wheel_width)
         bucket = self._wheel_buckets.get(key)
         entry = (time, seq, event)
@@ -352,6 +456,8 @@ class Simulator:
                     f"exceeded max_events={self._max_events}; "
                     "likely a runaway protocol loop"
                 )
+            if self._lane_keys:
+                self._lane = event.lane
             event.callback()
             return True
 
@@ -368,6 +474,7 @@ class Simulator:
         pop = heapq.heappop
         max_events = self._max_events
         no_deadline = until is None
+        lane_keys = self._lane_keys
         try:
             while True:
                 # Pick the globally smallest (time, seq) across the
@@ -416,6 +523,8 @@ class Simulator:
                         f"exceeded max_events={max_events}; "
                         "likely a runaway protocol loop"
                     )
+                if lane_keys:
+                    self._lane = event.lane
                 event.callback()
         finally:
             self._running = False

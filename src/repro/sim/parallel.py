@@ -137,10 +137,18 @@ class SweepRunner:
         self.chunk_size = chunk_size
 
     def resolve_workers(self, n_specs: int) -> int:
-        """The pool size actually used for ``n_specs`` replicates."""
+        """The pool size actually used for ``n_specs`` replicates.
+
+        ``workers=None`` defaults to the CPU count — except on
+        single-CPU hosts, where a 1-worker pool is pure pickling/IPC
+        overhead over in-process execution, so the default falls back
+        to 0 (run in-process).  Passing ``workers=1`` explicitly still
+        forces a real pool.
+        """
         workers = self.workers
         if workers is None:
-            workers = os.cpu_count() or 1
+            cpu = os.cpu_count() or 1
+            workers = cpu if cpu > 1 else 0
         return max(0, min(workers, n_specs))
 
     def _chunks(

@@ -1,0 +1,1484 @@
+"""Spatially sharded conservative-parallel simulation.
+
+Partitions the deployment plane into per-worker *regions* aligned to
+hex-cell stripes (contiguous intervals of the fractional axial ``q``
+coordinate of the IL lattice), runs each region on its own
+:class:`~repro.sim.engine.Simulator` (one-shot heap + timer wheel), and
+synchronises conservatively at epoch barriers whose width is bounded by
+the channel **lookahead** ``L = hop_latency`` — every transmission costs
+at least one hop plus a non-negative fault jitter, so an event executed
+at time ``t`` can only influence another node at ``t + L`` or later.
+
+Determinism contract (pinned by ``tests/sim/test_shard.py``):
+
+* A run at ``shards=N`` is **byte-identical** — same ``state_digest``,
+  same trace-record multiset, same chaos verdicts — to the same
+  scenario at ``shards=1``, for any ``N`` and for both the in-process
+  round-robin executor and the process-pool executor.  The identity is
+  *mode-relative*: sharded runs (including ``shards=1``) use the
+  lane-keyed engine ordering and therefore produce a different —
+  equally valid — trajectory than the legacy single-simulator path;
+  scenarios without a ``shards`` knob are untouched.
+* Equal-time events are ordered by ``(time, (origin_lane, origin_seq))``
+  keys.  A node's lane is its id; every radio delivery claims one key
+  from the sender's lane in canonical (ascending receiver id) candidate
+  order, whether the destination is local or remote, so lane counters
+  advance identically at every shard count.
+* Channel-fault draws use per-sender streams
+  (``radio.loss.<sender>`` …) drawn at *send* time, so fault outcomes
+  do not depend on which shard hosts the receiver.
+* Every shard constructs its RNG as ``RngStreams(master_seed)`` — the
+  per-node streams (``node.<id>``, ``location.<id>``) must be identical
+  no matter which shard owns the node.  ``shard_seed`` derives an
+  auxiliary per-region seed in the ``replicate_seed`` style for
+  shard-local needs outside the protocol trajectory.
+
+Only nodes within ``max_range`` of a region border are mirrored into
+the neighbouring shards' ``Network`` views; mirrors carry physical
+state only (position, liveness, range) and never run node programs.
+Cross-boundary radio deliveries are the only inter-shard events; they
+are exchanged at barriers and injected with their pre-claimed keys.
+The HEAD_ORG channel reservation is mediated at the coordinator with
+the legacy ``ChannelManager`` semantics shifted by one lookahead
+(request and release take one hop to reach the mediator).
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+import itertools
+import math
+from dataclasses import dataclass
+from functools import partial
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .engine import SimulationError, Simulator
+from .rng import RngStreams, derive_seed
+from .tracing import TraceRecord, Tracer
+
+__all__ = [
+    "CHANNEL_LANE",
+    "DRIVER_BASE",
+    "ShardedSimulation",
+    "ShardError",
+    "plan_partition",
+    "shard_seed",
+]
+
+#: Lane for coordinator-issued channel grants.  Sorts after every node
+#: lane (node ids are small ints) so same-time grants run after node
+#: events, at any shard count.
+CHANNEL_LANE = 1 << 59
+
+#: Base lane for driver (perturbation) operations; operation ``k`` owns
+#: lane ``DRIVER_BASE + k``.  Everything a perturbation schedules —
+#: including follow-on chains like a joined node's heartbeat — keeps
+#: claiming from this lane, which is globally unique per operation and
+#: therefore shard-count invariant.
+DRIVER_BASE = 1 << 60
+
+
+class ShardError(RuntimeError):
+    """Raised for operations a sharded run cannot support."""
+
+
+def shard_seed(master_seed: int, region_index: int) -> int:
+    """Auxiliary per-region seed, ``replicate_seed``-style.
+
+    Derived as ``SHA-256(master_seed, "shard:<region>")`` so it is
+    independent of worker scheduling.  *Not* used for protocol RNG
+    streams — those must come from the master seed directly so a node's
+    streams are identical at every shard count (see module docstring).
+    """
+    return derive_seed(master_seed, f"shard:{region_index}")
+
+
+# ---------------------------------------------------------------------------
+# Partitioning
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A plane partition into ``q``-stripes of the IL lattice.
+
+    ``boundaries`` are the ``shards - 1`` cut points in fractional-``q``
+    space; stripe ``s`` covers ``(boundaries[s-1], boundaries[s]]``
+    (±inf at the ends).  ``margin`` is the mirror half-width in ``q``
+    units: a node within ``margin`` of a stripe is mirrored into it.
+    """
+
+    shards: int
+    boundaries: Tuple[float, ...]
+    margin: float
+
+    def owner_of(self, q: float) -> int:
+        """Stripe index owning fractional coordinate ``q``."""
+        return bisect.bisect_left(self.boundaries, q)
+
+    def stripes_near(self, q: float) -> List[int]:
+        """All stripe indices within ``margin`` of ``q`` (owner first)."""
+        owner = self.owner_of(q)
+        result = [owner]
+        lo = owner - 1
+        while lo >= 0 and q - self.boundaries[lo] <= self.margin:
+            result.append(lo)
+            lo -= 1
+        hi = owner
+        while (
+            hi < self.shards - 1 and self.boundaries[hi] - q <= self.margin
+        ):
+            result.append(hi + 1)
+            hi += 1
+        return result
+
+
+def plan_partition(lattice, positions: Sequence, shards: int,
+                   max_range: float) -> Partition:
+    """Count-balanced ``q``-stripe partition of the given positions.
+
+    Cut points are midpoints between adjacent order statistics of the
+    nodes' fractional ``q`` coordinates, so each stripe owns roughly
+    ``len(positions) / shards`` nodes regardless of the deployment
+    shape.  The mirror margin converts ``max_range`` to ``q`` units via
+    the (constant) gradient of the affine ``fractional_axial`` map,
+    padded 1% against float noise.
+    """
+    if shards < 1:
+        raise ShardError(f"shards must be >= 1, got {shards}")
+    origin_q = lattice.fractional_axial(lattice.origin)[0]
+    unit_x = lattice.fractional_axial(
+        type(lattice.origin)(lattice.origin.x + 1.0, lattice.origin.y)
+    )[0] - origin_q
+    unit_y = lattice.fractional_axial(
+        type(lattice.origin)(lattice.origin.x, lattice.origin.y + 1.0)
+    )[0] - origin_q
+    q_gradient = math.hypot(unit_x, unit_y)
+    margin = q_gradient * max_range * 1.01 + 1e-9
+    qs = sorted(lattice.fractional_axial(p)[0] for p in positions)
+    boundaries: List[float] = []
+    n = len(qs)
+    for k in range(1, shards):
+        i = (k * n) // shards
+        if i <= 0 or i >= n:
+            # Degenerate (fewer nodes than shards): empty stripes are
+            # legal — their simulators simply idle.
+            boundaries.append(qs[-1] + k if n else float(k))
+        else:
+            boundaries.append((qs[i - 1] + qs[i]) / 2.0)
+    return Partition(
+        shards=shards, boundaries=tuple(boundaries), margin=margin
+    )
+
+
+# ---------------------------------------------------------------------------
+# Shard-side runtime
+# ---------------------------------------------------------------------------
+
+
+class _ShardPort:
+    """Radio port: decides delivery locality, collects cross traffic."""
+
+    __slots__ = ("owned", "outbox")
+
+    def __init__(self, owned: Set[int], outbox: List[tuple]):
+        self.owned = owned
+        self.outbox = outbox
+
+    def is_local(self, dest_id: int) -> bool:
+        return dest_id in self.owned
+
+    def send_delivery(self, arrival, key, sender_id, dest_id, payload):
+        self.outbox.append(
+            ("deliver", arrival, key, sender_id, dest_id, payload)
+        )
+
+
+class LaneChannel:
+    """Shard-side stub of :class:`~repro.net.channel.ChannelManager`.
+
+    Requests and releases are forwarded to the coordinator's mediator
+    (one lookahead away, like any transmission); grants come back as
+    barrier injections.  Lease ids are the claimed lane keys, globally
+    unique and shard-count invariant.
+    """
+
+    def __init__(self, sim: Simulator, outbox: List[tuple]):
+        self.sim = sim
+        self.outbox = outbox
+        self._leases: Dict[tuple, tuple] = {}
+
+    def request(self, node_id, center, radius, on_grant):
+        from ..net.channel import ChannelLease
+
+        key = self.sim.claim_key()
+        lease = ChannelLease(key, node_id, center, radius)
+        self._leases[key] = (lease, on_grant)
+        self.outbox.append(
+            (
+                "chan_req",
+                self.sim.now,
+                key,
+                node_id,
+                (center.x, center.y),
+                radius,
+            )
+        )
+        return lease
+
+    def release(self, lease) -> None:
+        if lease.released:
+            return
+        lease.released = True
+        lease.active = False
+        self.outbox.append(
+            ("chan_rel", self.sim.now, self.sim.claim_key(), lease.lease_id)
+        )
+
+    def fire_grant(self, lease_id) -> None:
+        entry = self._leases.get(lease_id)
+        if entry is None:
+            return
+        lease, on_grant = entry
+        if lease.released:
+            return
+        lease.active = True
+        on_grant(lease)
+
+    def lane_of(self, lease_id) -> Optional[int]:
+        entry = self._leases.get(lease_id)
+        return entry[0].node_id if entry is not None else None
+
+
+_NODE_KINDS = ("static", "dynamic")
+
+
+@dataclass
+class ShardSpec:
+    """Plain-data recipe for constructing one shard's runtime.
+
+    Picklable so the process-pool executor can ship it to workers.
+    """
+
+    index: int
+    config: Any  # GS3Config (frozen dataclass, picklable)
+    deployment_spec: Dict[str, Any]
+    seed: int
+    channel: Any  # Optional[ChannelFaultConfig]
+    node_kind: str
+    keep_trace_records: bool
+    max_events: Optional[int]
+    owned: Tuple[int, ...]
+    mirrors: Tuple[int, ...]
+
+
+class ShardWorker:
+    """One region's full protocol runtime behind a message interface.
+
+    Used directly by the inline executor and inside worker processes by
+    the pool executor — the coordinator talks to both through the same
+    call surface, which is what makes the two executors bit-identical.
+    """
+
+    def __init__(self, spec: ShardSpec):
+        from ..core.gs3d import Gs3DynamicNode
+        from ..core.gs3s import Gs3StaticNode
+        from ..core.runtime import Gs3Runtime
+        from ..geometry import HexLattice
+        from ..net import Radio, deployment_from_spec
+
+        if spec.node_kind not in _NODE_KINDS:
+            raise ShardError(f"unsupported node kind {spec.node_kind!r}")
+        self.spec = spec
+        self.node_class = (
+            Gs3DynamicNode if spec.node_kind == "dynamic" else Gs3StaticNode
+        )
+        config = spec.config
+        deployment = deployment_from_spec(
+            spec.deployment_spec, RngStreams(spec.seed)
+        )
+        network = deployment.build_network(
+            max_range=config.recommended_max_range
+        )
+        keep = set(spec.owned) | set(spec.mirrors)
+        for node_id in network.node_ids():
+            if node_id not in keep:
+                network.remove_node(node_id)
+        self.owned: Set[int] = set(spec.owned)
+        self.outbox: List[tuple] = []
+        sim = Simulator(lane_keys=True)
+        if spec.max_events is not None:
+            sim.max_events = spec.max_events
+        tracer = Tracer(keep_records=spec.keep_trace_records)
+        rng = RngStreams(spec.seed)
+        radio = Radio(
+            network,
+            sim,
+            tracer=tracer,
+            rng=rng,
+            broadcast_loss=config.broadcast_loss,
+            hop_latency=config.hop_latency,
+            faults=(
+                spec.channel.build(rng, per_sender=True)
+                if spec.channel is not None
+                else None
+            ),
+        )
+        radio.shard_port = _ShardPort(self.owned, self.outbox)
+        self.channel = LaneChannel(sim, self.outbox)
+        lattice = HexLattice(
+            origin=deployment.big_position,
+            spacing=config.lattice_spacing,
+            orientation=config.gr_orientation,
+        )
+        self.runtime = Gs3Runtime(
+            config=config,
+            sim=sim,
+            network=network,
+            radio=radio,
+            channel=self.channel,
+            tracer=tracer,
+            rng=rng,
+            lattice=lattice,
+        )
+        self.sim = sim
+        self._started = False
+        for node_id in sorted(self.owned):
+            self.node_class(self.runtime, node_id)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> Optional[float]:
+        if not self._started:
+            self._started = True
+            for node_id in sorted(self.runtime.nodes):
+                self.sim.set_lane(node_id)
+                self.runtime.nodes[node_id].start()
+            self.sim.set_lane(None)
+        return self.sim.next_event_time()
+
+    def advance(
+        self, until: float, injections: Sequence[tuple]
+    ) -> Tuple[List[tuple], Optional[float]]:
+        """Inject barrier traffic, run to ``until``, drain the outbox."""
+        for item in injections:
+            self._inject(item)
+        self.sim.run(until=until)
+        return self._drain()
+
+    def apply_ops(
+        self, time: float, ops: Sequence[Tuple[tuple, int, tuple]]
+    ) -> Tuple[List[tuple], Optional[float]]:
+        """Execute driver operations due exactly at the barrier time."""
+        for key, lane, desc in ops:
+            self.sim.schedule_keyed(
+                time, key, partial(self._exec_op, desc), lane=lane
+            )
+        self.sim.run(until=time)
+        return self._drain()
+
+    def _drain(self) -> Tuple[List[tuple], Optional[float]]:
+        out = self.outbox[:]
+        self.outbox.clear()
+        return out, self.sim.next_event_time()
+
+    # -- barrier injections --------------------------------------------
+
+    def _inject(self, item: tuple) -> None:
+        kind = item[0]
+        if kind == "deliver":
+            _, time, key, sender_id, dest_id, payload = item
+            self.sim.schedule_keyed(
+                time,
+                key,
+                partial(self.runtime.radio._deliver, sender_id, dest_id,
+                        payload),
+                lane=dest_id,
+            )
+        elif kind == "grant":
+            _, time, key, lease_id = item
+            lane = self.channel.lane_of(lease_id)
+            if lane is None:  # pragma: no cover - coordinator invariant
+                raise ShardError(f"grant for unknown lease {lease_id!r}")
+            self.sim.schedule_keyed(
+                time,
+                key,
+                partial(self.channel.fire_grant, lease_id),
+                lane=lane,
+            )
+        else:  # pragma: no cover - defensive
+            raise ShardError(f"unknown injection {kind!r}")
+
+    # -- driver operations ---------------------------------------------
+
+    def _exec_op(self, desc: tuple) -> None:
+        kind = desc[0]
+        runtime = self.runtime
+        network = runtime.network
+        if kind == "kill":
+            _, node_id, owner = desc
+            network.kill_node(node_id)
+            if owner:
+                node = runtime.nodes.get(node_id)
+                if node is not None and hasattr(node, "on_killed"):
+                    node.on_killed()
+                runtime.trace("perturb.kill", node_id)
+        elif kind == "revive":
+            _, node_id, owner = desc
+            network.revive_node(node_id)
+            if owner:
+                node = runtime.nodes.get(node_id)
+                if node is not None and hasattr(node, "on_revived"):
+                    node.on_revived()
+                runtime.trace("perturb.join", node_id)
+        elif kind == "join":
+            from ..geometry import Vec2
+
+            _, node_id, (x, y), owner = desc
+            network.add_node(
+                Vec2(x, y),
+                max_range=runtime.config.recommended_max_range,
+                node_id=node_id,
+            )
+            if owner:
+                self.owned.add(node_id)
+                node = self.node_class(runtime, node_id)
+                if self._started:
+                    node.start()
+                runtime.trace("perturb.join", node_id)
+        elif kind == "mirror_add":
+            from ..geometry import Vec2
+
+            _, node_id, (x, y), alive = desc
+            network.add_node(
+                Vec2(x, y),
+                max_range=runtime.config.recommended_max_range,
+                node_id=node_id,
+            )
+            if not alive:
+                network.kill_node(node_id)
+        elif kind == "corrupt":
+            import random
+
+            from ..core.dynamic import default_corruption
+
+            _, node_id, op_seed = desc
+            node = runtime.nodes[node_id]
+            default_corruption(node, random.Random(op_seed))
+            runtime.trace("perturb.corrupt", node_id)
+        elif kind == "move":
+            from ..geometry import Vec2
+
+            _, node_id, (x, y), owner = desc
+            old = network.node(node_id).position
+            new = Vec2(x, y)
+            network.move_node(node_id, new)
+            if owner:
+                node = runtime.nodes.get(node_id)
+                if node is not None and hasattr(node, "on_moved"):
+                    node.on_moved(old, new)
+                runtime.trace("perturb.move", node_id)
+        elif kind == "jam":
+            from ..geometry import Vec2
+            from ..net import JamWindow
+
+            _, (start, end, cx, cy, radius), emit = desc
+            window = JamWindow(
+                start=start, end=end, center=Vec2(cx, cy), radius=radius
+            )
+            runtime.radio.ensure_fault_model().add_jam_window(window)
+            if emit:
+                runtime.tracer.emit(
+                    self.sim.now,
+                    "perturb.jam",
+                    node=None,
+                    center=(cx, cy),
+                    radius=radius,
+                    until=end,
+                )
+        else:  # pragma: no cover - defensive
+            raise ShardError(f"unknown driver op {kind!r}")
+
+    # -- queries --------------------------------------------------------
+
+    def query(self, what: str, arg: Any = None) -> Any:
+        tracer = self.runtime.tracer
+        if what == "next_time":
+            return self.sim.next_event_time()
+        if what == "trace_last":
+            return tracer.last_time(*arg)
+        if what == "count":
+            return tracer.count(arg)
+        if what == "counts":
+            return dict(tracer.counts)
+        if what == "last_by_category":
+            return dict(tracer.last_time_by_category)
+        if what == "records":
+            return list(tracer.records)
+        if what == "pending":
+            return self.sim.pending_events
+        if what == "executed":
+            return self.sim.executed_events
+        if what == "faults":
+            faults = self.runtime.radio.faults
+            if faults is None:
+                return (0, 0)
+            return (faults.jam_drops, faults.loss_drops)
+        if what == "set_max_events":
+            self.sim.max_events = arg
+            return None
+        if what == "snapshot":
+            from ..core.snapshot import node_view
+
+            views = {
+                node_id: node_view(self.runtime, node_id)
+                for node_id in sorted(self.runtime.nodes)
+            }
+            gaps = set()
+            for node in self.runtime.nodes.values():
+                gaps |= getattr(node, "gap_axials", set())
+            return views, gaps
+        raise ShardError(f"unknown query {what!r}")
+
+
+# ---------------------------------------------------------------------------
+# Executors
+# ---------------------------------------------------------------------------
+
+
+class _InlineExecutor:
+    """Sequential round-robin over in-process workers.
+
+    The reference merge discipline: the pool executor must be
+    bit-identical to this, and this at ``shards=1`` anchors the whole
+    determinism contract.
+    """
+
+    def __init__(self, specs: Sequence[ShardSpec]):
+        self._specs = specs
+        self._workers: List[ShardWorker] = []
+
+    def boot(self) -> None:
+        self._workers = [ShardWorker(spec) for spec in self._specs]
+
+    def start_all(self) -> List[Optional[float]]:
+        return [worker.start() for worker in self._workers]
+
+    def advance_all(
+        self, until: float, injections: Sequence[Sequence[tuple]]
+    ) -> List[Tuple[List[tuple], Optional[float]]]:
+        return [
+            worker.advance(until, injections[i])
+            for i, worker in enumerate(self._workers)
+        ]
+
+    def apply_ops(
+        self, shard: int, time: float, ops: Sequence[tuple]
+    ) -> Tuple[List[tuple], Optional[float]]:
+        return self._workers[shard].apply_ops(time, ops)
+
+    def query_all(self, what: str, arg: Any = None) -> List[Any]:
+        return [worker.query(what, arg) for worker in self._workers]
+
+    def query(self, shard: int, what: str, arg: Any = None) -> Any:
+        return self._workers[shard].query(what, arg)
+
+    def close(self) -> None:
+        self._workers = []
+
+
+def _shard_worker_main(conn, spec: ShardSpec) -> None:
+    """Worker-process loop: construct the shard, serve the pipe."""
+    try:
+        worker = ShardWorker(spec)
+        conn.send(("ok", None))
+    except BaseException as exc:  # construction failure
+        conn.send(("err", f"shard {spec.index} boot: {exc!r}"))
+        conn.close()
+        return
+    try:
+        while True:
+            msg = conn.recv()
+            cmd = msg[0]
+            if cmd == "stop":
+                break
+            try:
+                if cmd == "start":
+                    reply = worker.start()
+                elif cmd == "advance":
+                    reply = worker.advance(msg[1], msg[2])
+                elif cmd == "apply_ops":
+                    reply = worker.apply_ops(msg[1], msg[2])
+                elif cmd == "query":
+                    reply = worker.query(msg[1], msg[2])
+                else:
+                    raise ShardError(f"unknown command {cmd!r}")
+                conn.send(("ok", reply))
+            except BaseException as exc:
+                conn.send(("err", f"shard {spec.index} {cmd}: {exc!r}"))
+    except (EOFError, OSError):  # pragma: no cover - coordinator died
+        pass
+    finally:
+        conn.close()
+
+
+class _ProcessExecutor:
+    """One forked worker process per shard, synchronised over pipes.
+
+    Commands fan out to every worker before any reply is collected, so
+    shards advance their epochs concurrently; replies are merged in
+    shard order, which keeps the coordinator's view identical to the
+    inline executor's.
+    """
+
+    def __init__(self, specs: Sequence[ShardSpec]):
+        self._specs = specs
+        self._procs: List[Any] = []
+        self._conns: List[Any] = []
+
+    def boot(self) -> None:
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        for spec in self._specs:
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_shard_worker_main, args=(child, spec), daemon=True
+            )
+            proc.start()
+            child.close()
+            self._procs.append(proc)
+            self._conns.append(parent)
+        for i, conn in enumerate(self._conns):
+            status, detail = conn.recv()
+            if status != "ok":
+                self.close()
+                raise ShardError(detail)
+
+    def _collect(self, conn) -> Any:
+        status, reply = conn.recv()
+        if status != "ok":
+            raise ShardError(reply)
+        return reply
+
+    def _broadcast(self, messages: Sequence[tuple]) -> List[Any]:
+        for conn, message in zip(self._conns, messages):
+            conn.send(message)
+        return [self._collect(conn) for conn in self._conns]
+
+    def start_all(self) -> List[Optional[float]]:
+        return self._broadcast([("start",)] * len(self._conns))
+
+    def advance_all(
+        self, until: float, injections: Sequence[Sequence[tuple]]
+    ) -> List[Tuple[List[tuple], Optional[float]]]:
+        return self._broadcast(
+            [
+                ("advance", until, list(injections[i]))
+                for i in range(len(self._conns))
+            ]
+        )
+
+    def apply_ops(
+        self, shard: int, time: float, ops: Sequence[tuple]
+    ) -> Tuple[List[tuple], Optional[float]]:
+        self._conns[shard].send(("apply_ops", time, list(ops)))
+        return self._collect(self._conns[shard])
+
+    def query_all(self, what: str, arg: Any = None) -> List[Any]:
+        return self._broadcast(
+            [("query", what, arg)] * len(self._conns)
+        )
+
+    def query(self, shard: int, what: str, arg: Any = None) -> Any:
+        self._conns[shard].send(("query", what, arg))
+        return self._collect(self._conns[shard])
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+        for conn in self._conns:
+            conn.close()
+        self._procs = []
+        self._conns = []
+
+
+_EXECUTORS = {"inline": _InlineExecutor, "process": _ProcessExecutor}
+
+
+# ---------------------------------------------------------------------------
+# Channel mediator
+# ---------------------------------------------------------------------------
+
+
+class _ChannelMediator:
+    """Coordinator-side HEAD_ORG mutual exclusion.
+
+    Reproduces :class:`~repro.net.channel.ChannelManager` semantics with
+    the request/release *effect* shifted one lookahead after the call
+    (the hop to the mediator).  Every flush processes the whole queue in
+    ``(effect_time, claim_key)`` order — safe because any not-yet-seen
+    operation necessarily has a later effect time than everything queued
+    (ops sent during epoch ``(b, B]`` have effects in ``(b+L, B+L]``).
+    Grants are stamped ``(CHANNEL_LANE, counter)`` in processing order,
+    which the barrier-sequence invariance makes shard-count invariant.
+    """
+
+    def __init__(self, lookahead: float):
+        self._lookahead = lookahead
+        self._queue: List[tuple] = []
+        self._waiting: List[dict] = []
+        self._active: Dict[tuple, dict] = {}
+        self._grants = itertools.count()
+
+    def ingest(self, shard: int, entry: tuple) -> None:
+        kind = entry[0]
+        if kind == "chan_req":
+            _, time, key, node_id, center, radius = entry
+            self._queue.append(
+                (
+                    time + self._lookahead,
+                    key,
+                    "req",
+                    {
+                        "lease_id": key,
+                        "node_id": node_id,
+                        "center": center,
+                        "radius": radius,
+                        "shard": shard,
+                        "released": False,
+                    },
+                )
+            )
+        else:  # chan_rel
+            _, time, key, lease_id = entry
+            self._queue.append(
+                (time + self._lookahead, key, "rel", lease_id)
+            )
+
+    @staticmethod
+    def _conflicts(a: dict, b: dict) -> bool:
+        reach = a["radius"] + b["radius"]
+        dx = a["center"][0] - b["center"][0]
+        dy = a["center"][1] - b["center"][1]
+        return dx * dx + dy * dy <= reach * reach
+
+    def flush(self) -> List[Tuple[int, float, tuple, tuple]]:
+        """Process all queued ops; returns grants to inject.
+
+        Each grant is ``(shard, time, key, lease_id)``.
+        """
+        if not self._queue:
+            return []
+        grants: List[Tuple[int, float, tuple, tuple]] = []
+        for time, _key, kind, payload in sorted(
+            self._queue, key=lambda entry: (entry[0], entry[1])
+        ):
+            if kind == "req":
+                self._waiting.append(payload)
+            else:
+                lease = self._active.pop(payload, None)
+                if lease is None:
+                    for waiting in self._waiting:
+                        if waiting["lease_id"] == payload:
+                            waiting["released"] = True
+                            break
+            self._pump(time, grants)
+        self._queue.clear()
+        return grants
+
+    def _pump(self, time: float, grants: list) -> None:
+        still_waiting: List[dict] = []
+        for lease in self._waiting:
+            if lease["released"]:
+                continue
+            conflict = any(
+                self._conflicts(lease, active)
+                for active in self._active.values()
+            )
+            if conflict:
+                still_waiting.append(lease)
+                continue
+            self._active[lease["lease_id"]] = lease
+            grants.append(
+                (
+                    lease["shard"],
+                    time,
+                    (CHANNEL_LANE, next(self._grants)),
+                    lease["lease_id"],
+                )
+            )
+        self._waiting = still_waiting
+
+
+# ---------------------------------------------------------------------------
+# Coordinator facade
+# ---------------------------------------------------------------------------
+
+
+class _FacadeClock:
+    """Duck-type of the engine surface drivers touch.
+
+    ``schedule_at`` arms *driver operations* (perturbation injector
+    callbacks) on a coordinator-side heap; they run at epoch barriers,
+    which the epoch-target rule aligns with their exact times.
+    """
+
+    def __init__(self, owner: "ShardedSimulation"):
+        self._owner = owner
+
+    @property
+    def now(self) -> float:
+        return self._owner._now
+
+    def run(self, until: Optional[float] = None) -> float:
+        return self._owner._run(until)
+
+    def run_for(self, duration: float) -> float:
+        return self._owner._run(self._owner._now + duration)
+
+    def schedule_at(self, time: float, callback) -> None:
+        owner = self._owner
+        if time < owner._now:
+            raise SimulationError(
+                f"cannot schedule in the past: time={time} < {owner._now}"
+            )
+        heapq.heappush(owner._ops, (time, next(owner._op_order), callback))
+
+    def schedule(self, delay: float, callback) -> None:
+        self.schedule_at(self._owner._now + delay, callback)
+
+    def next_event_time(self) -> Optional[float]:
+        return self._owner._next_event_time()
+
+    @property
+    def pending_events(self) -> int:
+        return self._owner._pending_events()
+
+    @property
+    def max_events(self) -> int:
+        return self._owner._max_events or 0
+
+    @max_events.setter
+    def max_events(self, value: int) -> None:
+        self._owner._max_events = value
+        self._owner._executor.query_all("set_max_events", value)
+
+
+class _MergedTracer:
+    """Read-only merge of the per-shard tracers."""
+
+    def __init__(self, owner: "ShardedSimulation"):
+        self._owner = owner
+
+    def last_time(self, *categories: str) -> Optional[float]:
+        times = [
+            t
+            for t in self._owner._executor.query_all(
+                "trace_last", tuple(categories)
+            )
+            if t is not None
+        ]
+        return max(times) if times else None
+
+    @property
+    def last_time_by_category(self) -> Dict[str, float]:
+        merged: Dict[str, float] = {}
+        for shard_map in self._owner._executor.query_all("last_by_category"):
+            for category, time in shard_map.items():
+                if category not in merged or time > merged[category]:
+                    merged[category] = time
+        return merged
+
+    @property
+    def counts(self):
+        from collections import Counter
+
+        merged: Counter = Counter()
+        for shard_counts in self._owner._executor.query_all("counts"):
+            merged.update(shard_counts)
+        return merged
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        merged: List[TraceRecord] = []
+        for shard_records in self._owner._executor.query_all("records"):
+            merged.extend(shard_records)
+        return merged
+
+    def count(self, category: str) -> int:
+        return sum(self._owner._executor.query_all("count", category))
+
+    def count_prefix(self, prefix: str) -> int:
+        return sum(
+            v for k, v in self.counts.items() if k.startswith(prefix)
+        )
+
+    def by_category(self, category: str):
+        return (r for r in self.records if r.category == category)
+
+
+class _MergedFaults:
+    """Summed channel-fault counters across shards (verdict inputs)."""
+
+    def __init__(self, owner: "ShardedSimulation"):
+        self._owner = owner
+
+    def _totals(self) -> Tuple[int, int]:
+        totals = self._owner._executor.query_all("faults")
+        return (
+            sum(t[0] for t in totals),
+            sum(t[1] for t in totals),
+        )
+
+    @property
+    def jam_drops(self) -> int:
+        return self._totals()[0]
+
+    @property
+    def loss_drops(self) -> int:
+        return self._totals()[1]
+
+
+class _FacadeRadio:
+    __slots__ = ("faults",)
+
+    def __init__(self, faults: _MergedFaults):
+        self.faults = faults
+
+
+class _FacadeRuntime:
+    """The slice of ``Gs3Runtime`` drivers and verdicts read."""
+
+    def __init__(self, owner: "ShardedSimulation"):
+        self.sim = _FacadeClock(owner)
+        self.rng = owner._rng
+        self.tracer = owner.tracer
+        self.radio = _FacadeRadio(_MergedFaults(owner))
+        self.config = owner.config
+        self.lattice = owner.lattice
+        self.network = owner.network
+
+
+class ShardedSimulation:
+    """Coordinator for a spatially sharded GS3-D run.
+
+    Duck-types the ``Gs3DynamicSimulation`` surface that
+    ``ScenarioExecution`` and the chaos campaigns drive: ``start``,
+    ``run_for``, ``stabilize``, ``snapshot``, the perturbation API, and
+    the ``runtime``/``tracer``/``network`` attributes.  Mobility and
+    energy-driven death are not supported sharded.
+    """
+
+    def __init__(
+        self,
+        deployment_spec: Dict[str, Any],
+        config,
+        seed: int = 0,
+        shards: int = 1,
+        executor: str = "inline",
+        channel=None,
+        node_kind: str = "dynamic",
+        keep_trace_records: bool = True,
+        max_events: Optional[int] = None,
+    ):
+        from ..geometry import HexLattice
+        from ..net import deployment_from_spec
+
+        if executor not in _EXECUTORS:
+            raise ShardError(
+                f"unknown shard executor {executor!r}; "
+                f"expected one of {sorted(_EXECUTORS)}"
+            )
+        self.config = config
+        self.seed = seed
+        self.shards = shards
+        self.executor_kind = executor
+        self._rng = RngStreams(seed)
+        self.deployment = deployment_from_spec(
+            dict(deployment_spec), RngStreams(seed)
+        )
+        self.network = self.deployment.build_network(
+            max_range=config.recommended_max_range
+        )
+        self.lattice = HexLattice(
+            origin=self.network.big_node.position,
+            spacing=config.lattice_spacing,
+            orientation=config.gr_orientation,
+        )
+        self._lookahead = config.hop_latency
+        self.partition = plan_partition(
+            self.lattice,
+            [self.network.node(i).position for i in self.network.node_ids()],
+            shards,
+            config.recommended_max_range,
+        )
+        # Presence: which shards carry each node (owner first).  Grows
+        # monotonically — a mirror is never dropped, so every future
+        # state change reaches every copy.
+        self._presence: Dict[int, List[int]] = {}
+        owned: List[List[int]] = [[] for _ in range(shards)]
+        mirrors: List[List[int]] = [[] for _ in range(shards)]
+        for node_id in self.network.node_ids():
+            stripes = self._stripes_of(self.network.node(node_id).position)
+            self._presence[node_id] = stripes
+            owned[stripes[0]].append(node_id)
+            for stripe in stripes[1:]:
+                mirrors[stripe].append(node_id)
+        specs = [
+            ShardSpec(
+                index=i,
+                config=config,
+                deployment_spec=dict(deployment_spec),
+                seed=seed,
+                channel=channel,
+                node_kind=node_kind,
+                keep_trace_records=keep_trace_records,
+                max_events=max_events,
+                owned=tuple(owned[i]),
+                mirrors=tuple(mirrors[i]),
+            )
+            for i in range(shards)
+        ]
+        self._executor = _EXECUTORS[executor](specs)
+        self._max_events = max_events
+        self._now = 0.0
+        self._started = False
+        self._closed = False
+        self._next_times: List[Optional[float]] = [None] * shards
+        self._pending_inject: List[List[tuple]] = [[] for _ in range(shards)]
+        self._mediator = _ChannelMediator(self._lookahead)
+        self._ops: List[tuple] = []
+        self._op_order = itertools.count()
+        self._op_counter = itertools.count()
+        self.tracer = _MergedTracer(self)
+        self.runtime = _FacadeRuntime(self)
+
+    # -- partition helpers ----------------------------------------------
+
+    def _stripes_of(self, position) -> List[int]:
+        q = self.lattice.fractional_axial(position)[0]
+        return self.partition.stripes_near(q)
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self._executor.boot()
+        self._executor.start_all()
+        # Zero-width barrier: execute the time-0 boot events so every
+        # later epoch ``(b, B]`` can rely on events at ``b`` having
+        # already run (the strict-lookahead argument needs ``t > b``).
+        self._barrier(0.0)
+
+    def run_for(self, duration: float) -> float:
+        return self._run(self._now + duration)
+
+    def close(self) -> None:
+        """Shut down worker processes (no-op for the inline executor)."""
+        if not self._closed:
+            self._closed = True
+            self._executor.close()
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- the epoch loop -------------------------------------------------
+
+    def _run(self, until: Optional[float]) -> float:
+        self.start()
+        if until is None:
+            # Run to quiescence: jump barrier-by-barrier until nothing
+            # is pending anywhere (GS3-D never drains; this is for
+            # parity with the engine surface).
+            while True:
+                target = self._next_event_time()
+                if target is None:
+                    return self._now
+                self._advance_to(max(target, self._now))
+        if until > self._now:
+            self._advance_to(until)
+        return self._now
+
+    def _advance_to(self, until: float) -> None:
+        while True:
+            self._run_due_ops()
+            self._flush_channel()
+            if self._now >= until:
+                break
+            t_op = self._ops[0][0] if self._ops else None
+            hard = until if t_op is None else min(until, t_op)
+            if hard <= self._now:
+                # An op landed exactly at now and was just executed;
+                # loop to re-evaluate.
+                continue
+            t_min = self._shard_next_time()
+            if t_min is None or t_min > hard:
+                # No shard work before the deadline: jump straight to
+                # it; shards only move their clocks.
+                target = hard
+            else:
+                # Center the epoch on the earliest pending event: it
+                # executes in this epoch with half a lookahead of
+                # follow-room, and anything it sends lands strictly
+                # after the barrier (arrival >= t_min + L > target).
+                base = max(self._now, t_min - self._lookahead / 2.0)
+                target = min(hard, base + self._lookahead)
+            self._barrier(target)
+
+    def _barrier(self, target: float) -> None:
+        injections = self._pending_inject
+        self._pending_inject = [[] for _ in range(self.shards)]
+        replies = self._executor.advance_all(target, injections)
+        self._now = target
+        for shard, (outbox, next_time) in enumerate(replies):
+            self._next_times[shard] = next_time
+            self._ingest(shard, outbox)
+
+    def _ingest(self, shard: int, outbox: Iterable[tuple]) -> None:
+        for entry in outbox:
+            kind = entry[0]
+            if kind == "deliver":
+                dest_id = entry[4]
+                owner = self._presence[dest_id][0]
+                self._pending_inject[owner].append(entry)
+            else:
+                self._mediator.ingest(shard, entry)
+
+    def _flush_channel(self) -> None:
+        for shard, time, key, lease_id in self._mediator.flush():
+            self._pending_inject[shard].append(
+                ("grant", time, key, lease_id)
+            )
+
+    def _run_due_ops(self) -> None:
+        while self._ops and self._ops[0][0] <= self._now:
+            _, _, callback = heapq.heappop(self._ops)
+            callback()
+
+    # -- merged clock queries -------------------------------------------
+
+    def _shard_next_time(self) -> Optional[float]:
+        candidates = [t for t in self._next_times if t is not None]
+        for pending in self._pending_inject:
+            candidates.extend(item[1] for item in pending)
+        return min(candidates) if candidates else None
+
+    def _next_event_time(self) -> Optional[float]:
+        candidates = []
+        shard_next = self._shard_next_time()
+        if shard_next is not None:
+            candidates.append(shard_next)
+        if self._ops:
+            candidates.append(self._ops[0][0])
+        return min(candidates) if candidates else None
+
+    def _pending_events(self) -> int:
+        total = sum(self._executor.query_all("pending"))
+        total += sum(len(pending) for pending in self._pending_inject)
+        total += len(self._ops)
+        return total
+
+    @property
+    def executed_events(self) -> int:
+        """Total events executed across all shards."""
+        return sum(self._executor.query_all("executed"))
+
+    # -- perturbation API (driver operations) ---------------------------
+
+    def _dispatch_op(
+        self, targets: Sequence[Tuple[int, tuple]]
+    ) -> None:
+        """Apply one driver operation at the current barrier.
+
+        ``targets`` pairs shard indices with descriptors.  The op event
+        is injected under key ``(DRIVER_BASE + k, -1)`` — below any key
+        the operation itself claims (claims start at 0), so same-time
+        follow-ups order after it.
+        """
+        op = next(self._op_counter)
+        lane = DRIVER_BASE + op
+        key = (lane, -1)
+        for shard, desc in targets:
+            outbox, next_time = self._executor.apply_ops(
+                shard, self._now, [(key, lane, desc)]
+            )
+            self._next_times[shard] = next_time
+            self._ingest(shard, outbox)
+        self._flush_channel()
+
+    def kill_node(self, node_id: int) -> None:
+        """Fail-stop a node in every shard that carries it."""
+        if not self.network.has_node(node_id):
+            return
+        if not self.network.node(node_id).alive:
+            return
+        self.start()
+        self.network.kill_node(node_id)
+        stripes = self._presence[node_id]
+        self._dispatch_op(
+            [
+                (shard, ("kill", node_id, i == 0))
+                for i, shard in enumerate(stripes)
+            ],
+        )
+
+    def kill_region(self, center, radius: float) -> List[int]:
+        victims = [
+            n.node_id
+            for n in self.network.nodes_within(center, radius)
+            if not n.is_big
+        ]
+        for node_id in victims:
+            self.kill_node(node_id)
+        return victims
+
+    def revive_node(self, node_id: int) -> None:
+        if not self.network.has_node(node_id):
+            return
+        if self.network.node(node_id).alive:
+            return
+        self.start()
+        self.network.revive_node(node_id)
+        stripes = self._presence[node_id]
+        self._dispatch_op(
+            [
+                (shard, ("revive", node_id, i == 0))
+                for i, shard in enumerate(stripes)
+            ],
+        )
+
+    def add_node(self, position) -> int:
+        self.start()
+        phys = self.network.add_node(
+            position, max_range=self.config.recommended_max_range
+        )
+        node_id = phys.node_id
+        stripes = self._stripes_of(position)
+        self._presence[node_id] = stripes
+        pos = (position.x, position.y)
+        targets: List[Tuple[int, tuple]] = [
+            (stripes[0], ("join", node_id, pos, True))
+        ]
+        targets.extend(
+            (shard, ("mirror_add", node_id, pos, True))
+            for shard in stripes[1:]
+        )
+        self._dispatch_op(targets)
+        return node_id
+
+    def corrupt_node(self, node_id: int, mutator=None) -> None:
+        if mutator is not None:
+            raise ShardError(
+                "sharded runs support only the default corruption mutator"
+            )
+        if node_id not in self._presence:
+            raise KeyError(node_id)
+        self.start()
+        # Each corruption draws from its own derived seed (rather than
+        # the legacy shared "corruption" stream) so the draw sequence
+        # does not depend on which shard executes it.
+        op_seed = derive_seed(
+            self.seed, f"corruption:{next(self._op_counter)}"
+        )
+        owner = self._presence[node_id][0]
+        self._dispatch_op([(owner, ("corrupt", node_id, op_seed))])
+
+    def move_node(self, node_id: int, new_position) -> None:
+        if not self.network.has_node(node_id):
+            return
+        self.start()
+        stripes = self._presence[node_id]
+        new_stripes = self._stripes_of(new_position)
+        if new_stripes[0] != stripes[0]:
+            raise ShardError(
+                f"node {node_id} would cross from shard {stripes[0]} to "
+                f"{new_stripes[0]}; cross-region moves are not supported "
+                "(run with shards=1 or a mobility-free scenario)"
+            )
+        alive = self.network.node(node_id).alive
+        self.network.move_node(node_id, new_position)
+        pos = (new_position.x, new_position.y)
+        targets: List[Tuple[int, tuple]] = [
+            (shard, ("move", node_id, pos, i == 0))
+            for i, shard in enumerate(stripes)
+        ]
+        for shard in new_stripes:
+            if shard not in stripes:
+                stripes.append(shard)
+                targets.append(
+                    (shard, ("mirror_add", node_id, pos, alive))
+                )
+        self._dispatch_op(targets)
+
+    def jam_region(
+        self, center, radius: float, duration: float,
+        start: Optional[float] = None,
+    ):
+        from ..net import JamWindow
+
+        self.start()
+        begin = self._now if start is None else start
+        window = JamWindow(
+            start=begin, end=begin + duration, center=center, radius=radius
+        )
+        desc = (begin, window.end, center.x, center.y, radius)
+        # Every shard installs the window (any shard may host an
+        # affected sender); exactly one emits the trace record so the
+        # merged multiset matches a one-shard run.
+        self._dispatch_op(
+            [
+                (shard, ("jam", desc, shard == 0))
+                for shard in range(self.shards)
+            ],
+        )
+        return window
+
+    def attach_energy(self, *args, **kwargs):
+        raise ShardError("energy-driven death is not supported sharded")
+
+    # -- observation -----------------------------------------------------
+
+    def snapshot(self):
+        from ..core.snapshot import StructureSnapshot
+
+        views: Dict[int, Any] = {}
+        gaps: Set[Any] = set()
+        for shard_views, shard_gaps in self._executor.query_all("snapshot"):
+            views.update(shard_views)
+            gaps |= shard_gaps
+        self._gaps = gaps
+        return StructureSnapshot(
+            time=self._now,
+            ideal_radius=self.config.ideal_radius,
+            radius_tolerance=self.config.radius_tolerance,
+            lattice=self.lattice,
+            big_id=self.network.big_id,
+            views={node_id: views[node_id] for node_id in sorted(views)},
+        )
+
+    def gap_axials(self) -> set:
+        gaps: Set[Any] = set()
+        for _views, shard_gaps in self._executor.query_all("snapshot"):
+            gaps |= shard_gaps
+        occupied = set(self.snapshot().head_by_axial)
+        return gaps - occupied
+
+    # -- convergence ------------------------------------------------------
+
+    def run_until_stable(
+        self,
+        window: float = 50.0,
+        max_time: float = 100_000.0,
+        categories: Optional[Iterable[str]] = None,
+    ) -> float:
+        report = self.stabilize(
+            window=window,
+            max_time=max_time,
+            categories=categories,
+            check_invariants=False,
+        )
+        if not report.stable:
+            raise TimeoutError(
+                f"structure did not stabilise within {max_time} ticks"
+            )
+        assert report.converged_at is not None
+        return report.converged_at
+
+    def stabilize(
+        self,
+        window: float = 50.0,
+        max_time: float = 100_000.0,
+        categories: Optional[Iterable[str]] = None,
+        check_invariants: bool = True,
+        field=None,
+        dynamic: bool = True,
+        horizon: Optional[float] = None,
+    ):
+        """Mirror of ``Gs3Simulation.stabilize`` over the merged run.
+
+        Same window loop, horizon branch, drain break, and invariant
+        check — operating on the merged tracer, the merged snapshot,
+        and the coordinator clock.
+        """
+        from ..core.simulation import (
+            STRUCTURE_CHANGE_CATEGORIES,
+            StabilityReport,
+        )
+
+        self.start()
+        categories = tuple(
+            categories if categories is not None
+            else STRUCTURE_CHANGE_CATEGORIES
+        )
+        stable = False
+        converged_at: Optional[float] = None
+        while self._now < max_time:
+            if horizon is not None and self._now + window > horizon:
+                if self._now < horizon:
+                    self._run(horizon)
+                return StabilityReport(
+                    stable=False,
+                    time=self._now,
+                    converged_at=None,
+                    last_change_category=None,
+                    last_change_time=None,
+                    pending_events=self._pending_events(),
+                    horizon_reached=True,
+                )
+            self._run(self._now + window)
+            last_change = self.tracer.last_time(*categories)
+            if last_change is None or last_change <= self._now - window:
+                stable = True
+                converged_at = (
+                    last_change if last_change is not None else self._now
+                )
+                break
+            if self._next_event_time() is None:
+                stable = True
+                converged_at = last_change
+                break
+        last_category: Optional[str] = None
+        last_time: Optional[float] = None
+        by_category = self.tracer.last_time_by_category
+        for category in categories:
+            t = by_category.get(category)
+            if t is not None and (last_time is None or t > last_time):
+                last_category, last_time = category, t
+        violations: List[str] = []
+        if check_invariants:
+            from ..core.invariants import check_static_invariant
+
+            violations = check_static_invariant(
+                self.snapshot(),
+                self.network,
+                field=field,
+                gap_axials=self.gap_axials(),
+                dynamic=dynamic,
+            )
+        return StabilityReport(
+            stable=stable,
+            time=self._now,
+            converged_at=converged_at,
+            last_change_category=last_category,
+            last_change_time=last_time,
+            pending_events=self._pending_events(),
+            violations=tuple(violations),
+        )

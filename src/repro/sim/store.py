@@ -320,6 +320,67 @@ class RunStore:
             pos = end
         return records
 
+    def gc(
+        self, run_digest: Optional[str] = None, dry_run: bool = False
+    ) -> Dict[str, Dict[str, int]]:
+        """Drop superseded records (earlier attempts of retried seeds).
+
+        The store is append-only: a retried replicate appends a fresh
+        record and readers apply a later-lines-win rule, so earlier
+        attempts become dead weight.  ``gc`` rewrites each shard down
+        to the final record per seed (in final-occurrence order, so a
+        re-read yields byte-identical resolution) and refreshes the
+        manifest's record counts.
+
+        Every rewrite is atomic (tmp file + ``os.replace``): a reader
+        or crash mid-gc sees either the old shard or the compacted one,
+        never a torn file, and the append-only discipline of live
+        writers is preserved because gc only ever *removes* superseded
+        lines.
+
+        Args:
+            run_digest: compact just this run; ``None`` compacts all.
+            dry_run: count superseded records without rewriting.
+
+        Returns:
+            ``{run_digest: {"kept": K, "dropped": D}}`` per touched run.
+        """
+        if run_digest is None:
+            digests = sorted(self._manifest.get("runs", {}))
+        else:
+            digests = [run_digest]
+        report: Dict[str, Dict[str, int]] = {}
+        for digest in digests:
+            run_dir = self.run_dir(digest)
+            if not run_dir.is_dir():
+                report[digest] = {"kept": 0, "dropped": 0}
+                continue
+            kept_total = 0
+            dropped_total = 0
+            for path in sorted(run_dir.glob("shard-*.jsonl")):
+                records = self._recover_shard(path)
+                # Final-occurrence order: keep each seed's record only
+                # at its last position, so a re-read resolves to the
+                # same record per seed as the uncompacted shard.
+                last_index = {r.seed: i for i, r in enumerate(records)}
+                survivors = [
+                    r
+                    for i, r in enumerate(records)
+                    if last_index[r.seed] == i
+                ]
+                dropped = len(records) - len(survivors)
+                kept_total += len(survivors)
+                dropped_total += dropped
+                if dropped and not dry_run:
+                    atomic_write_text(
+                        path,
+                        "".join(r.to_json_line() for r in survivors),
+                    )
+            report[digest] = {"kept": kept_total, "dropped": dropped_total}
+            if not dry_run:
+                self.update_run(digest, kept_total)
+        return report
+
     def append(self, run_digest: str, record: StoredRecord) -> None:
         """Append one record to the run's shard (flushed immediately)."""
         path = self._shard_path(run_digest, record.seed)

@@ -116,4 +116,18 @@ class TestRunnerConfig:
         import os
 
         runner = SweepRunner(_seeded_draws)
-        assert runner.resolve_workers(10_000) == (os.cpu_count() or 1)
+        cpu = os.cpu_count() or 1
+        expected = cpu if cpu > 1 else 0
+        assert runner.resolve_workers(10_000) == expected
+
+    def test_default_workers_single_cpu_runs_in_process(self, monkeypatch):
+        # A 1-worker pool is pure IPC overhead; the default on a 1-CPU
+        # host must be in-process execution, not a vacuous pool.
+        import os
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert SweepRunner(_seeded_draws).resolve_workers(8) == 0
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        assert SweepRunner(_seeded_draws).resolve_workers(16) == 8
+        # An explicit workers=1 still forces a real pool.
+        assert SweepRunner(_seeded_draws, workers=1).resolve_workers(8) == 1

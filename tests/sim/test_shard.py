@@ -1,0 +1,362 @@
+"""Sharded execution: the byte-identity differential suite.
+
+The contract under test (DESIGN.md § 9): a run at ``shards=N`` is
+byte-identical to ``shards=1`` — same ``state_digest``, same trace
+multiset, same scenario/chaos verdicts — for every N and for both the
+inline and process-pool executors.  Identity is *mode-relative*: the
+lane-keyed sharded trajectory is internally consistent across shard
+counts but deliberately distinct from the legacy single-simulator
+path, which these tests never compare against.
+"""
+
+import json
+from collections import Counter
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import GS3Config
+from repro.geometry import HexLattice, Vec2
+from repro.net.faults import ChannelFaultConfig
+from repro.sim import RngStreams, state_digest
+from repro.sim.shard import (
+    ShardedSimulation,
+    ShardError,
+    plan_partition,
+    shard_seed,
+)
+
+CONFIG = GS3Config(ideal_radius=100.0, radius_tolerance=25.0)
+DEPLOYMENT = {"kind": "uniform", "field_radius": 170.0, "n_nodes": 80}
+
+
+def _trace_multiset(sim) -> Counter:
+    return Counter(
+        (r.time, r.category, r.node, r.details) for r in sim.tracer.records
+    )
+
+
+def _fingerprint(sim):
+    """Everything the identity contract covers, as one comparable value.
+
+    ``executed_events`` is deliberately absent: it counts *physical*
+    events per shard, and a driver op replicated into mirror shards
+    adds a few extra executions at higher shard counts without touching
+    protocol state.  The contract is over protocol-visible state (the
+    digest), the trace multiset, and verdicts.
+    """
+    return (
+        state_digest(sim.snapshot()),
+        sim.now,
+        _trace_multiset(sim),
+    )
+
+
+def _drive(sim, perturb=True):
+    """A fixed campaign: settle, batter the structure, settle again."""
+    sim.start()
+    sim.run_for(160.0)
+    if perturb:
+        snapshot = sim.snapshot()
+        victim = next(
+            v.node_id for v in snapshot.heads.values() if not v.is_big
+        )
+        sim.kill_node(victim)
+        sim.run_for(80.0)
+        sim.kill_region(Vec2(60.0, 40.0), 45.0)
+        sim.run_for(80.0)
+        joined = sim.add_node(Vec2(-40.0, 55.0))
+        sim.corrupt_node(joined)
+        sim.jam_region(Vec2(0.0, 0.0), 50.0, 40.0)
+        sim.run_for(120.0)
+    return _fingerprint(sim)
+
+
+def _run(shards, executor="inline", channel=None, seed=7, perturb=True):
+    sim = ShardedSimulation(
+        DEPLOYMENT,
+        CONFIG,
+        seed=seed,
+        shards=shards,
+        executor=executor,
+        channel=channel,
+    )
+    try:
+        return _drive(sim, perturb=perturb)
+    finally:
+        sim.close()
+
+
+class TestByteIdentity:
+    def test_shard_counts_agree_inline(self):
+        baseline = _run(1)
+        assert _run(2) == baseline
+        assert _run(4) == baseline
+
+    def test_process_executor_agrees_with_inline(self):
+        assert _run(3, executor="process") == _run(3, executor="inline")
+
+    def test_identity_under_channel_faults(self):
+        channel = ChannelFaultConfig.from_dict(
+            {"latency_jitter": 0.3, "duplicate_prob": 0.02}
+        )
+        baseline = _run(1, channel=channel)
+        assert _run(4, channel=channel) == baseline
+
+    def test_identity_without_perturbations(self):
+        baseline = _run(1, perturb=False)
+        assert _run(2, perturb=False) == baseline
+
+    def test_different_seeds_diverge(self):
+        # Sanity: the fingerprint is sensitive enough to catch drift.
+        assert _run(1, seed=7) != _run(1, seed=8)
+
+
+class TestByteIdentityRandomized:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        n_nodes=st.integers(min_value=40, max_value=90),
+        shards=st.sampled_from([2, 3, 4]),
+        churn=st.lists(
+            st.sampled_from(["kill", "join", "corrupt", "jam"]),
+            min_size=0,
+            max_size=3,
+        ),
+    )
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_random_topology_and_churn(self, seed, n_nodes, shards, churn):
+        """Random deployments and churn sequences: N shards == 1 shard."""
+        spec = {
+            "kind": "uniform",
+            "field_radius": 160.0,
+            "n_nodes": n_nodes,
+        }
+
+        def campaign(n):
+            sim = ShardedSimulation(
+                spec, CONFIG, seed=seed, shards=n, executor="inline"
+            )
+            try:
+                sim.start()
+                sim.run_for(150.0)
+                rng = RngStreams(seed ^ 0x5EED).stream("test.churn")
+                for action in churn:
+                    if action == "kill":
+                        alive = [
+                            n.node_id
+                            for n in sim.network.alive_nodes()
+                            if not n.is_big
+                        ]
+                        if alive:
+                            sim.kill_node(rng.choice(alive))
+                    elif action == "join":
+                        sim.add_node(
+                            Vec2(
+                                rng.uniform(-100.0, 100.0),
+                                rng.uniform(-100.0, 100.0),
+                            )
+                        )
+                    elif action == "corrupt":
+                        alive = [
+                            n.node_id
+                            for n in sim.network.alive_nodes()
+                            if not n.is_big
+                        ]
+                        if alive:
+                            sim.corrupt_node(rng.choice(alive))
+                    elif action == "jam":
+                        sim.jam_region(
+                            Vec2(rng.uniform(-80, 80), rng.uniform(-80, 80)),
+                            40.0,
+                            30.0,
+                        )
+                    sim.run_for(40.0)
+                return _fingerprint(sim)
+            finally:
+                sim.close()
+
+        assert campaign(shards) == campaign(1)
+
+
+class TestScenarioAndChaosWiring:
+    def test_scenario_replicate_identical_across_shards(self):
+        from repro.scenario import run_scenario_replicate
+
+        data = {
+            "seed": 7,
+            "config": {"ideal_radius": 100.0, "radius_tolerance": 25.0},
+            "deployment": DEPLOYMENT,
+            "settle_window": 90.0,
+            "perturbations": [
+                {"kind": "kill_head", "at": 200.0},
+                {"kind": "join", "at": 400.0, "position": [30.0, 20.0]},
+            ],
+        }
+        payloads = {}
+        for shards in (1, 4):
+            d = dict(data)
+            d["shards"] = shards
+            payloads[shards] = json.dumps(
+                run_scenario_replicate({"data": d, "seed": 7}),
+                sort_keys=True,
+            )
+        assert payloads[1] == payloads[4]
+
+    def test_chaos_verdict_identical_and_heals(self):
+        from repro.perturb.chaos import run_chaos_replicate
+
+        data = {
+            "config": {"ideal_radius": 100.0, "radius_tolerance": 25.0},
+            "deployment": DEPLOYMENT,
+            "chaos": {
+                "duration": 150.0,
+                "kill_rate": 0.004,
+                "join_rate": 0.002,
+                "jam_rate": 0.002,
+                "jam_radius": 40.0,
+                "jam_duration": 40.0,
+                "settle_window": 90.0,
+                "heal_budget": 20000.0,
+            },
+        }
+        verdicts = {}
+        for shards in (1, 4):
+            d = dict(data)
+            d["shards"] = shards
+            verdicts[shards] = run_chaos_replicate({"data": d, "seed": 11})
+        assert verdicts[1] == verdicts[4]
+        assert verdicts[1]["healed"]
+
+    def test_shard_executor_never_in_scenario_digest(self):
+        from repro.scenario import Scenario
+
+        base = {
+            "seed": 1,
+            "config": {"ideal_radius": 100.0},
+            "deployment": DEPLOYMENT,
+            "perturbations": [],
+            "shards": 2,
+        }
+        inline = Scenario.from_dict(dict(base, shard_executor="inline"))
+        process = Scenario.from_dict(dict(base, shard_executor="process"))
+        assert inline.canonical_digest() == process.canonical_digest()
+        # ... but the shard count itself IS part of the identity.
+        unsharded = Scenario.from_dict(
+            {k: v for k, v in base.items() if k != "shards"}
+        )
+        assert unsharded.canonical_digest() != inline.canonical_digest()
+
+    def test_mobile_scenario_rejected(self):
+        from repro.scenario import Scenario
+
+        with pytest.raises(ValueError, match="mobile"):
+            Scenario.from_dict(
+                {
+                    "seed": 1,
+                    "deployment": DEPLOYMENT,
+                    "perturbations": [],
+                    "mobile": True,
+                    "shards": 2,
+                }
+            )
+
+
+class TestUnsupportedOperations:
+    def _sim(self, shards=2):
+        return ShardedSimulation(DEPLOYMENT, CONFIG, seed=7, shards=shards)
+
+    def test_custom_mutator_rejected(self):
+        sim = self._sim()
+        try:
+            sim.start()
+            sim.run_for(120.0)
+            victim = next(
+                n.node_id for n in sim.network.alive_nodes() if not n.is_big
+            )
+            with pytest.raises(ShardError, match="mutator"):
+                sim.corrupt_node(victim, mutator=lambda node, rng: None)
+        finally:
+            sim.close()
+
+    def test_cross_region_move_rejected(self):
+        sim = self._sim(shards=4)
+        try:
+            sim.start()
+            sim.run_for(120.0)
+            # A move across the whole field necessarily crosses a
+            # stripe boundary at 4 shards.
+            mover = next(
+                n
+                for n in sim.network.alive_nodes()
+                if not n.is_big and n.position.x < -80.0
+            )
+            with pytest.raises(ShardError, match="cross-region"):
+                sim.move_node(mover.node_id, Vec2(150.0, 0.0))
+        finally:
+            sim.close()
+
+    def test_energy_model_rejected(self):
+        sim = self._sim()
+        try:
+            with pytest.raises(ShardError):
+                sim.attach_energy()
+        finally:
+            sim.close()
+
+
+class TestPlanPartition:
+    def _lattice(self):
+        return HexLattice(Vec2(0.0, 0.0), CONFIG.lattice_spacing)
+
+    def test_boundaries_sorted_and_cover(self):
+        positions = [
+            Vec2(x, y)
+            for x in (-150.0, -50.0, 0.0, 50.0, 150.0)
+            for y in (-50.0, 0.0, 50.0)
+        ]
+        part = plan_partition(self._lattice(), positions, 4, 120.0)
+        assert part.shards == 4
+        assert len(part.boundaries) == 3
+        assert list(part.boundaries) == sorted(part.boundaries)
+        qs = [self._lattice().fractional_axial(p)[0] for p in positions]
+        owners = [part.owner_of(q) for q in qs]
+        assert set(owners) <= set(range(4))
+        # Ownership is monotone in q.
+        paired = sorted(zip(qs, owners))
+        assert [o for _, o in paired] == sorted(o for _, o in paired)
+
+    def test_single_shard_owns_everything(self):
+        positions = [Vec2(float(i * 10), 0.0) for i in range(20)]
+        part = plan_partition(self._lattice(), positions, 1, 120.0)
+        assert part.boundaries == ()
+        assert all(
+            part.owner_of(
+                self._lattice().fractional_axial(p)[0]
+            ) == 0
+            for p in positions
+        )
+
+    def test_stripes_near_includes_neighbors_within_margin(self):
+        positions = [Vec2(float(i * 20 - 200), 0.0) for i in range(21)]
+        part = plan_partition(self._lattice(), positions, 2, 120.0)
+        (boundary,) = part.boundaries
+        # A point just left of the boundary is owned by 0 but mirrored
+        # into 1; a point far away is not.
+        near = part.stripes_near(boundary - part.margin / 2.0)
+        assert near[0] == 0 and 1 in near
+        far = part.stripes_near(boundary - 10.0 * part.margin)
+        assert far == [0]
+
+    def test_shard_seed_distinct_per_region(self):
+        seeds = {shard_seed(7, k) for k in range(8)}
+        assert len(seeds) == 8
+        assert shard_seed(7, 0) != shard_seed(8, 0)
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises((ValueError, ShardError)):
+            ShardedSimulation(DEPLOYMENT, CONFIG, seed=1, shards=0)

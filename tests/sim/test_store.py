@@ -370,3 +370,86 @@ class TestProvenance:
         import repro
 
         assert block["package_version"] == repro.__version__
+
+
+class TestRunStoreGc:
+    def _seed_store(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.register_run("runA", "sweep", "scenA")
+        store.append("runA", StoredRecord(seed=1, ok=False, error="boom"))
+        store.append("runA", StoredRecord(seed=2, ok=True, result={"v": 2}))
+        store.append(
+            "runA", StoredRecord(seed=1, ok=True, result={"v": 9}, attempts=2)
+        )
+        store.append("runA", StoredRecord(seed=5, ok=True, result={"v": 5}))
+        store.update_run("runA", 4)
+        return store
+
+    def test_gc_drops_superseded_records(self, tmp_path):
+        store = self._seed_store(tmp_path)
+        report = store.gc()
+        assert report == {"runA": {"kept": 3, "dropped": 1}}
+        # Resolution is unchanged: later-lines-win picked the same
+        # final record per seed before and after compaction.
+        records = RunStore(tmp_path).load_records("runA")
+        assert sorted(records) == [1, 2, 5]
+        assert records[1].ok and records[1].attempts == 2
+        # The dead line is physically gone.
+        lines = sum(
+            len(p.read_bytes().splitlines())
+            for p in store.run_dir("runA").glob("shard-*.jsonl")
+        )
+        assert lines == 3
+
+    def test_gc_dry_run_counts_without_rewriting(self, tmp_path):
+        store = self._seed_store(tmp_path)
+        report = store.gc(dry_run=True)
+        assert report == {"runA": {"kept": 3, "dropped": 1}}
+        lines = sum(
+            len(p.read_bytes().splitlines())
+            for p in store.run_dir("runA").glob("shard-*.jsonl")
+        )
+        assert lines == 4  # nothing rewritten
+        assert store.runs()["runA"]["records"] == 4
+
+    def test_gc_updates_manifest_counts(self, tmp_path):
+        store = self._seed_store(tmp_path)
+        store.gc()
+        assert store.runs()["runA"]["records"] == 3
+        assert RunStore(tmp_path).runs()["runA"]["records"] == 3
+
+    def test_gc_idempotent(self, tmp_path):
+        store = self._seed_store(tmp_path)
+        store.gc()
+        assert store.gc() == {"runA": {"kept": 3, "dropped": 0}}
+
+    def test_gc_single_run_scope(self, tmp_path):
+        store = self._seed_store(tmp_path)
+        store.register_run("runB", "chaos", "scenB")
+        store.append("runB", StoredRecord(seed=3, ok=True, result=1))
+        store.append(
+            "runB", StoredRecord(seed=3, ok=True, result=2, attempts=2)
+        )
+        report = store.gc(run_digest="runB")
+        assert report == {"runB": {"kept": 1, "dropped": 1}}
+        # runA untouched: its superseded record still on disk.
+        lines = sum(
+            len(p.read_bytes().splitlines())
+            for p in store.run_dir("runA").glob("shard-*.jsonl")
+        )
+        assert lines == 4
+
+    def test_gc_append_after_compaction(self, tmp_path):
+        store = self._seed_store(tmp_path)
+        store.gc()
+        store.append(
+            "runA", StoredRecord(seed=2, ok=True, result={"v": 22}, attempts=2)
+        )
+        records = store.load_records("runA")
+        assert records[2].result == {"v": 22}
+        assert store.gc() == {"runA": {"kept": 3, "dropped": 1}}
+
+    def test_gc_missing_run_dir(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.register_run("ghost", "sweep", "x")
+        assert store.gc() == {"ghost": {"kept": 0, "dropped": 0}}

@@ -236,3 +236,139 @@ class TestPeriodicTimerRearm:
         sim.run(until=26.0)
         timer.stop()
         assert fires == [5.0, 10.0, 15.0, 20.0, 25.0]
+
+
+class TestWheelEdgeCases:
+    def test_recurring_exactly_on_bucket_boundary(self):
+        """Firings landing exactly on ``k * bucket_width`` stay exact.
+
+        ``int(time // width)`` puts a boundary instant in the *later*
+        bucket; the contract is that bucket assignment never shifts the
+        firing time or its order against one-shots at the same time.
+        """
+        sim = Simulator(timer_bucket_width=10.0)
+        order = []
+        timer = PeriodicTimer(sim, 10.0, lambda: order.append(("timer", sim.now)))
+        timer.start(initial_delay=10.0)  # fires at exact multiples of width
+        for t in (10.0, 20.0, 30.0):
+            sim.schedule(t, lambda t=t: order.append(("oneshot", t)))
+        sim.run(until=35.0)
+        timer.stop()
+        # The timer armed first at each boundary, so its seq is lower
+        # than the later-scheduled one-shot at t=10; re-arms claim new
+        # seqs, so subsequent boundaries run the one-shot first.
+        assert order == [
+            ("timer", 10.0),
+            ("oneshot", 10.0),
+            ("oneshot", 20.0),
+            ("timer", 20.0),
+            ("oneshot", 30.0),
+            ("timer", 30.0),
+        ]
+        assert sim.now == 35.0
+
+    def test_interval_hint_retune_mid_run_is_ignored(self):
+        """The wheel's width is fixed by the first recurring arm; a
+        different ``interval_hint`` later must not re-bucket anything —
+        execution order stays the single-heap order."""
+        sim = Simulator()
+        fires = []
+        slow = PeriodicTimer(sim, 16.0, lambda: fires.append(("slow", sim.now)))
+        slow.start(initial_delay=16.0)  # fixes width at 16
+        sim.run(until=20.0)
+        # Mid-run retune: a much finer timer with its own hint.
+        fast = PeriodicTimer(sim, 3.0, lambda: fires.append(("fast", sim.now)))
+        fast.start(initial_delay=1.0)
+        sim.run(until=40.0)
+        slow.stop()
+        fast.stop()
+        assert [f for f in fires if f[0] == "slow"] == [
+            ("slow", 16.0),
+            ("slow", 32.0),
+        ]
+        assert [f for f in fires if f[0] == "fast"] == [
+            ("fast", 21.0),
+            ("fast", 24.0),
+            ("fast", 27.0),
+            ("fast", 30.0),
+            ("fast", 33.0),
+            ("fast", 36.0),
+            ("fast", 39.0),
+        ]
+        # The merged stream is globally time-ordered.
+        times = [t for _, t in fires]
+        assert times == sorted(times)
+
+    def test_run_for_ends_inside_bucket(self):
+        """``run_for`` stopping strictly inside a bucket executes only
+        the entries at or before the deadline; the rest of the bucket
+        drains on the next run."""
+        sim = Simulator(timer_bucket_width=10.0)
+        fired = []
+        # All four land in bucket [10, 20); the deadline cuts it at 14.
+        for delay in (11.0, 13.0, 17.0, 19.0):
+            sim.schedule_recurring(delay, lambda d=delay: fired.append(d))
+        sim.run_for(14.0)
+        assert fired == [11.0, 13.0]
+        assert sim.now == 14.0
+        assert sim.pending_events == 2
+        sim.run()
+        assert fired == [11.0, 13.0, 17.0, 19.0]
+        assert sim.pending_events == 0
+
+    def test_periodic_chain_survives_mid_bucket_deadline(self):
+        """A periodic timer whose next firing sits past a mid-bucket
+        deadline keeps its chain across run() calls."""
+        sim = Simulator(timer_bucket_width=8.0)
+        fires = []
+        timer = PeriodicTimer(sim, 4.0, lambda: fires.append(sim.now))
+        timer.start()
+        sim.run(until=10.0)  # inside bucket [8, 16)
+        assert fires == [4.0, 8.0]
+        sim.run(until=21.0)
+        timer.stop()
+        assert fires == [4.0, 8.0, 12.0, 16.0, 20.0]
+
+
+class TestWritableMaxEvents:
+    def test_default_and_write(self):
+        sim = Simulator()
+        assert sim.max_events == 50_000_000
+        sim.max_events = 123
+        assert sim.max_events == 123
+
+    def test_rejects_non_positive(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.max_events = 0
+        with pytest.raises(SimulationError):
+            sim.max_events = -5
+
+    def test_ceiling_enforced_and_raisable(self):
+        sim = Simulator()
+        sim.max_events = 10
+
+        def rearm():
+            sim.schedule(1.0, rearm)
+
+        sim.schedule(1.0, rearm)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(until=1_000.0)
+        # The tripping event is consumed without running its callback,
+        # so the chain is broken; a raised ceiling lets a fresh chain
+        # run further before tripping again.
+        executed = sim.executed_events
+        sim.max_events = executed + 10
+        sim.schedule(1.0, rearm)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(until=1_000.0)
+        assert sim.executed_events > executed
+
+    def test_recurring_counts_against_ceiling(self):
+        sim = Simulator()
+        sim.max_events = 5
+        timer = PeriodicTimer(sim, 1.0, lambda: None)
+        timer.start()
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(until=100.0)
+        timer.stop()
