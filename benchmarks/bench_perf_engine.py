@@ -295,7 +295,13 @@ def bench_sweep_scaling(
     field_radius: float = SWEEP_FIELD_RADIUS,
     worker_counts=SWEEP_WORKER_COUNTS,
 ) -> dict:
-    """Wall clock + determinism of one Monte Carlo sweep per pool size."""
+    """Wall clock + determinism of one Monte Carlo sweep per pool size.
+
+    Since PR 8 the pool path runs through ``SupervisedPool`` (checksum
+    frames, death/hang watchdogs, per-task dispatch), so this section
+    also tracks the supervision layer's steady-state overhead versus
+    the in-process baseline at ``workers=0``.
+    """
     specs = [
         (replicate_seed(7, i), field_radius) for i in range(replicates)
     ]

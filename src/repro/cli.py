@@ -25,24 +25,38 @@ Commands:
 ``store``
     Maintain a durable run store: ``store gc`` drops superseded
     records (earlier attempts of retried replicates) and compacts the
-    shards in place, atomically.
+    shards in place, atomically; ``store gc --older-than AGE`` expires
+    whole runs idle longer than AGE (``--dry-run`` lists them).
 
 ``sweep`` and ``chaos`` accept ``--store DIR`` to persist every
 replicate outcome to a durable :class:`~repro.sim.RunStore`;
 ``--resume`` serves already-completed replicates from the store
 (aggregation stays byte-identical to an uninterrupted run) and
 ``--retries N`` re-executes crashed replicates up to ``N`` extra
-times.
+times.  Outcomes flush to the store *as they land*, so Ctrl-C /
+SIGTERM exits with code 130 and everything already finished is served
+on the next ``--resume``.
 
 ``sweep``, ``chaos``, and ``replay`` accept ``--shards N`` to run
 each replicate on the spatially-sharded executor — results are
 byte-identical at every shard count (``--shard-executor`` picks the
 inline or process backend and never affects results).
 
+Process-backed runs are *supervised* (:mod:`repro.sim.supervise`): a
+SIGKILLed, hung (``--task-deadline``), or frame-corrupting worker is
+detected and its work retried with deterministic backoff
+(``--infra-retries``); past the budget a sweep quarantines the
+replicate and a sharded campaign falls back to the inline executor —
+recorded in the report's ``provenance.infra`` block, never a crash.
+``--infra-chaos 'kill@1,stall@3:1'`` injects such faults on purpose;
+a run that completes under injected faults is byte-identical to the
+fault-free run.
+
 Exit codes for ``sweep`` and ``chaos``: 2 when any replicate crashed
 with a traceback, 1 when all ran but some ended unhealthy/unhealed,
-0 otherwise.  ``bisect`` exits 0 when an onset was found, 1 when the
-predicate never became true by ``--t-max``.
+0 otherwise; 130 when interrupted by SIGINT/SIGTERM.  ``bisect``
+exits 0 when an onset was found, 1 when the predicate never became
+true by ``--t-max``.
 """
 
 from __future__ import annotations
@@ -94,6 +108,43 @@ def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
         default=0,
         help="with --resume, re-execute crashed replicates up to N extra "
         "times (default 0)",
+    )
+
+
+def _add_supervise_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared supervised-execution flags (``sweep`` / ``chaos``).
+
+    The flags route to whichever process backend the invocation uses:
+    with ``--shards N --shard-executor process`` they configure the
+    shard supervisor (``--infra-chaos`` steps = epoch indices, worker
+    = shard index); otherwise they configure the sweep pool
+    (steps = replicate indices).  Completed runs are byte-identical to
+    fault-free runs by the supervision determinism contract.
+    """
+    parser.add_argument(
+        "--infra-chaos",
+        metavar="SPEC",
+        default=None,
+        help="inject infrastructure faults: comma-joined kind@step[:worker]"
+        " with kinds kill|stall|corrupt (e.g. 'kill@1', 'stall@3:1'); "
+        "needs a process backend (--workers >= 1 or --shard-executor "
+        "process)",
+    )
+    parser.add_argument(
+        "--task-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task wall-clock watchdog: a worker silent for longer is "
+        "killed and its task retried (default: no hang watchdog)",
+    )
+    parser.add_argument(
+        "--infra-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="infra-fault retry budget per task before degrading "
+        "(quarantine / inline fallback; default 2)",
     )
 
 
@@ -199,6 +250,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_store_arguments(sweep)
     _add_shard_arguments(sweep)
+    _add_supervise_arguments(sweep)
 
     chaos = sub.add_parser(
         "chaos",
@@ -245,6 +297,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_store_arguments(chaos)
     _add_shard_arguments(chaos)
+    _add_supervise_arguments(chaos)
 
     replay = sub.add_parser(
         "replay",
@@ -298,6 +351,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--dry-run",
         action="store_true",
         help="count superseded records without rewriting anything",
+    )
+    store_gc.add_argument(
+        "--older-than",
+        metavar="AGE",
+        default=None,
+        help="instead of compacting, expire whole runs idle longer than "
+        "AGE (e.g. 7d, 12h, 30m, 45s, or plain seconds); honors "
+        "--dry-run",
     )
 
     bisect = sub.add_parser(
@@ -479,13 +540,21 @@ def cmd_sweep(args) -> int:
     with open(args.path, "r", encoding="utf-8") as handle:
         data = _json.load(handle)
     data = _apply_shard_flags(data, args)
+    try:
+        data, pool_kwargs = _apply_supervise_flags(
+            data, args, args.replicates
+        )
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
     base_seed = (
         args.base_seed
         if args.base_seed is not None
         else int(data.get("seed", 0))
     )
     # The store keys on the *parsed* scenario, so formatting or key
-    # order in the source JSON never forks the run identity.
+    # order in the source JSON never forks the run identity (and the
+    # ``supervise`` block is never digest-relevant).
     scenario_dict = Scenario.from_dict(data).to_dict()
     specs = [
         {"data": data, "seed": replicate_seed(base_seed, i)}
@@ -495,18 +564,38 @@ def cmd_sweep(args) -> int:
         run_scenario_replicate,
         workers=args.workers,
         chunk_size=args.chunk_size,
+        **pool_kwargs,
     )
-    if args.store is None:
-        outcomes = runner.run(specs)
-    else:
-        store = RunStore(args.store)
-        with store.session(
-            "sweep",
-            {"data": scenario_dict, "base_seed": base_seed},
-            retries=args.retries,
-            resume=args.resume,
-        ) as session:
-            outcomes = runner.run(specs, resume=session)
+    restore_signals = _graceful_signals()
+    try:
+        if args.store is None:
+            outcomes = runner.run(specs)
+        else:
+            store = RunStore(args.store)
+            with store.session(
+                "sweep",
+                {"data": scenario_dict, "base_seed": base_seed},
+                retries=args.retries,
+                resume=args.resume,
+            ) as session:
+                outcomes = runner.run(specs, resume=session)
+    except KeyboardInterrupt:
+        # Completed replicates were recorded as they landed; say so and
+        # exit with the conventional interrupted-by-signal code.
+        if args.store is not None:
+            print(
+                f"\ninterrupted: completed replicates are flushed to "
+                f"{args.store}; rerun with --store {args.store} --resume "
+                f"to serve them"
+            )
+        else:
+            print("\ninterrupted (no --store: partial work discarded)")
+        return 130
+    finally:
+        restore_signals()
+    supervision = runner.last_supervision.summary()
+    if supervision:
+        print(supervision)
     rows = []
     for outcome in outcomes:
         if outcome.ok:
@@ -569,6 +658,7 @@ def cmd_sweep(args) -> int:
                 base_seed=base_seed,
                 replicates=args.replicates,
                 workers=runner.resolve_workers(len(specs)),
+                infra=_infra_provenance(outcomes),
             ),
             "base_seed": base_seed,
             "replicates": [
@@ -598,21 +688,50 @@ def cmd_chaos(args) -> int:
         data = dict(data)
         data["chaos"] = dict(data.get("chaos", {}))
         data["chaos"]["heal_budget"] = args.budget
+    try:
+        data, pool_kwargs = _apply_supervise_flags(
+            data, args, args.campaigns
+        )
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
     base_seed = (
         args.base_seed
         if args.base_seed is not None
         else int(data.get("seed", 0))
     )
-    outcomes = run_chaos_campaigns(
-        data,
-        campaigns=args.campaigns,
-        base_seed=base_seed,
-        workers=args.workers,
-        chunk_size=args.chunk_size,
-        store=None if args.store is None else RunStore(args.store),
-        resume=args.resume,
-        retries=args.retries,
-    )
+    from .sim import SupervisionLog
+
+    supervision_log = SupervisionLog()
+    restore_signals = _graceful_signals()
+    try:
+        outcomes = run_chaos_campaigns(
+            data,
+            campaigns=args.campaigns,
+            base_seed=base_seed,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            store=None if args.store is None else RunStore(args.store),
+            resume=args.resume,
+            retries=args.retries,
+            supervision_log=supervision_log,
+            **pool_kwargs,
+        )
+    except KeyboardInterrupt:
+        if args.store is not None:
+            print(
+                f"\ninterrupted: completed campaigns are flushed to "
+                f"{args.store}; rerun with --store {args.store} --resume "
+                f"to serve them"
+            )
+        else:
+            print("\ninterrupted (no --store: partial work discarded)")
+        return 130
+    finally:
+        restore_signals()
+    supervision = supervision_log.summary()
+    if supervision:
+        print(supervision)
     rows = []
     for outcome in outcomes:
         if outcome.ok:
@@ -679,12 +798,13 @@ def cmd_chaos(args) -> int:
         report = {
             "provenance": run_provenance(
                 "chaos",
-                data,
+                {k: v for k, v in data.items() if k != "supervise"},
                 base_seed=base_seed,
                 replicates=args.campaigns,
                 workers=SweepRunner(
                     None, workers=args.workers
                 ).resolve_workers(args.campaigns),
+                infra=_infra_provenance(outcomes),
             ),
             "summary": summary,
             "verdicts": [
@@ -712,6 +832,93 @@ def _apply_shard_flags(data, args):
     data["shards"] = args.shards
     data["shard_executor"] = args.shard_executor
     return data
+
+
+def _apply_supervise_flags(data, args, replicates: int):
+    """Route the supervised-execution flags to the right process layer.
+
+    Returns ``(data, pool_kwargs)``: with ``--shards N
+    --shard-executor process`` the knobs fold into the scenario dict's
+    ``supervise`` block (shard supervisor; never digest-relevant),
+    otherwise they become :class:`~repro.sim.SweepRunner` keyword
+    arguments for the supervised pool.  Raises ``ValueError`` for a bad
+    ``--infra-chaos`` spec or when fault injection has no process
+    backend to inject into.
+    """
+    from .sim import InfraChaosConfig, RetryPolicy, SweepRunner
+
+    chaos_spec = getattr(args, "infra_chaos", None)
+    deadline = getattr(args, "task_deadline", None)
+    retries = getattr(args, "infra_retries", None)
+    if chaos_spec is None and deadline is None and retries is None:
+        return data, {}
+    chaos = InfraChaosConfig.parse(chaos_spec) if chaos_spec else None
+    sharded_process = (
+        getattr(args, "shards", None) is not None
+        and getattr(args, "shard_executor", "inline") == "process"
+    )
+    if sharded_process:
+        supervise = {}
+        if deadline is not None:
+            supervise["deadline"] = deadline
+        if retries is not None:
+            supervise["retries"] = retries
+        if chaos is not None:
+            supervise["infra_chaos"] = chaos.to_dict()
+        data = dict(data)
+        data["supervise"] = supervise
+        return data, {}
+    pool_workers = SweepRunner(None, workers=args.workers).resolve_workers(
+        max(1, replicates)
+    )
+    if pool_workers == 0:
+        if chaos is not None:
+            raise ValueError(
+                "--infra-chaos needs a process backend: run with "
+                "--workers >= 1 or --shards N --shard-executor process"
+            )
+        return data, {}
+    kwargs = {}
+    if deadline is not None:
+        kwargs["deadline"] = deadline
+    if retries is not None:
+        kwargs["retry_policy"] = RetryPolicy(retries=retries)
+    if chaos is not None:
+        kwargs["infra_chaos"] = chaos
+    return data, kwargs
+
+
+def _infra_provenance(outcomes) -> Optional[dict]:
+    """The provenance ``infra`` block: degradation events, or ``None``.
+
+    Quarantined replicates and process→inline fallbacks changed what
+    the run delivered, so they are stamped on the report; mere
+    survived faults (retries, respawns) leave the report byte-identical
+    to a fault-free run and contribute nothing here.
+    """
+    events = []
+    for outcome in outcomes:
+        events.extend(dict(e) for e in outcome.infra)
+    return {"degradations": events} if events else None
+
+
+def _graceful_signals():
+    """Route SIGTERM through the KeyboardInterrupt handling (if possible).
+
+    Returns an undo callable.  Completed replicates are recorded to the
+    run store *as they land*, so all the interrupt path has to do is
+    let the supervisor tear down its workers and exit 130.
+    """
+    import signal as _signal
+
+    def _on_sigterm(signum, frame):
+        raise KeyboardInterrupt
+
+    try:
+        previous = _signal.signal(_signal.SIGTERM, _on_sigterm)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        return lambda: None
+    return lambda: _signal.signal(_signal.SIGTERM, previous)
 
 
 def _load_scenario(path: str):
@@ -821,10 +1028,41 @@ def cmd_bisect(args) -> int:
 
 
 def cmd_store(args) -> int:
-    from .sim import RunStore
+    from .sim import RunStore, parse_age
 
     if args.store_command == "gc":
         store = RunStore(args.dir)
+        if args.older_than is not None:
+            try:
+                older_than = parse_age(args.older_than)
+            except ValueError as exc:
+                print(f"error: {exc}")
+                return 2
+            report = store.expire(older_than, dry_run=args.dry_run)
+            rows = [
+                [
+                    digest[:16],
+                    "?" if entry["age"] is None else f"{entry['age']:.0f}s",
+                    entry["records"],
+                    "expire" if entry["expired"] else "keep",
+                ]
+                for digest, entry in sorted(report.items())
+            ]
+            verb = "would expire" if args.dry_run else "expired"
+            print(
+                ascii_table(
+                    ["run", "age", "records", "action"],
+                    rows or [["(no runs)", "-", 0, "-"]],
+                    title="Run-store expiry"
+                    + (" (dry run)" if args.dry_run else ""),
+                )
+            )
+            expired = [d for d, e in report.items() if e["expired"]]
+            print(
+                f"\n{verb} {len(expired)} run(s) older than "
+                f"{args.older_than}"
+            )
+            return 0
         report = store.gc(run_digest=args.run, dry_run=args.dry_run)
         rows = [
             [digest[:16], stats["kept"], stats["dropped"]]

@@ -279,6 +279,7 @@ def run_chaos_replicate(spec: Dict[str, Any]) -> Dict[str, Any]:
                 ChannelFaultConfig.from_dict(channel) if channel else None
             ),
             keep_trace_records=False,
+            supervise=data.get("supervise"),
         )
     else:
         simulation = Gs3DynamicSimulation.from_deployment(
@@ -371,6 +372,10 @@ def run_chaos_campaigns(
     store=None,
     resume: bool = False,
     retries: int = 0,
+    deadline: Optional[float] = None,
+    retry_policy=None,
+    infra_chaos=None,
+    supervision_log=None,
 ) -> List[ReplicateOutcome]:
     """Fan a campaign description across ``campaigns`` derived seeds.
 
@@ -387,6 +392,11 @@ def run_chaos_campaigns(
     times.  The run's identity key is the campaign description's
     canonical digest together with ``base`` — a changed description or
     base seed never collides with old records.
+
+    ``deadline`` / ``retry_policy`` / ``infra_chaos`` configure the
+    supervised pool (see :mod:`repro.sim.supervise`); a caller-supplied
+    ``supervision_log`` absorbs the run's supervision counters even if
+    the sweep is interrupted.
     """
     base = base_seed if base_seed is not None else int(data.get("seed", 0))
     specs = [
@@ -394,17 +404,30 @@ def run_chaos_campaigns(
         for i in range(campaigns)
     ]
     runner = SweepRunner(
-        run_chaos_replicate, workers=workers, chunk_size=chunk_size
+        run_chaos_replicate,
+        workers=workers,
+        chunk_size=chunk_size,
+        deadline=deadline,
+        retry_policy=retry_policy,
+        infra_chaos=infra_chaos,
     )
-    if store is None:
-        return runner.run(specs)
-    with store.session(
-        "chaos",
-        {"data": data, "base_seed": base},
-        retries=retries,
-        resume=resume,
-    ) as session:
-        return runner.run(specs, resume=session)
+    # The ``supervise`` block never joins the run identity: a
+    # supervised campaign's payload is byte-identical to an
+    # unsupervised one, so both resolve to the same stored run.
+    key_data = {k: v for k, v in data.items() if k != "supervise"}
+    try:
+        if store is None:
+            return runner.run(specs)
+        with store.session(
+            "chaos",
+            {"data": key_data, "base_seed": base},
+            retries=retries,
+            resume=resume,
+        ) as session:
+            return runner.run(specs, resume=session)
+    finally:
+        if supervision_log is not None:
+            supervision_log.absorb(runner.last_supervision)
 
 
 def _percentile(sorted_values: Sequence[float], q: float) -> float:

@@ -146,6 +146,13 @@ class Scenario:
     #: Shard executor flavour (``inline`` or ``process``).  Never
     #: digest-relevant: executors are bit-identical by contract.
     shard_executor: str = "inline"
+    #: Supervision knobs for the process shard executor (deadline,
+    #: retries, infra-chaos injection, inline fallback) — see
+    #: :class:`repro.sim.supervise.ShardSupervision`.  Never
+    #: digest-relevant: a run that completes under supervision (even
+    #: through respawns or an inline fallback) is byte-identical to the
+    #: unsupervised run by contract.
+    supervise: Optional[Dict[str, Any]] = None
 
     @staticmethod
     def from_dict(data: Dict[str, Any]) -> "Scenario":
@@ -195,6 +202,9 @@ class Scenario:
             ),
             shards=shards,
             shard_executor=str(data.get("shard_executor", "inline")),
+            supervise=(
+                dict(data["supervise"]) if data.get("supervise") else None
+            ),
         )
 
     @staticmethod
@@ -293,6 +303,7 @@ class ScenarioExecution:
                 shards=scenario.shards,
                 executor=scenario.shard_executor,
                 channel=scenario.channel,
+                supervise=scenario.supervise,
             )
         else:
             self.simulation = Gs3DynamicSimulation.from_deployment(

@@ -19,25 +19,36 @@ execution path for all of them:
 * a crashed replicate is *captured* (traceback + timing in its
   :class:`ReplicateOutcome`), not propagated — one bad seed does not
   kill a 10k-replicate sweep;
-* ``workers=0`` runs everything in-process through the very same code
-  path, for debugging and for environments without ``fork``.
+* pool workers run under the supervision layer
+  (:class:`~repro.sim.supervise.SupervisedPool`): a SIGKILLed, hung,
+  or frame-corrupting worker is detected, the in-flight replicate is
+  retried on a respawned worker with deterministic backoff, and a
+  replicate that exhausts the budget is *quarantined* as a structured
+  failure outcome — the sweep always completes;
+* ``workers=0`` runs everything in-process through the very same
+  emit path, for debugging and for environments without ``fork``.
 
 Wall-clock timing is deliberately kept out of the deterministic
-payload: ``ReplicateOutcome.result`` is reproducible, ``elapsed`` is
-measurement metadata.
+payload: ``ReplicateOutcome.result`` is reproducible; ``elapsed`` and
+``infra`` are measurement/supervision metadata.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from .rng import RngStreams, derive_seed
+from .supervise import (
+    InfraChaosConfig,
+    RetryPolicy,
+    SupervisedPool,
+    SupervisionLog,
+    drain_degradations,
+)
 
 __all__ = [
     "ReplicateOutcome",
@@ -80,7 +91,10 @@ class ReplicateOutcome:
     ``cached`` marks an outcome served from a
     :class:`~repro.sim.store.RunStore` instead of being executed; by
     the determinism contract its ``result`` is indistinguishable from a
-    fresh execution's.
+    fresh execution's.  ``infra`` carries structured supervision
+    events (quarantines, inline fallbacks) — like ``elapsed`` it is
+    metadata, never part of the deterministic payload, and it is empty
+    for any replicate that completed normally (even after retries).
     """
 
     index: int
@@ -89,37 +103,28 @@ class ReplicateOutcome:
     error: Optional[str] = None
     elapsed: float = 0.0
     cached: bool = False
-
-
-def _run_chunk(
-    fn: Callable[[Any], Any], chunk: Sequence[Tuple[int, Any]]
-) -> List[Tuple[int, bool, Any, float]]:
-    """Execute one shard of (index, spec) pairs; never raises."""
-    out: List[Tuple[int, bool, Any, float]] = []
-    for index, spec in chunk:
-        start = time.perf_counter()
-        try:
-            result = fn(spec)
-        except Exception:
-            out.append(
-                (index, False, traceback.format_exc(),
-                 time.perf_counter() - start)
-            )
-        else:
-            out.append((index, True, result, time.perf_counter() - start))
-    return out
+    infra: Tuple[Any, ...] = ()
 
 
 class SweepRunner:
-    """Shards seeded replicates across a process pool.
+    """Shards seeded replicates across a supervised process pool.
 
     Args:
         fn: picklable ``spec -> result`` worker (module-level function).
         workers: ``0`` runs in-process (same code path, no pool);
             ``None`` uses ``os.cpu_count()``; otherwise the pool size.
-        chunk_size: replicates per pool task.  ``None`` picks roughly
-            four chunks per worker.  Chunking affects scheduling
-            granularity only — never results.
+        chunk_size: accepted for API compatibility; scheduling is now
+            per-task (the supervisor hands one replicate to a worker at
+            a time), so chunking never affects anything.
+        deadline: per-replicate wall-clock watchdog in seconds; a pool
+            worker that blows it is killed and the replicate retried.
+            ``None`` disables the hang watchdog (death detection is
+            always on).
+        retry_policy: bounds infra-fault retries (default
+            :class:`~repro.sim.supervise.RetryPolicy`).
+        infra_chaos: optional
+            :class:`~repro.sim.supervise.InfraChaosConfig` fault
+            injection exercising the supervisor itself.
     """
 
     def __init__(
@@ -127,6 +132,9 @@ class SweepRunner:
         fn: Callable[[Any], Any],
         workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        deadline: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        infra_chaos: Optional[InfraChaosConfig] = None,
     ):
         if workers is not None and workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
@@ -135,6 +143,11 @@ class SweepRunner:
         self.fn = fn
         self.workers = workers
         self.chunk_size = chunk_size
+        self.deadline = deadline
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.infra_chaos = infra_chaos
+        #: Supervision counters of the most recent :meth:`run`.
+        self.last_supervision = SupervisionLog()
 
     def resolve_workers(self, n_specs: int) -> int:
         """The pool size actually used for ``n_specs`` replicates.
@@ -151,19 +164,6 @@ class SweepRunner:
             workers = cpu if cpu > 1 else 0
         return max(0, min(workers, n_specs))
 
-    def _chunks(
-        self, indexed: Sequence[Tuple[int, Any]], workers: int
-    ) -> List[List[Tuple[int, Any]]]:
-        indexed = list(indexed)
-        size = self.chunk_size
-        if size is None:
-            # ~4 chunks per worker balances load without flooding the
-            # pool with tiny tasks.
-            size = max(1, -(-len(indexed) // max(1, workers * 4)))
-        return [
-            indexed[i : i + size] for i in range(0, len(indexed), size)
-        ]
-
     def run(
         self, specs: Sequence[Any], resume: Optional[Any] = None
     ) -> List[ReplicateOutcome]:
@@ -174,9 +174,12 @@ class SweepRunner:
         (``lookup(spec)`` / ``record(spec, outcome)``): specs with a
         stored outcome are served from the store (marked ``cached``)
         and skipped, everything else executes normally and is
-        persisted.  Because replicates are deterministic, the
+        persisted.  Outcomes are recorded **as they complete**, so an
+        interrupted sweep has already flushed every finished replicate
+        — resumption then serves the finished work and executes only
+        the remainder.  Because replicates are deterministic, the
         aggregated outcome list is byte-identical to an uninterrupted
-        run — resumption only changes *which* replicates execute.
+        run.
         """
         specs = list(specs)
         if not specs:
@@ -192,54 +195,63 @@ class SweepRunner:
                     slots[index] = replace(cached, index=index)
                 else:
                     pending.append((index, spec))
-        for index, ok, payload, elapsed in self._execute(pending):
-            outcome = _outcome(index, ok, payload, elapsed)
+
+        def emit(
+            index: int, ok: bool, payload: Any, elapsed: float, infra: tuple
+        ) -> None:
+            outcome = _outcome(index, ok, payload, elapsed, tuple(infra))
             if resume is not None:
                 outcome = resume.record(specs[index], outcome)
             slots[index] = outcome
+
+        self.last_supervision = SupervisionLog()
+        self._execute(pending, emit)
         return [o for o in slots if o is not None]
 
     def _execute(
-        self, pending: Sequence[Tuple[int, Any]]
-    ) -> List[Tuple[int, bool, Any, float]]:
-        """Run (index, spec) pairs, in-process or across the pool."""
+        self,
+        pending: Sequence[Tuple[int, Any]],
+        emit: Callable[[int, bool, Any, float, tuple], None],
+    ) -> None:
+        """Run (index, spec) pairs, in-process or under the supervisor."""
         if not pending:
-            return []
+            return
         workers = self.resolve_workers(len(pending))
         if workers == 0:
-            return _run_chunk(self.fn, list(pending))
-
-        chunks = self._chunks(pending, workers)
-        # ``fork`` keeps worker functions defined in benchmark/test
-        # modules picklable by reference; fall back to the platform
-        # default where fork does not exist (the repro.* sweep workers
-        # are importable, so spawn works for them too).
-        methods = multiprocessing.get_all_start_methods()
-        ctx = (
-            multiprocessing.get_context("fork")
-            if "fork" in methods
-            else multiprocessing.get_context()
-        )
-        rows: List[Tuple[int, bool, Any, float]] = []
-        with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
-            futures = [pool.submit(_run_chunk, self.fn, c) for c in chunks]
-            for chunk, future in zip(chunks, futures):
+            # Same emit path as the pool: outcomes land (and persist)
+            # one at a time, so an interrupt loses only the replicate
+            # in flight.  KeyboardInterrupt propagates to the caller.
+            drain_degradations()
+            for index, spec in pending:
+                start = time.perf_counter()
                 try:
-                    rows.extend(future.result())
+                    payload, ok = self.fn(spec), True
                 except Exception:
-                    # Pool-level failure (unpicklable result, dead
-                    # worker): charge it to the shard, keep sweeping.
-                    err = traceback.format_exc()
-                    rows.extend((i, False, err, 0.0) for i, _ in chunk)
-        return rows
+                    payload, ok = traceback.format_exc(), False
+                elapsed = time.perf_counter() - start
+                emit(index, ok, payload, elapsed, drain_degradations())
+            return
+        pool = SupervisedPool(
+            self.fn,
+            workers,
+            deadline=self.deadline,
+            policy=self.retry_policy,
+            infra_chaos=self.infra_chaos,
+            log=self.last_supervision,
+        )
+        pool.run(pending, emit)
 
 
 def _outcome(
-    index: int, ok: bool, payload: Any, elapsed: float
+    index: int, ok: bool, payload: Any, elapsed: float, infra: tuple = ()
 ) -> ReplicateOutcome:
     if ok:
-        return ReplicateOutcome(index, True, result=payload, elapsed=elapsed)
-    return ReplicateOutcome(index, False, error=payload, elapsed=elapsed)
+        return ReplicateOutcome(
+            index, True, result=payload, elapsed=elapsed, infra=infra
+        )
+    return ReplicateOutcome(
+        index, False, error=payload, elapsed=elapsed, infra=infra
+    )
 
 
 def run_sweep(

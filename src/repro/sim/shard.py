@@ -49,12 +49,27 @@ import bisect
 import heapq
 import itertools
 import math
+import os
+import signal
+import time as _wall
 from dataclasses import dataclass
 from functools import partial
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .engine import SimulationError, Simulator
 from .rng import RngStreams, derive_seed
+from .supervise import (
+    FrameCorruption,
+    ShardSupervision,
+    SupervisionError,
+    SupervisionLog,
+    WorkerDeath,
+    WorkerHang,
+    backoff_delays,
+    note_degradation,
+    recv_frame,
+    send_frame,
+)
 from .tracing import TraceRecord, Tracer
 
 __all__ = [
@@ -555,9 +570,16 @@ class _InlineExecutor:
     determinism contract.
     """
 
-    def __init__(self, specs: Sequence[ShardSpec]):
+    def __init__(
+        self,
+        specs: Sequence[ShardSpec],
+        supervision: Optional[ShardSupervision] = None,
+    ):
+        # ``supervision`` is accepted for executor-signature uniformity;
+        # an in-process worker cannot die or hang independently.
         self._specs = specs
         self._workers: List[ShardWorker] = []
+        self.log = SupervisionLog()
 
     def boot(self) -> None:
         self._workers = [ShardWorker(spec) for spec in self._specs]
@@ -588,21 +610,53 @@ class _InlineExecutor:
         self._workers = []
 
 
-def _shard_worker_main(conn, spec: ShardSpec) -> None:
-    """Worker-process loop: construct the shard, serve the pipe."""
+def _shard_worker_main(conn, spec: ShardSpec, chaos=None) -> None:
+    """Worker-process loop: construct the shard, serve the pipe.
+
+    Messages travel as checksummed frames
+    (:func:`~repro.sim.supervise.send_frame`).  ``chaos`` is an
+    optional :class:`~repro.sim.supervise.InfraChaosConfig`: before
+    executing epoch-advance ``k`` this worker injects the configured
+    fault for ``(shard_index, k)`` — SIGKILL itself, stall, or corrupt
+    the reply frame.  Respawned workers always run with ``chaos=None``
+    (journal replay would otherwise re-trigger the fault forever).
+    SIGINT is ignored: on Ctrl-C the coordinator shuts shards down
+    deliberately after flushing completed work.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        # Forked workers inherit any SIGTERM handler the CLI installed for
+        # graceful shutdown; reset it so terminate() ends them silently.
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
     try:
         worker = ShardWorker(spec)
-        conn.send(("ok", None))
+        send_frame(conn, ("ok", None))
     except BaseException as exc:  # construction failure
-        conn.send(("err", f"shard {spec.index} boot: {exc!r}"))
-        conn.close()
+        try:
+            send_frame(conn, ("err", f"shard {spec.index} boot: {exc!r}"))
+        finally:
+            conn.close()
         return
+    epoch = 0
     try:
         while True:
-            msg = conn.recv()
+            msg = recv_frame(conn)
             cmd = msg[0]
             if cmd == "stop":
                 break
+            corrupt = False
+            if cmd == "advance":
+                if chaos is not None:
+                    action = chaos.action(spec.index, epoch)
+                    if action == "kill":
+                        os.kill(os.getpid(), signal.SIGKILL)
+                    elif action == "stall":
+                        _wall.sleep(chaos.stall_seconds)
+                    elif action == "corrupt":
+                        corrupt = True
+                epoch += 1
             try:
                 if cmd == "start":
                     reply = worker.start()
@@ -614,61 +668,287 @@ def _shard_worker_main(conn, spec: ShardSpec) -> None:
                     reply = worker.query(msg[1], msg[2])
                 else:
                     raise ShardError(f"unknown command {cmd!r}")
-                conn.send(("ok", reply))
+                send_frame(conn, ("ok", reply), corrupt=corrupt)
             except BaseException as exc:
-                conn.send(("err", f"shard {spec.index} {cmd}: {exc!r}"))
-    except (EOFError, OSError):  # pragma: no cover - coordinator died
+                send_frame(conn, ("err", f"shard {spec.index} {cmd}: {exc!r}"))
+    except (EOFError, OSError, FrameCorruption):
+        # Coordinator gone (or sent garbage): nothing to report to.
         pass
     finally:
         conn.close()
 
 
+#: Replies to journaled commands can be re-derived by replay; replies to
+#: anything else must be re-requested after a respawn.
+_MUTATING_QUERIES = frozenset({"set_max_events"})
+
+
 class _ProcessExecutor:
-    """One forked worker process per shard, synchronised over pipes.
+    """One forked worker process per shard, supervised over pipes.
 
     Commands fan out to every worker before any reply is collected, so
     shards advance their epochs concurrently; replies are merged in
     shard order, which keeps the coordinator's view identical to the
     inline executor's.
+
+    Supervision (see :mod:`repro.sim.supervise` and DESIGN.md § 10): a
+    dead shard worker surfaces as a structured fault instead of a hung
+    ``recv`` — pipe EOF / ``Process.sentinel`` maps to ``WorkerDeath``,
+    a blown per-command deadline to ``WorkerHang``, a bad checksum to
+    ``FrameCorruption``.  Faults happen *at a barrier* (the coordinator
+    only ever waits on a shard between commands), so recovery respawns
+    the worker from its picklable :class:`ShardSpec` and replays the
+    journal of state-mutating commands — shard workers are
+    deterministic functions of ``(spec, command sequence)``, so the
+    rebuilt worker is in exactly the pre-fault state and the run's
+    trajectory is byte-identical to a fault-free one.  Past the retry
+    budget the whole campaign degrades to the in-process executor
+    (``fallback_inline``) or raises a :class:`ShardError` naming the
+    shard.
     """
 
-    def __init__(self, specs: Sequence[ShardSpec]):
-        self._specs = specs
+    def __init__(
+        self,
+        specs: Sequence[ShardSpec],
+        supervision: Optional[ShardSupervision] = None,
+    ):
+        self._specs = list(specs)
+        self._supervision = supervision or ShardSupervision()
         self._procs: List[Any] = []
         self._conns: List[Any] = []
+        self._journals: List[List[tuple]] = [[] for _ in self._specs]
+        self._delay_cache: Dict[int, Tuple[float, ...]] = {}
+        self._inline: Optional[_InlineExecutor] = None
+        self._fallback_replies: Dict[int, Any] = {}
+        self._ctx = None
+        self.log = SupervisionLog()
+
+    # -- worker lifecycle ----------------------------------------------
 
     def boot(self) -> None:
         import multiprocessing
 
-        ctx = multiprocessing.get_context("fork")
-        for spec in self._specs:
-            parent, child = ctx.Pipe()
-            proc = ctx.Process(
-                target=_shard_worker_main, args=(child, spec), daemon=True
+        self._ctx = multiprocessing.get_context("fork")
+        self._procs = [None] * len(self._specs)
+        self._conns = [None] * len(self._specs)
+        chaos = self._supervision.infra_chaos
+        for shard in range(len(self._specs)):
+            self._spawn(
+                shard,
+                chaos
+                if chaos is not None and chaos.targets_worker(shard)
+                else None,
             )
-            proc.start()
-            child.close()
-            self._procs.append(proc)
-            self._conns.append(parent)
-        for i, conn in enumerate(self._conns):
-            status, detail = conn.recv()
-            if status != "ok":
-                self.close()
-                raise ShardError(detail)
+        try:
+            for shard in range(len(self._specs)):
+                self._finish(shard, None, journal=True)
+        except ShardError:
+            self.close()
+            raise
 
-    def _collect(self, conn) -> Any:
-        status, reply = conn.recv()
+    def _spawn(self, shard: int, chaos) -> None:
+        parent, child = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_shard_worker_main,
+            args=(child, self._specs[shard], chaos),
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        self._procs[shard] = proc
+        self._conns[shard] = parent
+
+    def _stop_worker(self, shard: int) -> None:
+        from .supervise import stop_process
+
+        stop_process(self._procs[shard])
+        conn = self._conns[shard]
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        self._procs[shard] = None
+        self._conns[shard] = None
+
+    # -- supervised exchange -------------------------------------------
+
+    def _send(self, shard: int, msg: tuple) -> None:
+        try:
+            send_frame(self._conns[shard], msg)
+        except (BrokenPipeError, OSError):
+            # Worker already dead; the supervised recv maps it to a
+            # structured WorkerDeath.
+            pass
+
+    def _recv_supervised(self, shard: int) -> Any:
+        """One frame from ``shard``, or a structured fault — never a hang."""
+        from multiprocessing.connection import wait as _mp_wait
+
+        conn = self._conns[shard]
+        proc = self._procs[shard]
+        deadline = self._supervision.deadline
+        limit = None if deadline is None else _wall.monotonic() + deadline
+        while True:
+            timeout = (
+                None
+                if limit is None
+                else max(0.0, limit - _wall.monotonic())
+            )
+            fired = _mp_wait([conn, proc.sentinel], timeout)
+            if not fired:
+                raise WorkerHang(shard, deadline)
+            if conn in fired:
+                try:
+                    return recv_frame(conn)
+                except (EOFError, OSError):
+                    raise WorkerDeath(shard, "pipe closed") from None
+            # Sentinel fired: the process exited.  Data may still be
+            # buffered in the pipe — drain it before declaring death.
+            if conn.poll(0):
+                continue
+            raise WorkerDeath(shard, "process exited")
+
+    @staticmethod
+    def _unwrap(reply: Tuple[str, Any]) -> Any:
+        status, payload = reply
         if status != "ok":
-            raise ShardError(reply)
+            raise ShardError(payload)
+        return payload
+
+    def _delays(self, shard: int) -> Tuple[float, ...]:
+        if shard not in self._delay_cache:
+            self._delay_cache[shard] = backoff_delays(
+                derive_seed(self._specs[shard].seed, f"shard-respawn:{shard}"),
+                self._supervision.policy,
+            )
+        return self._delay_cache[shard]
+
+    def _respawn_and_replay(self, shard: int) -> Any:
+        """Rebuild a lost shard worker and replay its journal.
+
+        Returns the reply of the last journaled command (or the boot
+        handshake's when the journal is empty).  Raises
+        :class:`SupervisionError` if the replacement worker faults too.
+        """
+        self._spawn(shard, chaos=None)
+        self.log.respawns += 1
+        reply = self._unwrap(self._recv_supervised(shard))  # handshake
+        for msg in self._journals[shard]:
+            self._send(shard, msg)
+            reply = self._unwrap(self._recv_supervised(shard))
         return reply
 
-    def _broadcast(self, messages: Sequence[tuple]) -> List[Any]:
-        for conn, message in zip(self._conns, messages):
-            conn.send(message)
-        return [self._collect(conn) for conn in self._conns]
+    def _finish(self, shard: int, msg: Optional[tuple], journal: bool) -> Any:
+        """Collect ``shard``'s reply to the already-sent ``msg``.
+
+        ``msg is None`` collects the boot handshake.  On an infra
+        fault: kill the worker, back off (deterministic schedule from
+        the shard seed), respawn + replay, and — for journaled commands
+        — take the reply straight from the replay; read-only queries
+        are re-sent.  Past the budget: inline fallback or ShardError.
+        """
+        if self._inline is not None:
+            if shard in self._fallback_replies:
+                return self._fallback_replies.pop(shard)
+            return _apply_inline(self._inline, shard, msg)
+        policy = self._supervision.policy
+        attempts = 0
+        needs_respawn = False
+        resend = False
+        while True:
+            try:
+                if needs_respawn:
+                    reply = self._respawn_and_replay(shard)
+                    needs_respawn = False
+                    if journal or msg is None:
+                        return reply
+                    resend = True
+                if resend:
+                    self._send(shard, msg)
+                    resend = False
+                return self._unwrap(self._recv_supervised(shard))
+            except SupervisionError as fault:
+                self.log.note_fault(fault)
+                self._stop_worker(shard)
+                attempts += 1
+                if attempts > policy.retries:
+                    if self._supervision.fallback_inline:
+                        return self._fall_back(shard, msg, journal, fault)
+                    raise ShardError(
+                        f"shard {shard} worker lost ({fault}); retry "
+                        f"budget ({policy.retries}) exhausted"
+                    ) from fault
+                self.log.retries += 1
+                _wall.sleep(self._delays(shard)[attempts - 1])
+                needs_respawn = True
+
+    def _fall_back(
+        self, shard: int, msg: Optional[tuple], journal: bool, fault
+    ) -> Any:
+        """Degrade the whole campaign ``process -> inline``.
+
+        Every shard worker is rebuilt in-process from its spec and its
+        journal replayed, so the campaign continues from exactly the
+        pre-fault barrier state — slower, but byte-identical.
+        """
+        self.log.fallbacks.append(shard)
+        note_degradation(
+            {
+                "kind": "shard_inline_fallback",
+                "shard": shard,
+                "fault": type(fault).__name__,
+                "attempts": self._supervision.policy.retries + 1,
+            }
+        )
+        for other in range(len(self._specs)):
+            self._stop_worker(other)
+        inline = _InlineExecutor(self._specs)
+        inline.boot()
+        self._fallback_replies = {}
+        for other, journal_msgs in enumerate(self._journals):
+            reply = None
+            for jmsg in journal_msgs:
+                reply = _apply_inline(inline, other, jmsg)
+            self._fallback_replies[other] = reply
+        self._inline = inline
+        if journal or msg is None:
+            return self._fallback_replies.pop(shard)
+        self._fallback_replies.pop(shard, None)
+        return _apply_inline(inline, shard, msg)
+
+    def _dispatch(self, shard: int, msg: tuple, journal: bool) -> Any:
+        """Send one command to one shard and collect its reply."""
+        if self._inline is not None:
+            return _apply_inline(self._inline, shard, msg)
+        if journal:
+            self._journals[shard].append(msg)
+        self._send(shard, msg)
+        return self._finish(shard, msg, journal)
+
+    def _broadcast(
+        self, messages: Sequence[tuple], journal: bool
+    ) -> List[Any]:
+        if self._inline is not None:
+            return [
+                _apply_inline(self._inline, shard, msg)
+                for shard, msg in enumerate(messages)
+            ]
+        for shard, msg in enumerate(messages):
+            if journal:
+                self._journals[shard].append(msg)
+            self._send(shard, msg)
+        return [
+            self._finish(shard, msg, journal)
+            for shard, msg in enumerate(messages)
+        ]
+
+    # -- executor surface ----------------------------------------------
 
     def start_all(self) -> List[Optional[float]]:
-        return self._broadcast([("start",)] * len(self._conns))
+        return self._broadcast(
+            [("start",)] * len(self._specs), journal=True
+        )
 
     def advance_all(
         self, until: float, injections: Sequence[Sequence[tuple]]
@@ -676,39 +956,77 @@ class _ProcessExecutor:
         return self._broadcast(
             [
                 ("advance", until, list(injections[i]))
-                for i in range(len(self._conns))
-            ]
+                for i in range(len(self._specs))
+            ],
+            journal=True,
         )
 
     def apply_ops(
         self, shard: int, time: float, ops: Sequence[tuple]
     ) -> Tuple[List[tuple], Optional[float]]:
-        self._conns[shard].send(("apply_ops", time, list(ops)))
-        return self._collect(self._conns[shard])
+        return self._dispatch(
+            shard, ("apply_ops", time, list(ops)), journal=True
+        )
 
     def query_all(self, what: str, arg: Any = None) -> List[Any]:
         return self._broadcast(
-            [("query", what, arg)] * len(self._conns)
+            [("query", what, arg)] * len(self._specs),
+            journal=what in _MUTATING_QUERIES,
         )
 
     def query(self, shard: int, what: str, arg: Any = None) -> Any:
-        self._conns[shard].send(("query", what, arg))
-        return self._collect(self._conns[shard])
+        return self._dispatch(
+            shard, ("query", what, arg), journal=what in _MUTATING_QUERIES
+        )
 
     def close(self) -> None:
-        for conn in self._conns:
-            try:
-                conn.send(("stop",))
-            except (BrokenPipeError, OSError):
-                pass
-        for proc in self._procs:
-            proc.join(timeout=5.0)
-            if proc.is_alive():  # pragma: no cover - hung worker
-                proc.terminate()
-        for conn in self._conns:
-            conn.close()
-        self._procs = []
-        self._conns = []
+        try:
+            for conn in self._conns:
+                if conn is not None:
+                    try:
+                        send_frame(conn, ("stop",))
+                    except (BrokenPipeError, OSError):
+                        pass
+            for proc in self._procs:
+                if proc is None:
+                    continue
+                proc.join(timeout=2.0)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=2.0)
+                if proc.is_alive():  # pragma: no cover - wedged worker
+                    proc.kill()
+                    proc.join(timeout=2.0)
+        finally:
+            for conn in self._conns:
+                if conn is not None:
+                    try:
+                        conn.close()
+                    except OSError:  # pragma: no cover - defensive
+                        pass
+            self._procs = []
+            self._conns = []
+            if self._inline is not None:
+                self._inline.close()
+
+
+def _apply_inline(
+    inline: _InlineExecutor, shard: int, msg: Optional[tuple]
+) -> Any:
+    """Execute one pipe-protocol command against an in-process worker."""
+    if msg is None:  # pragma: no cover - handshake needs no replay
+        return None
+    cmd = msg[0]
+    worker = inline._workers[shard]
+    if cmd == "start":
+        return worker.start()
+    if cmd == "advance":
+        return worker.advance(msg[1], msg[2])
+    if cmd == "apply_ops":
+        return worker.apply_ops(msg[1], msg[2])
+    if cmd == "query":
+        return worker.query(msg[1], msg[2])
+    raise ShardError(f"unknown command {cmd!r}")  # pragma: no cover
 
 
 _EXECUTORS = {"inline": _InlineExecutor, "process": _ProcessExecutor}
@@ -989,6 +1307,7 @@ class ShardedSimulation:
         node_kind: str = "dynamic",
         keep_trace_records: bool = True,
         max_events: Optional[int] = None,
+        supervise: Optional[Any] = None,
     ):
         from ..geometry import HexLattice
         from ..net import deployment_from_spec
@@ -998,6 +1317,10 @@ class ShardedSimulation:
                 f"unknown shard executor {executor!r}; "
                 f"expected one of {sorted(_EXECUTORS)}"
             )
+        if supervise is None or isinstance(supervise, dict):
+            supervision = ShardSupervision.from_dict(supervise)
+        else:
+            supervision = supervise
         self.config = config
         self.seed = seed
         self.shards = shards
@@ -1048,7 +1371,10 @@ class ShardedSimulation:
             )
             for i in range(shards)
         ]
-        self._executor = _EXECUTORS[executor](specs)
+        self._executor = _EXECUTORS[executor](specs, supervision)
+        #: Supervision counters/degradations of the process executor
+        #: (an inline executor's log stays empty).
+        self.supervision_log = self._executor.log
         self._max_events = max_events
         self._now = 0.0
         self._started = False

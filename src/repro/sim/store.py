@@ -33,7 +33,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import shutil
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Optional
@@ -48,8 +50,37 @@ __all__ = [
     "atomic_write_text",
     "canonical_digest",
     "canonical_json",
+    "parse_age",
     "run_provenance",
 ]
+
+
+_AGE_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0, "w": 604800.0}
+
+
+def parse_age(text: str) -> float:
+    """Parse a human age like ``7d``, ``12h``, ``30m``, ``45s`` to seconds.
+
+    A bare number is seconds.  Raises ``ValueError`` on anything else
+    (including negative ages).
+    """
+    text = text.strip()
+    if not text:
+        raise ValueError("empty age")
+    unit = 1.0
+    number = text
+    if text[-1].lower() in _AGE_UNITS:
+        unit = _AGE_UNITS[text[-1].lower()]
+        number = text[:-1]
+    try:
+        value = float(number)
+    except ValueError as exc:
+        raise ValueError(
+            f"bad age {text!r}; expected NUMBER[s|m|h|d|w] (e.g. 7d, 12h)"
+        ) from exc
+    if value < 0:
+        raise ValueError(f"age must be >= 0, got {text!r}")
+    return value * unit
 
 
 class RunStoreError(RuntimeError):
@@ -115,6 +146,7 @@ def run_provenance(
     base_seed: int,
     replicates: int,
     workers: int,
+    infra: Optional[Any] = None,
 ) -> Dict[str, Any]:
     """The provenance block stamped on sweep/chaos JSON reports.
 
@@ -123,10 +155,17 @@ def run_provenance(
     and worker counts, and the package version that produced it.
     ``workers`` is scheduling metadata — the payload itself is
     worker-count independent by the sweep determinism contract.
+
+    ``infra`` records supervision *degradations* (quarantined
+    replicates, process→inline fallbacks).  It appears only when
+    non-empty: a run that merely survived infra faults (retries,
+    respawns) delivered its full payload and stays byte-identical to
+    the fault-free report — only a run that actually lost capability
+    is marked.
     """
     from .. import __version__
 
-    return {
+    out = {
         "kind": kind,
         "scenario_digest": canonical_digest(data),
         "base_seed": base_seed,
@@ -134,6 +173,9 @@ def run_provenance(
         "workers": workers,
         "package_version": __version__,
     }
+    if infra:
+        out["infra"] = infra
+    return out
 
 
 # -- records ----------------------------------------------------------------
@@ -379,6 +421,58 @@ class RunStore:
             report[digest] = {"kept": kept_total, "dropped": dropped_total}
             if not dry_run:
                 self.update_run(digest, kept_total)
+        return report
+
+    def expire(
+        self, older_than: float, dry_run: bool = False
+    ) -> Dict[str, Dict[str, Any]]:
+        """Drop whole runs not written to in ``older_than`` seconds.
+
+        A run's age is measured from the newest mtime among its shard
+        files (any append refreshes it), so only runs genuinely idle
+        for the full window expire.  Expiry removes the run directory
+        and its manifest entry; the manifest rewrite is atomic, and the
+        store stays append-only for live writers because only *whole*
+        runs ever disappear.  Runs listed in the manifest but missing
+        on disk count as age-unknown and expire too (they hold no
+        serveable records).
+
+        Args:
+            older_than: idle threshold in seconds (see :func:`parse_age`).
+            dry_run: report what would expire without touching disk.
+
+        Returns:
+            ``{run_digest: {"age": seconds | None, "records": N,
+            "expired": bool}}`` for every run in the manifest.
+        """
+        if older_than < 0:
+            raise ValueError(f"older_than must be >= 0, got {older_than}")
+        now = time.time()
+        report: Dict[str, Dict[str, Any]] = {}
+        expired = []
+        for digest, entry in sorted(self._manifest.get("runs", {}).items()):
+            run_dir = self.run_dir(digest)
+            mtimes = (
+                [p.stat().st_mtime for p in run_dir.glob("shard-*.jsonl")]
+                if run_dir.is_dir()
+                else []
+            )
+            age = (now - max(mtimes)) if mtimes else None
+            stale = age is None or age > older_than
+            report[digest] = {
+                "age": age,
+                "records": int(entry.get("records", 0)),
+                "expired": stale,
+            }
+            if stale:
+                expired.append(digest)
+        if not dry_run and expired:
+            for digest in expired:
+                run_dir = self.run_dir(digest)
+                if run_dir.is_dir():
+                    shutil.rmtree(run_dir)
+                self._manifest.get("runs", {}).pop(digest, None)
+            self._save_manifest()
         return report
 
     def append(self, run_digest: str, record: StoredRecord) -> None:

@@ -1,7 +1,7 @@
 """Tests for the parallel sweep runner.
 
 Worker functions live at module level so they pickle across process
-boundaries (required by ``ProcessPoolExecutor``).
+boundaries (required by the supervised worker pool).
 """
 
 import json

@@ -1,6 +1,8 @@
 """Tests for the durable run store and resumable sweeps."""
 
 import json
+import os
+import time
 
 import pytest
 
@@ -12,6 +14,7 @@ from repro.sim import (
     atomic_write_text,
     canonical_digest,
     canonical_json,
+    parse_age,
     replicate_seed,
     run_provenance,
 )
@@ -453,3 +456,78 @@ class TestRunStoreGc:
         store = RunStore(tmp_path)
         store.register_run("ghost", "sweep", "x")
         assert store.gc() == {"ghost": {"kept": 0, "dropped": 0}}
+
+
+class TestParseAge:
+    def test_units(self):
+        assert parse_age("45s") == 45.0
+        assert parse_age("30m") == 1800.0
+        assert parse_age("12h") == 12 * 3600.0
+        assert parse_age("7d") == 7 * 86400.0
+        assert parse_age("2w") == 2 * 604800.0
+
+    def test_bare_number_is_seconds(self):
+        assert parse_age("90") == 90.0
+        assert parse_age("1.5") == 1.5
+
+    def test_rejects_garbage(self):
+        for bad in ("", "  ", "fast", "-3d", "3y"):
+            with pytest.raises(ValueError):
+                parse_age(bad)
+
+
+class TestExpiry:
+    def _seed_store(self, tmp_path):
+        store = RunStore(tmp_path)
+        for digest in ("old", "new"):
+            store.register_run(digest, "sweep", f"scn-{digest}")
+            store.append(digest, StoredRecord(seed=1, ok=True, result=digest))
+            store.update_run(digest, 1)
+        return store
+
+    def _backdate(self, store, digest, seconds):
+        stamp = time.time() - seconds
+        for path in store.run_dir(digest).glob("shard-*.jsonl"):
+            os.utime(path, (stamp, stamp))
+
+    def test_expires_only_idle_runs(self, tmp_path):
+        store = self._seed_store(tmp_path)
+        self._backdate(store, "old", 3600.0)
+        report = store.expire(older_than=600.0)
+        assert report["old"]["expired"] and not report["new"]["expired"]
+        assert report["old"]["records"] == 1
+        reloaded = RunStore(tmp_path)
+        assert "old" not in reloaded.runs()
+        assert not store.run_dir("old").exists()
+        assert reloaded.load_records("new")[1].result == "new"
+
+    def test_dry_run_touches_nothing(self, tmp_path):
+        store = self._seed_store(tmp_path)
+        self._backdate(store, "old", 3600.0)
+        report = store.expire(older_than=600.0, dry_run=True)
+        assert report["old"]["expired"]
+        reloaded = RunStore(tmp_path)
+        assert set(reloaded.runs()) == {"old", "new"}
+        assert reloaded.load_records("old")[1].result == "old"
+
+    def test_manifest_only_ghost_runs_expire(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.register_run("ghost", "sweep", "x")
+        report = store.expire(older_than=0.0)
+        assert report["ghost"] == {
+            "age": None,
+            "records": 0,
+            "expired": True,
+        }
+        assert "ghost" not in RunStore(tmp_path).runs()
+
+    def test_append_refreshes_age(self, tmp_path):
+        store = self._seed_store(tmp_path)
+        self._backdate(store, "old", 3600.0)
+        store.append("old", StoredRecord(seed=2, ok=True, result="fresh"))
+        report = store.expire(older_than=600.0)
+        assert not report["old"]["expired"]
+
+    def test_rejects_negative_threshold(self, tmp_path):
+        with pytest.raises(ValueError):
+            RunStore(tmp_path).expire(older_than=-1.0)

@@ -1,6 +1,8 @@
 """Tests for the command-line interface."""
 
 import json
+import os
+import time
 
 import pytest
 
@@ -416,3 +418,195 @@ class TestStoreAndReplayCommands:
         out = capsys.readouterr().out
         assert code == 1
         assert "never true" in out
+
+
+class TestSupervisedExecutionFlags:
+    def test_sweep_and_chaos_accept_the_supervise_flags(self):
+        for command in ("sweep", "chaos"):
+            args = build_parser().parse_args(
+                [
+                    command,
+                    "s.json",
+                    "--infra-chaos",
+                    "kill@1,stall@3:1",
+                    "--task-deadline",
+                    "30",
+                    "--infra-retries",
+                    "3",
+                ]
+            )
+            assert args.infra_chaos == "kill@1,stall@3:1"
+            assert args.task_deadline == 30.0
+            assert args.infra_retries == 3
+
+    def test_supervise_flags_default_off(self):
+        for command in ("sweep", "chaos"):
+            args = build_parser().parse_args([command, "x.json"])
+            assert args.infra_chaos is None
+            assert args.task_deadline is None
+            assert args.infra_retries is None
+
+    def test_store_gc_older_than_flag(self):
+        args = build_parser().parse_args(
+            ["store", "gc", "runs", "--older-than", "7d", "--dry-run"]
+        )
+        assert args.older_than == "7d"
+        assert args.dry_run is True
+
+
+class TestSupervisedExecution:
+    def _scenario(self, tmp_path):
+        scenario_path = tmp_path / "scenario.json"
+        scenario_path.write_text(
+            json.dumps(
+                {
+                    "seed": 5,
+                    "config": {
+                        "ideal_radius": 100.0,
+                        "radius_tolerance": 25.0,
+                    },
+                    "deployment": {
+                        "kind": "uniform",
+                        "field_radius": 220.0,
+                        "n_nodes": 500,
+                    },
+                    "perturbations": [],
+                    "settle_window": 100.0,
+                }
+            )
+        )
+        return scenario_path
+
+    def test_surviving_a_killed_worker_is_byte_identical(
+        self, tmp_path, capsys
+    ):
+        """The acceptance criterion: a sweep that loses a worker to
+        SIGKILL finishes with a report byte-identical to the clean run."""
+        scenario_path = self._scenario(tmp_path)
+        clean_path = tmp_path / "clean.json"
+        code = main(
+            [
+                "sweep",
+                str(scenario_path),
+                "--replicates",
+                "2",
+                "--workers",
+                "2",
+                "--json",
+                str(clean_path),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        chaos_path = tmp_path / "chaos.json"
+        code = main(
+            [
+                "sweep",
+                str(scenario_path),
+                "--replicates",
+                "2",
+                "--workers",
+                "2",
+                "--infra-chaos",
+                "kill@0",
+                "--json",
+                str(chaos_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "infra: 1 worker death(s)" in out
+        assert chaos_path.read_bytes() == clean_path.read_bytes()
+
+    def test_infra_chaos_without_a_process_backend_exits_2(
+        self, tmp_path, capsys
+    ):
+        scenario_path = self._scenario(tmp_path)
+        code = main(
+            [
+                "sweep",
+                str(scenario_path),
+                "--replicates",
+                "1",
+                "--workers",
+                "0",
+                "--infra-chaos",
+                "kill@0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "needs a process backend" in out
+
+    def test_bad_infra_chaos_spec_exits_2(self, tmp_path, capsys):
+        scenario_path = self._scenario(tmp_path)
+        code = main(
+            [
+                "sweep",
+                str(scenario_path),
+                "--replicates",
+                "1",
+                "--workers",
+                "1",
+                "--infra-chaos",
+                "explode@9",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "unknown infra fault" in out
+
+
+class TestStoreExpiryCli:
+    def _populated_store(self, tmp_path):
+        from repro.sim import RunStore, StoredRecord
+
+        store_dir = tmp_path / "runs"
+        store = RunStore(store_dir)
+        store.register_run("stale", "sweep", "scn")
+        store.append("stale", StoredRecord(seed=1, ok=True, result=1))
+        store.update_run("stale", 1)
+        old = time.time() - 3600.0
+        for path in store.run_dir("stale").glob("shard-*.jsonl"):
+            os.utime(path, (old, old))
+        return store_dir
+
+    def test_gc_older_than_expires(self, tmp_path, capsys):
+        from repro.sim import RunStore
+
+        store_dir = self._populated_store(tmp_path)
+        code = main(
+            ["store", "gc", str(store_dir), "--older-than", "30m"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "expired 1 run(s) older than 30m" in out
+        assert "stale" not in RunStore(store_dir).runs()
+
+    def test_gc_older_than_dry_run_keeps_everything(self, tmp_path, capsys):
+        from repro.sim import RunStore
+
+        store_dir = self._populated_store(tmp_path)
+        code = main(
+            [
+                "store",
+                "gc",
+                str(store_dir),
+                "--older-than",
+                "30m",
+                "--dry-run",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "would expire 1 run(s)" in out
+        assert "stale" in RunStore(store_dir).runs()
+
+    def test_gc_bad_age_exits_2(self, tmp_path, capsys):
+        store_dir = self._populated_store(tmp_path)
+        code = main(
+            ["store", "gc", str(store_dir), "--older-than", "soon"]
+        )
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "bad age" in out
