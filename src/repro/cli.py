@@ -299,6 +299,55 @@ def build_parser() -> argparse.ArgumentParser:
     _add_shard_arguments(chaos)
     _add_supervise_arguments(chaos)
 
+    traffic = sub.add_parser(
+        "traffic",
+        help="drive a data-plane workload over the configured structure "
+        "and report delivery / delay / hotspot metrics per router",
+    )
+    traffic.add_argument(
+        "path",
+        help="path to the workload JSON (scenario-shaped, with a "
+        "'traffic' block and optional 'chaos' and 'channel' blocks)",
+    )
+    traffic.add_argument(
+        "--replicates",
+        type=int,
+        default=1,
+        help="number of seeded replicates (default 1)",
+    )
+    traffic.add_argument(
+        "--router",
+        choices=("cell", "hybrid", "both"),
+        default=None,
+        help="override the routers raced per replicate "
+        "(default: the file's 'routers' list, else both)",
+    )
+    traffic.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size; 0 runs in-process, default = cpu count",
+    )
+    traffic.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="replicates per pool task (scheduling only; never results)",
+    )
+    traffic.add_argument(
+        "--base-seed",
+        type=int,
+        default=None,
+        help="master seed for replicate derivation "
+        "(default: the workload file's seed)",
+    )
+    traffic.add_argument(
+        "--json", metavar="PATH", help="write reports + summary as JSON"
+    )
+    _add_store_arguments(traffic)
+    _add_shard_arguments(traffic)
+    _add_supervise_arguments(traffic)
+
     replay = sub.add_parser(
         "replay",
         help="re-execute one replicate to a virtual instant and print "
@@ -819,6 +868,161 @@ def cmd_chaos(args) -> int:
     return 0 if summary["healed"] == summary["campaigns"] else 1
 
 
+def cmd_traffic(args) -> int:
+    import json as _json
+
+    from .sim import RunStore, SupervisionLog, SweepRunner, run_provenance
+    from .traffic import run_traffic_campaigns, summarize_traffic
+
+    with open(args.path, "r", encoding="utf-8") as handle:
+        data = _json.load(handle)
+    if "traffic" not in data:
+        print("error: workload file has no 'traffic' block")
+        return 2
+    data = _apply_shard_flags(data, args)
+    if args.router is not None:
+        data = dict(data)
+        data["traffic"] = dict(data["traffic"])
+        data["traffic"]["routers"] = (
+            ["cell", "hybrid"] if args.router == "both" else [args.router]
+        )
+    try:
+        data, pool_kwargs = _apply_supervise_flags(
+            data, args, args.replicates
+        )
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    base_seed = (
+        args.base_seed
+        if args.base_seed is not None
+        else int(data.get("seed", 0))
+    )
+    supervision_log = SupervisionLog()
+    restore_signals = _graceful_signals()
+    try:
+        outcomes = run_traffic_campaigns(
+            data,
+            replicates=args.replicates,
+            base_seed=base_seed,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            store=None if args.store is None else RunStore(args.store),
+            resume=args.resume,
+            retries=args.retries,
+            supervision_log=supervision_log,
+            **pool_kwargs,
+        )
+    except KeyboardInterrupt:
+        if args.store is not None:
+            print(
+                f"\ninterrupted: completed replicates are flushed to "
+                f"{args.store}; rerun with --store {args.store} --resume "
+                f"to serve them"
+            )
+        else:
+            print("\ninterrupted (no --store: partial work discarded)")
+        return 130
+    finally:
+        restore_signals()
+    supervision = supervision_log.summary()
+    if supervision:
+        print(supervision)
+    rows = []
+    for outcome in outcomes:
+        if not outcome.ok:
+            rows.append(
+                [outcome.index, "-", "CRASHED", "-", "-", "-", "-", "-",
+                 "cached" if outcome.cached else f"{outcome.elapsed:.1f}s"]
+            )
+            continue
+        result = outcome.result
+        for router, report in sorted(result["routers"].items()):
+            if "error" in report:
+                rows.append(
+                    [outcome.index, router, "UNCONFIGURED",
+                     "-", "-", "-", "-", "-",
+                     "cached" if outcome.cached
+                     else f"{outcome.elapsed:.1f}s"]
+                )
+                continue
+            delay = report["delay"]
+            rows.append(
+                [
+                    outcome.index,
+                    router,
+                    f"{report['delivery_ratio']:.1%}",
+                    f"{delay['p50']:.1f}",
+                    f"{delay['p90']:.1f}",
+                    f"{delay['p99']:.1f}",
+                    f"{report['stretch']['p50']:.2f}",
+                    report["relay"]["max_load"],
+                    "cached" if outcome.cached else f"{outcome.elapsed:.1f}s",
+                ]
+            )
+    print(
+        ascii_table(
+            [
+                "replicate",
+                "router",
+                "delivery",
+                "delay p50",
+                "p90",
+                "p99",
+                "stretch p50",
+                "hotspot",
+                "wall",
+            ],
+            rows,
+            title=f"Traffic: {args.replicates} replicates",
+        )
+    )
+    summary = summarize_traffic(outcomes)
+    for router, agg in sorted(summary["routers"].items()):
+        print(
+            f"\n{router}: {agg['delivered']}/{agg['generated']} delivered "
+            f"({agg['delivery_ratio']:.1%}), "
+            f"delay p50~{agg['delay_p50_median']:.1f} "
+            f"p99~{agg['delay_p99_median']:.1f} "
+            f"max={agg['delay_max']:.1f} ticks, "
+            f"hotspot max load {agg['hotspot_max_load']}"
+        )
+    if summary["crashed"]:
+        print(f"\n{summary['crashed']} replicate(s) crashed")
+    if args.store is not None:
+        cached = sum(1 for o in outcomes if o.cached)
+        print(f"cached: {cached}/{len(outcomes)} served from {args.store}")
+    for outcome in outcomes:
+        if not outcome.ok:
+            print(f"\nreplicate {outcome.index} crashed:\n{outcome.error}")
+    if args.json:
+        report = {
+            "provenance": run_provenance(
+                "traffic",
+                {k: v for k, v in data.items() if k != "supervise"},
+                base_seed=base_seed,
+                replicates=args.replicates,
+                workers=SweepRunner(
+                    None, workers=args.workers
+                ).resolve_workers(args.replicates),
+                infra=_infra_provenance(outcomes),
+            ),
+            "summary": summary,
+            "replicates": [
+                o.result if o.ok else {"error": o.error} for o in outcomes
+            ],
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            _json.dump(report, handle, indent=2, sort_keys=True)
+        print(f"\nJSON written to {args.json}")
+    if summary["crashed"]:
+        return 2
+    unconfigured = sum(
+        agg["unconfigured"] for agg in summary["routers"].values()
+    )
+    return 1 if unconfigured else 0
+
+
 def _apply_shard_flags(data, args):
     """Fold ``--shards`` / ``--shard-executor`` into a scenario dict.
 
@@ -1111,6 +1315,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_sweep(args)
     if args.command == "chaos":
         return cmd_chaos(args)
+    if args.command == "traffic":
+        return cmd_traffic(args)
     if args.command == "replay":
         return cmd_replay(args)
     if args.command == "bisect":

@@ -294,6 +294,7 @@ class ChannelFaultModel:
         self._in_burst = False
         self.per_sender = per_sender
         self._sender_channels: Dict[Any, _SenderChannel] = {}
+        self._data_channels: Dict[Any, _SenderChannel] = {}
         self._jam_windows: List[JamWindow] = list(jam_windows)
         self.jam_drops = 0
         self.loss_drops = 0
@@ -382,6 +383,69 @@ class ChannelFaultModel:
                 self.loss_drops += 1
                 return True
         return False
+
+    # -- data-plane consultation ----------------------------------------
+    #
+    # Unicast data frames draw from their own per-sender streams
+    # (``radio.*.data.<sender>``), never the protocol's.  Protocol
+    # broadcasts replay on every shard that mirrors the sender, so their
+    # stream replicas stay in lockstep; a data send executes only on the
+    # owning shard, and letting it advance the shared protocol stream
+    # would desynchronise the mirrors' replicas — a shard-count-dependent
+    # trajectory.  Separate streams also mean attaching a traffic plane
+    # never perturbs the control-plane fault realisation.
+
+    def _data_channel(self, sender: Any) -> "_SenderChannel":
+        channel = self._data_channels.get(sender)
+        if channel is None:
+            channel = _SenderChannel(self._rng, f"data.{sender}")
+            self._data_channels[sender] = channel
+        return channel
+
+    def drop_data(
+        self,
+        now: float,
+        sender_pos: Vec2,
+        receiver_pos: Vec2,
+        sender: Any,
+    ) -> bool:
+        """Decide one unicast data delivery's fate (``True`` = dropped).
+
+        Same channel process as :meth:`drop_broadcast` — jam disks
+        first, then Gilbert–Elliott or Bernoulli loss — but drawn from
+        the sender's dedicated data streams (with their own burst
+        state), so the data plane sees an independent realisation of
+        the configured channel.
+        """
+        if self._jam_windows and (
+            self.jammed(now, sender_pos) or self.jammed(now, receiver_pos)
+        ):
+            self.jam_drops += 1
+            return True
+        channel = self._data_channel(sender)
+        ge = self.gilbert_elliott
+        if ge is not None:
+            rng = channel.loss_rng
+            loss = ge.loss_bad if channel._in_burst else ge.loss_good
+            dropped = loss > 0.0 and rng.random() < loss
+            flip = ge.p_exit_burst if channel._in_burst else ge.p_enter_burst
+            if flip > 0.0 and rng.random() < flip:
+                channel._in_burst = not channel._in_burst
+            if dropped:
+                self.loss_drops += 1
+            return dropped
+        if self.bernoulli_loss:
+            if channel.loss_rng.random() < self.bernoulli_loss:
+                self.loss_drops += 1
+                return True
+        return False
+
+    def data_latency(self, sender: Any) -> float:
+        """Per-delivery jitter for a unicast data frame."""
+        if self.latency_jitter:
+            rng = self._data_channel(sender).jitter_rng
+            return rng.uniform(0.0, self.latency_jitter)
+        return 0.0
 
     def extra_latency(self, sender: Any = None) -> float:
         """Per-delivery latency jitter, uniform on ``[0, latency_jitter]``."""

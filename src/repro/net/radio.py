@@ -32,10 +32,19 @@ from .faults import ChannelFaultModel
 from .node import NodeId
 from .topology import Network
 
-__all__ = ["Radio", "DeliveryError"]
+__all__ = ["Radio", "DeliveryError", "DATA_LANE_BASE"]
 
 #: Message handler signature: ``handler(payload, sender_id)``.
 Handler = Callable[[Any, NodeId], None]
+
+#: Lane namespace for data-plane events: node ``n`` claims keys from
+#: lane ``DATA_LANE_BASE + n``.  Protocol lanes (plain node ids) replay
+#: on every shard mirroring a node, so their counters must advance in
+#: lockstep across replicas; data events execute only on the owner, and
+#: claiming from ambient protocol lanes would desynchronise the
+#: replicas (and could mint colliding keys).  Sits below the driver
+#: namespace (``repro.sim.shard.DRIVER_BASE``, ``1 << 60``).
+DATA_LANE_BASE = 1 << 59
 
 
 class DeliveryError(RuntimeError):
@@ -106,6 +115,9 @@ class Radio:
         # cross-boundary deliveries to the coordinator.  ``None`` means
         # every destination is local.
         self.shard_port = None
+        # Optional data plane (repro.traffic): claims data-frame
+        # payloads on delivery instead of the node's protocol handler.
+        self.data_plane = None
 
     # -- handler registry -----------------------------------------------
 
@@ -234,6 +246,68 @@ class Radio:
             )
         return True
 
+    def send_data(self, sender_id: NodeId, dest_id: NodeId, payload: Any) -> str:
+        """Best-effort single-hop *data* transmission.
+
+        Unlike :meth:`unicast`, data frames ride the unreliable
+        channel: loss, bursty Gilbert–Elliott states, and jamming
+        windows all apply (link-layer retransmission is not assumed for
+        bulk data), plus latency jitter.  Duplication is skipped (the
+        forwarding plane assumes link-layer dedup).  All draws come
+        from the fault model's dedicated *data* streams
+        (:meth:`~repro.net.faults.ChannelFaultModel.drop_data`): data
+        sends execute only on the sender's owning shard, so letting
+        them advance the protocol streams — which replay on mirror
+        shards too — would desynchronise the replicas and make the
+        trajectory shard-count-dependent.
+
+        Returns one of:
+            ``"sent"`` — delivery scheduled (arrives unless the
+            receiver dies first);
+            ``"dropped"`` — the channel ate the frame (loss or jam);
+            ``"unreachable"`` — destination unknown, dead, or out of
+            range;
+            ``"sender_dead"`` — the sender is no longer alive.
+        """
+        sender = self.network.node(sender_id)
+        if not sender.alive:
+            return "sender_dead"
+        if not self.network.has_node(dest_id):
+            return "unreachable"
+        dest = self.network.node(dest_id)
+        if not dest.alive or not sender.can_reach(dest.position):
+            return "unreachable"
+        now = self.sim.now
+        self.tracer.emit(now, "msg.data", node=sender_id)
+        faults = self.faults
+        if self.sim.lane_keys:
+            extra = 0.0
+            if faults is not None:
+                if faults.drop_data(
+                    now, sender.position, dest.position, sender_id
+                ):
+                    self.tracer.emit(
+                        now, "msg.lost", node=dest_id, sender=sender_id
+                    )
+                    return "dropped"
+                extra = faults.data_latency(sender_id)
+            key = self.sim.claim_key(DATA_LANE_BASE + sender_id)
+            self._dispatch(
+                now + self.hop_latency + extra, key, sender_id, dest_id, payload
+            )
+            return "sent"
+        if faults is not None:
+            if faults.drop_data(now, sender.position, dest.position, sender_id):
+                self.tracer.emit(now, "msg.lost", node=dest_id, sender=sender_id)
+                return "dropped"
+            self.sim.schedule(
+                self.hop_latency + faults.data_latency(sender_id),
+                partial(self._deliver, sender_id, dest_id, payload),
+            )
+            return "sent"
+        self._schedule_delivery(sender_id, dest_id, payload)
+        return "sent"
+
     # -- lane-keyed (sharded) transmission -------------------------------
 
     def _broadcast_lane(
@@ -320,6 +394,11 @@ class Radio:
             return
         receiver = self.network.node(dest_id)
         if not receiver.alive:
+            return
+        plane = self.data_plane
+        if plane is not None and plane.claims(payload):
+            self.tracer.emit(self.sim.now, "msg.deliver", node=dest_id)
+            plane.on_frame(payload, dest_id, sender_id)
             return
         handler = self._handlers.get(dest_id)
         if handler is None:

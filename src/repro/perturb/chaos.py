@@ -42,6 +42,7 @@ __all__ = [
     "ChaosCampaign",
     "ChaosConfig",
     "StabilizationVerdict",
+    "build_campaign_simulation",
     "run_chaos_campaigns",
     "run_chaos_replicate",
     "summarize_verdicts",
@@ -216,10 +217,13 @@ class StabilizationVerdict:
     #: Replacement roots elected during the replicate (ROOT_SEEK fired
     #: after a root outage; 0 = the original root never went stale).
     root_regenerations: int = 0
+    #: In-flight data-plane outcomes, when the campaign dict carried a
+    #: ``traffic`` block (``None`` otherwise, preserving old payloads).
+    traffic: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-compatible payload (deterministic; no wall timing)."""
-        return {
+        payload = {
             "seed": self.seed,
             "healed": self.healed,
             "timed_out": self.timed_out,
@@ -233,30 +237,29 @@ class StabilizationVerdict:
             "loss_drops": self.loss_drops,
             "root_regenerations": self.root_regenerations,
         }
+        if self.traffic is not None:
+            payload["traffic"] = self.traffic
+        return payload
 
 
-def run_chaos_replicate(spec: Dict[str, Any]) -> Dict[str, Any]:
-    """Picklable sweep worker: one seeded chaos-campaign replicate.
+def build_campaign_simulation(
+    data: Dict[str, Any], seed: int, deployment, chaos: ChaosConfig
+):
+    """Build the simulation a scenario-shaped campaign dict describes.
 
-    ``spec`` is ``{"data": <campaign dict>, "seed": <int>}`` where the
-    campaign dict is scenario-shaped JSON: ``config`` (GS3Config
-    kwargs), ``deployment``, optional ``channel`` (fault-model block),
-    optional ``chaos`` (rates and budgets), optional ``mobile``.
-    Returns the :class:`StabilizationVerdict` as a plain dict.
+    Shared by the chaos verdict runner and the traffic engine so both
+    construct byte-for-byte identical simulations from the same spec:
+    legacy in-process by default, the sharded facade when ``shards`` is
+    set (which rejects mobility — cross-region moves would be refused
+    mid-campaign).
     """
     # Function-level imports keep this module import-light for the
     # pool workers and avoid package-init ordering knots.
-    from ..analysis import changed_cells
     from ..core import Gs3DynamicNode, Gs3DynamicSimulation, Gs3MobileNode
     from ..core.config import GS3Config
-    from ..net import ChannelFaultConfig, deployment_from_spec
+    from ..net import ChannelFaultConfig
 
-    data = spec["data"]
-    seed = int(spec["seed"])
     config = GS3Config(**data.get("config", {}))
-    chaos = ChaosConfig.from_dict(data.get("chaos", {}))
-    streams = RngStreams(seed)
-    deployment = deployment_from_spec(data["deployment"], streams)
     channel = data.get("channel")
     shards = data.get("shards")
     if shards is not None:
@@ -269,7 +272,7 @@ def run_chaos_replicate(spec: Dict[str, Any]) -> Dict[str, Any]:
                 "move_rate > 0 is not supported sharded "
                 "(cross-region moves would be rejected mid-campaign)"
             )
-        simulation = ShardedSimulation(
+        return ShardedSimulation(
             data["deployment"],
             config,
             seed=seed,
@@ -281,20 +284,41 @@ def run_chaos_replicate(spec: Dict[str, Any]) -> Dict[str, Any]:
             keep_trace_records=False,
             supervise=data.get("supervise"),
         )
-    else:
-        simulation = Gs3DynamicSimulation.from_deployment(
-            deployment,
-            config,
-            seed=seed,
-            node_class=Gs3MobileNode if data.get("mobile") else Gs3DynamicNode,
-            keep_trace_records=False,
-            channel_faults=(
-                ChannelFaultConfig.from_dict(channel) if channel else None
-            ),
-        )
+    return Gs3DynamicSimulation.from_deployment(
+        deployment,
+        config,
+        seed=seed,
+        node_class=Gs3MobileNode if data.get("mobile") else Gs3DynamicNode,
+        keep_trace_records=False,
+        channel_faults=(
+            ChannelFaultConfig.from_dict(channel) if channel else None
+        ),
+    )
+
+
+def run_chaos_replicate(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Picklable sweep worker: one seeded chaos-campaign replicate.
+
+    ``spec`` is ``{"data": <campaign dict>, "seed": <int>}`` where the
+    campaign dict is scenario-shaped JSON: ``config`` (GS3Config
+    kwargs), ``deployment``, optional ``channel`` (fault-model block),
+    optional ``chaos`` (rates and budgets), optional ``mobile``, and
+    optional ``traffic`` (a data-plane workload riding the chaos
+    window; the verdict then gains a ``"traffic"`` section).
+    Returns the :class:`StabilizationVerdict` as a plain dict.
+    """
+    from ..net import deployment_from_spec
+
+    data = spec["data"]
+    seed = int(spec["seed"])
+    chaos = ChaosConfig.from_dict(data.get("chaos", {}))
+    streams = RngStreams(seed)
+    deployment = deployment_from_spec(data["deployment"], streams)
+    simulation = build_campaign_simulation(data, seed, deployment, chaos)
     try:
         return _run_chaos_verdict(
-            simulation, deployment, streams, chaos, seed
+            simulation, deployment, streams, chaos, seed,
+            traffic=data.get("traffic"),
         )
     finally:
         closer = getattr(simulation, "close", None)
@@ -303,7 +327,12 @@ def run_chaos_replicate(spec: Dict[str, Any]) -> Dict[str, Any]:
 
 
 def _run_chaos_verdict(
-    simulation, deployment, streams: RngStreams, chaos: ChaosConfig, seed: int
+    simulation,
+    deployment,
+    streams: RngStreams,
+    chaos: ChaosConfig,
+    seed: int,
+    traffic: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Drive one campaign on an armed simulation; return the verdict dict.
 
@@ -311,6 +340,12 @@ def _run_chaos_verdict(
     sharded facade — everything it touches (``stabilize``, ``snapshot``,
     ``run_for``, ``runtime.radio.faults``, ``tracer``) is part of the
     shared surface the facade mirrors.
+
+    With a ``traffic`` block, a data-plane workload is generated over
+    the chaos window and forwarded hop-by-hop while the structure is
+    being damaged; its :func:`~repro.traffic.build_traffic_report`
+    joins the verdict under ``"traffic"`` (single router: the first of
+    the block's ``routers``).
     """
     from ..analysis import changed_cells
 
@@ -335,6 +370,19 @@ def _run_chaos_verdict(
     before = simulation.snapshot()
     campaign = ChaosCampaign(chaos, streams)
     injected = campaign.inject(simulation, deployment.field)
+    packets = plane = None
+    if traffic is not None:
+        from ..traffic import TrafficConfig, generate_workload
+        from ..traffic.runner import attach_plane, schedule_packets
+
+        traffic_config = TrafficConfig.from_dict(traffic)
+        packets = generate_workload(
+            traffic_config, simulation.network, seed, simulation.now
+        )
+        plane = attach_plane(
+            simulation, traffic_config.plane_config(traffic_config.routers[0])
+        )
+        schedule_packets(simulation, plane, packets)
     simulation.run_for(chaos.duration)
     chaos_end = simulation.now
     report = simulation.stabilize(
@@ -347,6 +395,15 @@ def _run_chaos_verdict(
     healing_time = (
         max(0.0, report.converged_at - chaos_end) if report.stable else None
     )
+    traffic_report = None
+    if packets is not None:
+        from ..traffic import build_traffic_report
+        from ..traffic.runner import collect_records
+
+        records, relay_load = collect_records(simulation, plane)
+        traffic_report = build_traffic_report(
+            packets, records, relay_load, simulation.network
+        )
     return StabilizationVerdict(
         seed=seed,
         healed=report.healed,
@@ -360,6 +417,7 @@ def _run_chaos_verdict(
         jam_drops=faults.jam_drops if faults is not None else 0,
         loss_drops=faults.loss_drops if faults is not None else 0,
         root_regenerations=simulation.tracer.count("root.regenerate"),
+        traffic=traffic_report,
     ).to_dict()
 
 

@@ -2,10 +2,14 @@
 
 from .aggregation import ConvergecastReport, simulate_convergecast
 from .hierarchy import HierarchicalRouter, Route
+from .hybrid import DATA_ROUTERS, CellRouter, HybridRouter
 
 __all__ = [
     "ConvergecastReport",
     "simulate_convergecast",
     "HierarchicalRouter",
     "Route",
+    "CellRouter",
+    "HybridRouter",
+    "DATA_ROUTERS",
 ]

@@ -32,6 +32,11 @@ class ConvergecastReport:
     relay_load: Dict[NodeId, int]
     #: Tree depth statistics (latency proxy).
     depth: Summary
+    #: Readings stranded at associates whose head is dead or back in
+    #: re-decision (not a live head in the snapshot) — distinct from
+    #: in-tree losses so healing experiments can tell "my head died"
+    #: apart from "the chain to the root is broken".
+    orphaned_readings: int = 0
 
     @property
     def delivery_rate(self) -> float:
@@ -62,6 +67,12 @@ def simulate_convergecast(
     The relay load of a head is the number of messages it transmits
     upward; with the I2.3 children bound and bounded cell sizes this
     stays balanced within each band.
+
+    Only live heads relay (``snapshot.heads`` excludes dead nodes and
+    nodes back in re-decision).  Associates whose head is not a live
+    head contribute to ``total_readings`` but strand as
+    ``orphaned_readings`` — they are not silently dropped from the
+    round, and not conflated with losses on broken parent chains.
     """
     import math
 
@@ -71,12 +82,19 @@ def simulate_convergecast(
         )
     heads = snapshot.heads
     roots = set(snapshot.roots)
+    n_associates = len(snapshot.associates)
     if not heads or not roots:
-        return ConvergecastReport(0, 0, {}, Summary())
+        # No tree at all: every associate's reading strands.
+        total = n_associates + len(heads)
+        return ConvergecastReport(
+            0, total, {}, Summary(), orphaned_readings=n_associates
+        )
     # Post-order accumulation over the tree.
     children = snapshot.children_of
     cell_members = snapshot.cells
-    total_readings = sum(len(m) for m in cell_members.values()) + len(heads)
+    served = sum(len(m) for m in cell_members.values())
+    total_readings = n_associates + len(heads)
+    orphaned = n_associates - served
     upward: Dict[NodeId, int] = {}
     relay_load: Dict[NodeId, int] = {}
     depth_summary = Summary()
@@ -100,6 +118,7 @@ def simulate_convergecast(
         total_readings=total_readings,
         relay_load=relay_load,
         depth=depth_summary,
+        orphaned_readings=orphaned,
     )
 
 

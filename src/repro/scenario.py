@@ -54,6 +54,7 @@ from .geometry import Vec2
 from .net import ChannelFaultConfig, deployment_from_spec
 from .perturb import PerturbationInjector, churn_workload
 from .sim import RngStreams, canonical_digest
+from .traffic.generators import TrafficConfig
 
 __all__ = [
     "HorizonReached",
@@ -153,6 +154,12 @@ class Scenario:
     #: through respawns or an inline fallback) is byte-identical to the
     #: unsupervised run by contract.
     supervise: Optional[Dict[str, Any]] = None
+    #: Data-plane workload (see :class:`repro.traffic.TrafficConfig`);
+    #: digest-relevant — the traffic block selects which packets fly
+    #: and hence what the run reports (data frames draw from dedicated
+    #: ``radio.*.data.*`` streams and data lanes, so the *control-plane*
+    #: trajectory is unchanged, but the run's observable output is not).
+    traffic: Optional[TrafficConfig] = None
 
     @staticmethod
     def from_dict(data: Dict[str, Any]) -> "Scenario":
@@ -205,6 +212,11 @@ class Scenario:
             supervise=(
                 dict(data["supervise"]) if data.get("supervise") else None
             ),
+            traffic=(
+                TrafficConfig.from_dict(data["traffic"])
+                if data.get("traffic")
+                else None
+            ),
         )
 
     @staticmethod
@@ -235,6 +247,8 @@ class Scenario:
             # legacy path, so their results must not collide in the run
             # store.  The executor flavour is deliberately excluded.
             data["shards"] = self.shards
+        if self.traffic is not None:
+            data["traffic"] = self.traffic.to_dict()
         return data
 
     def canonical_digest(self) -> str:

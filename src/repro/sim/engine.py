@@ -217,16 +217,22 @@ class Simulator:
         self._lane = lane
         return previous
 
-    def claim_key(self) -> Tuple[int, int]:
+    def claim_key(self, lane: Optional[int] = None) -> Tuple[int, int]:
         """Claim the next ``(origin_lane, origin_seq)`` key from the
-        current lane without scheduling anything.
+        current lane — or an explicit ``lane`` — without scheduling
+        anything.
 
         The radio claims one key per delivery so lane counters advance
         identically whether the destination is local or lives in
         another shard (where the event is injected with
-        :meth:`schedule_keyed` at a barrier).
+        :meth:`schedule_keyed` at a barrier).  The data plane passes an
+        explicit lane from its own namespace: protocol lane counters
+        replay on every shard mirroring a node, while data events run
+        only on the owner, so letting them claim from ambient protocol
+        lanes would desynchronise the replicas.
         """
-        lane = self._lane
+        if lane is None:
+            lane = self._lane
         if lane is None:
             raise SimulationError(
                 "lane-keyed scheduling requires a lane context"

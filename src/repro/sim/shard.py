@@ -359,6 +359,7 @@ class ShardWorker:
         )
         self.sim = sim
         self._started = False
+        self.plane = None  # data-plane forwarding (repro.traffic)
         for node_id in sorted(self.owned):
             self.node_class(self.runtime, node_id)
 
@@ -494,6 +495,16 @@ class ShardWorker:
                 if node is not None and hasattr(node, "on_moved"):
                     node.on_moved(old, new)
                 runtime.trace("perturb.move", node_id)
+        elif kind == "traffic_attach":
+            from ..traffic.plane import ForwardingPlane
+
+            _, plane_config = desc
+            self.plane = ForwardingPlane(runtime, dict(plane_config))
+        elif kind == "traffic_send":
+            _, packet = desc
+            if self.plane is None:  # pragma: no cover - coordinator invariant
+                raise ShardError("traffic_send before traffic_attach")
+            self.plane.inject(packet)
         elif kind == "jam":
             from ..geometry import Vec2
             from ..net import JamWindow
@@ -543,6 +554,10 @@ class ShardWorker:
         if what == "set_max_events":
             self.sim.max_events = arg
             return None
+        if what == "traffic":
+            if self.plane is None:
+                return ({}, {})
+            return (dict(self.plane.records), dict(self.plane.relay_load))
         if what == "snapshot":
             from ..core.snapshot import node_view
 
@@ -1679,6 +1694,41 @@ class ShardedSimulation:
 
     def attach_energy(self, *args, **kwargs):
         raise ShardError("energy-driven death is not supported sharded")
+
+    # -- data plane (repro.traffic) --------------------------------------
+
+    def attach_traffic(self, plane_config: Dict[str, Any]) -> None:
+        """Install a forwarding plane on every shard worker."""
+        self.start()
+        config = dict(plane_config)
+        self._dispatch_op(
+            [
+                (shard, ("traffic_attach", config))
+                for shard in range(self.shards)
+            ],
+        )
+
+    def send_packet(self, packet) -> None:
+        """Originate a data packet at its source's owning shard, now."""
+        self.start()
+        owner = self._presence[packet.src][0]
+        self._dispatch_op([(owner, ("traffic_send", packet))])
+
+    def traffic_records(self) -> Tuple[Dict[int, tuple], Dict[int, int]]:
+        """Merged terminal packet records and per-node relay loads.
+
+        Each packet terminates on exactly one shard (the frame lives on
+        a single node), so the per-shard record maps are disjoint;
+        relay loads sum per node across stripes (a node transmits only
+        where it is owned, so in practice one stripe contributes).
+        """
+        records: Dict[int, tuple] = {}
+        relay: Dict[int, int] = {}
+        for shard_records, shard_relay in self._executor.query_all("traffic"):
+            records.update(shard_records)
+            for node_id, load in shard_relay.items():
+                relay[node_id] = relay.get(node_id, 0) + load
+        return records, relay
 
     # -- observation -----------------------------------------------------
 

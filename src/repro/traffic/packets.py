@@ -1,0 +1,65 @@
+"""Data-plane packet records.
+
+Packets are plain frozen dataclasses so they pickle across the sharded
+executor's IPC boundary and hash/compare deterministically.  A
+:class:`Packet` is the immutable description of one application-layer
+datagram (created once by a workload generator); a :class:`DataFrame`
+is the in-flight envelope that hops link by link, rebuilt with
+:func:`dataclasses.replace` at every hop so no mutable state is shared
+between shards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..net import NodeId
+
+__all__ = ["Packet", "DataFrame", "TERMINAL_OUTCOMES"]
+
+
+#: Every packet ends in exactly one of these outcomes (or ``missing``
+#: when still in flight / delivered to a node that died first).
+TERMINAL_OUTCOMES = (
+    "delivered",
+    "dropped",
+    "ttl_expired",
+    "no_route",
+    "node_died",
+    "source_dead",
+)
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One application datagram, timestamped at creation.
+
+    ``dst_pos`` is the destination's position captured at generation
+    time (the usual geographic-routing location-service assumption);
+    carrying it in the packet keeps forwarding decisions purely local.
+    """
+
+    pid: int
+    kind: str  # "p2p" | "converge" | "cbr"
+    created_at: float
+    src: NodeId
+    dst: NodeId
+    dst_pos: Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class DataFrame:
+    """The hop-by-hop envelope around a :class:`Packet`.
+
+    ``path`` is the full node trace (for hop-stretch accounting);
+    ``visited`` is the loop-avoidance set for the *current* routing
+    attempt — it resets on retry so a healed structure can be re-tried
+    along previously rejected links.
+    """
+
+    packet: Packet
+    ttl: int
+    path: Tuple[NodeId, ...]
+    visited: Tuple[NodeId, ...]
+    retries: int = 0

@@ -1,0 +1,176 @@
+"""The event-driven forwarding plane.
+
+One :class:`ForwardingPlane` attaches to a :class:`~repro.net.radio.Radio`
+(via ``radio.data_plane``) and owns every in-flight
+:class:`~repro.traffic.packets.DataFrame` on that simulator.  Packets
+hop link by link through :meth:`Radio.send_data` — each hop consults
+the channel fault model (loss, jams, jitter), so data traffic
+experiences exactly the adversity the control plane does — and the
+per-hop routing decision is re-made at every node, which is what lets
+a packet survive the structure healing underneath it mid-flight: a
+stalled packet backs off ``retry_delay`` and re-consults its router
+with a cleared loop-avoidance set.
+
+Determinism: frames are delivered through the radio's lane-keyed
+dispatch, retries claim keys from the holding node's *data* lane
+(``DATA_LANE_BASE + node``) — never from protocol lanes, whose
+counters replay in lockstep on every shard mirroring the node — and
+terminal records are keyed by globally unique packet ids, so the
+merged record map is byte-identical at every worker and shard count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from functools import partial
+from typing import Any, Dict, Mapping, Tuple
+
+from ..core.runtime import Gs3Runtime
+from ..geometry import Vec2
+from ..net import NodeId
+from ..net.radio import DATA_LANE_BASE
+from ..routing.hybrid import DATA_ROUTERS, FORWARD
+from .packets import DataFrame, Packet
+
+__all__ = ["ForwardingPlane"]
+
+#: Terminal record: (outcome, time, path).
+Record = Tuple[str, float, Tuple[NodeId, ...]]
+
+
+class ForwardingPlane:
+    """Hop-by-hop packet forwarding over one runtime's radio."""
+
+    def __init__(self, runtime: Gs3Runtime, config: Mapping[str, Any]):
+        self.runtime = runtime
+        router_kind = str(config.get("router", "cell"))
+        try:
+            router_cls = DATA_ROUTERS[router_kind]
+        except KeyError:
+            raise ValueError(f"unknown traffic router {router_kind!r}") from None
+        self.router = router_cls(runtime)
+        self.ttl = int(config.get("ttl", 32))
+        self.max_retries = int(config.get("max_retries", 3))
+        self.retry_delay = float(config.get("retry_delay", 5.0))
+        #: Terminal outcome per packet id (exactly one writer per pid:
+        #: the frame lives on a single node, hence a single shard).
+        self.records: Dict[int, Record] = {}
+        #: Data transmissions attempted per node (hotspot histogram).
+        self.relay_load: Dict[NodeId, int] = {}
+        runtime.radio.data_plane = self
+
+    # -- Radio integration -------------------------------------------
+
+    def claims(self, payload: object) -> bool:
+        """Radio asks: is this delivery ours rather than the protocol's?"""
+        return type(payload) is DataFrame
+
+    def on_frame(self, frame: DataFrame, dest_id: NodeId, sender_id: NodeId) -> None:
+        """A frame arrived at ``dest_id`` (alive — radio checked)."""
+        packet = frame.packet
+        if dest_id == packet.dst:
+            self._record(
+                packet.pid,
+                "delivered",
+                self.runtime.sim.now,
+                frame.path + (dest_id,),
+            )
+            return
+        self._forward(
+            dest_id,
+            replace(
+                frame,
+                path=frame.path + (dest_id,),
+                visited=frame.visited + (dest_id,),
+            ),
+        )
+
+    # -- driver entry points ------------------------------------------
+
+    def inject(self, packet: Packet) -> None:
+        """Originate ``packet`` at its source, now."""
+        network = self.runtime.network
+        now = self.runtime.sim.now
+        src = packet.src
+        if not (network.has_node(src) and network.node(src).alive):
+            self._record(packet.pid, "source_dead", now, (src,))
+            return
+        if packet.src == packet.dst:
+            self._record(packet.pid, "delivered", now, (src,))
+            return
+        self._forward(
+            src,
+            DataFrame(
+                packet=packet,
+                ttl=self.ttl,
+                path=(src,),
+                visited=(src,),
+            ),
+        )
+
+    # -- forwarding core ----------------------------------------------
+
+    def _forward(self, node_id: NodeId, frame: DataFrame) -> None:
+        packet = frame.packet
+        now = self.runtime.sim.now
+        if frame.ttl <= 0:
+            self._record(packet.pid, "ttl_expired", now, frame.path)
+            return
+        action, target = self.router.decide(
+            node_id, packet.dst, Vec2(*packet.dst_pos), set(frame.visited)
+        )
+        if action == FORWARD and target is not None:
+            outcome = self.runtime.radio.send_data(
+                node_id, target, replace(frame, ttl=frame.ttl - 1)
+            )
+            if outcome == "sent" or outcome == "dropped":
+                # The transmission happened either way — it counts
+                # toward this node's relay load.
+                self.relay_load[node_id] = self.relay_load.get(node_id, 0) + 1
+                if outcome == "dropped":
+                    self._record(packet.pid, "dropped", now, frame.path)
+                return
+            # unreachable / sender_dead: the table entry went stale
+            # between decide() and send — hold and re-route.
+        self._retry(node_id, frame)
+
+    def _retry(self, node_id: NodeId, frame: DataFrame) -> None:
+        packet = frame.packet
+        sim = self.runtime.sim
+        if frame.retries >= self.max_retries:
+            self._record(packet.pid, "no_route", sim.now, frame.path)
+            return
+        # Clear the loop-avoidance set: after the backoff the structure
+        # may have healed and previously rejected links become valid.
+        held = replace(frame, retries=frame.retries + 1, visited=(node_id,))
+        resume = partial(self._resume, node_id, held)
+        if sim.lane_keys:
+            lane = DATA_LANE_BASE + node_id
+            sim.schedule_keyed(
+                sim.now + self.retry_delay,
+                sim.claim_key(lane),
+                resume,
+                lane=lane,
+            )
+        else:
+            sim.schedule(self.retry_delay, resume)
+
+    def _resume(self, node_id: NodeId, frame: DataFrame) -> None:
+        network = self.runtime.network
+        if not (network.has_node(node_id) and network.node(node_id).alive):
+            self._record(
+                frame.packet.pid, "node_died", self.runtime.sim.now, frame.path
+            )
+            return
+        self._forward(node_id, frame)
+
+    def _record(
+        self,
+        pid: int,
+        outcome: str,
+        time: float,
+        path: Tuple[NodeId, ...],
+    ) -> None:
+        if pid in self.records:  # single terminal outcome per packet
+            return
+        self.records[pid] = (outcome, time, path)

@@ -1,0 +1,117 @@
+"""Traffic accounting: delivery, delay, stretch, hotspots.
+
+:func:`build_traffic_report` folds the forwarding plane's terminal
+records into one JSON-ready dict.  Everything is emitted in canonical
+order (sorted keys, sorted hotspots) and contains no run-infrastructure
+values (worker/shard counts, wall times), so the same workload on the
+same structure serialises byte-identically at every execution
+configuration.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..net import NodeId
+from .packets import TERMINAL_OUTCOMES, Packet
+
+__all__ = ["build_traffic_report", "percentile"]
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sequence.
+
+    Same ``ceil(q * n) - 1`` convention as the chaos summaries; an
+    empty sequence yields 0.0 (reports always emit every field).
+    """
+    if not sorted_values:
+        return 0.0
+    rank = max(0, math.ceil(q * len(sorted_values)) - 1)
+    return sorted_values[min(rank, len(sorted_values) - 1)]
+
+
+def _delay_stats(delays: List[float]) -> Dict[str, float]:
+    if not delays:
+        return {"mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+    delays.sort()
+    return {
+        "mean": sum(delays) / len(delays),
+        "p50": percentile(delays, 0.50),
+        "p90": percentile(delays, 0.90),
+        "p99": percentile(delays, 0.99),
+        "max": delays[-1],
+    }
+
+
+def build_traffic_report(
+    packets: Sequence[Packet],
+    records: Mapping[int, Tuple[str, float, Tuple[NodeId, ...]]],
+    relay_load: Mapping[NodeId, int],
+    network,
+) -> Dict[str, object]:
+    """One router's :class:`TrafficReport` as a plain JSON-ready dict."""
+    by_pid = {p.pid: p for p in packets}
+    outcomes = {name: 0 for name in TERMINAL_OUTCOMES}
+    delays: List[float] = []
+    hops: List[int] = []
+    stretches: List[float] = []
+    for pid in sorted(records):
+        outcome, time, path = records[pid]
+        outcomes[outcome] += 1
+        if outcome != "delivered":
+            continue
+        packet = by_pid[pid]
+        delays.append(time - packet.created_at)
+        hop_count = max(0, len(path) - 1)
+        hops.append(hop_count)
+        if hop_count > 0:
+            geo = 0.0
+            previous = network.node(path[0]).position
+            for node_id in path[1:]:
+                position = network.node(node_id).position
+                geo += previous.distance_to(position)
+                previous = position
+            straight = network.node(packet.src).position.distance_to(
+                network.node(packet.dst).position
+            )
+            if straight > 1e-9:
+                stretches.append(geo / straight)
+
+    generated = len(packets)
+    outcomes["missing"] = generated - len(records)
+    delivered = outcomes["delivered"]
+    stretches.sort()
+    top_hotspots = sorted(relay_load.items(), key=lambda kv: (-kv[1], kv[0]))[:10]
+    by_kind: Dict[str, Dict[str, int]] = {}
+    for packet in packets:
+        kind = by_kind.setdefault(packet.kind, {"generated": 0, "delivered": 0})
+        kind["generated"] += 1
+        record = records.get(packet.pid)
+        if record is not None and record[0] == "delivered":
+            kind["delivered"] += 1
+
+    return {
+        "generated": generated,
+        "outcomes": outcomes,
+        "delivery_ratio": (delivered / generated) if generated else 0.0,
+        "by_kind": by_kind,
+        "delay": _delay_stats(delays),
+        "hops": {
+            "mean": (sum(hops) / len(hops)) if hops else 0.0,
+            "max": max(hops) if hops else 0,
+        },
+        "stretch": {
+            "p50": percentile(stretches, 0.50),
+            "p90": percentile(stretches, 0.90),
+            "max": stretches[-1] if stretches else 0.0,
+        },
+        "relay": {
+            "relaying_nodes": len(relay_load),
+            "transmissions": sum(relay_load.values()),
+            "max_load": max(relay_load.values()) if relay_load else 0,
+            "top_hotspots": [
+                {"node": node, "load": load} for node, load in top_hotspots
+            ],
+        },
+    }

@@ -1,0 +1,238 @@
+"""Traffic replicate execution: generate → stabilize → forward → report.
+
+One replicate races every configured router over *identically seeded*
+runs: the same deployment, the same initial configuration, the same
+chaos schedule, the same packet schedule — only the per-hop forwarding
+decisions differ.  Each router gets a fresh simulation: data frames
+draw from per-sender ``radio.*.data.*`` streams, and running two
+routers back to back in one simulation would leave the first router's
+stream positions (and in-flight retries) behind for the second.
+
+Replicates fan out over seeds through :class:`~repro.sim.SweepRunner`,
+so traffic reports inherit the repo-wide contract: byte-identical
+payloads at every worker count, chunk size, and shard count.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..net import NodeId
+from ..perturb.chaos import (
+    ChaosCampaign,
+    ChaosConfig,
+    build_campaign_simulation,
+)
+from ..sim import RngStreams, SweepRunner, replicate_seed
+from ..sim.parallel import ReplicateOutcome
+from .generators import TrafficConfig, generate_workload
+from .packets import Packet
+from .plane import ForwardingPlane
+from .report import build_traffic_report, percentile
+
+__all__ = [
+    "attach_plane",
+    "collect_records",
+    "run_traffic_campaigns",
+    "run_traffic_replicate",
+    "schedule_packets",
+    "summarize_traffic",
+]
+
+
+def attach_plane(simulation, plane_config: Dict[str, Any]):
+    """Attach a forwarding plane to a running simulation.
+
+    Returns the in-process :class:`ForwardingPlane` for the legacy
+    simulation, or ``None`` for the sharded facade (each shard worker
+    then owns its stripe's plane; records come back through
+    ``traffic_records``).
+    """
+    if hasattr(simulation, "attach_traffic"):
+        simulation.attach_traffic(plane_config)
+        return None
+    return ForwardingPlane(simulation.runtime, plane_config)
+
+
+def schedule_packets(simulation, plane, packets: Sequence[Packet]) -> None:
+    """Arm every packet's injection at its creation time."""
+    clock = simulation.runtime.sim
+    for packet in packets:
+        if plane is None:
+            callback = partial(simulation.send_packet, packet)
+        else:
+            callback = partial(plane.inject, packet)
+        clock.schedule_at(packet.created_at, callback)
+
+
+def collect_records(
+    simulation, plane
+) -> Tuple[Dict[int, tuple], Dict[NodeId, int]]:
+    """Terminal records and relay loads, merged across shards if any."""
+    if plane is None:
+        return simulation.traffic_records()
+    return dict(plane.records), dict(plane.relay_load)
+
+
+def run_traffic_replicate(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Picklable sweep worker: one seeded traffic replicate.
+
+    ``spec`` is ``{"data": <campaign dict>, "seed": <int>}`` — the same
+    scenario-shaped JSON the chaos runner takes (``config``,
+    ``deployment``, optional ``channel`` / ``chaos`` / ``shards``) plus
+    a required ``traffic`` block.  Returns per-router
+    :func:`build_traffic_report` dicts under ``"routers"``.
+    """
+    data = spec["data"]
+    seed = int(spec["seed"])
+    if "traffic" not in data:
+        raise ValueError("traffic replicate needs a 'traffic' block")
+    traffic = TrafficConfig.from_dict(data["traffic"])
+    chaos = ChaosConfig.from_dict(data.get("chaos", {}))
+    has_chaos = "chaos" in data
+
+    result: Dict[str, Any] = {"seed": seed, "routers": {}}
+    for router in traffic.routers:
+        result["routers"][router] = _run_router(
+            data, seed, traffic, chaos, has_chaos, router
+        )
+    first = result["routers"][traffic.routers[0]]
+    result["generated"] = first.get("generated", 0)
+    return result
+
+
+def _run_router(
+    data: Dict[str, Any],
+    seed: int,
+    traffic: TrafficConfig,
+    chaos: ChaosConfig,
+    has_chaos: bool,
+    router: str,
+) -> Dict[str, Any]:
+    from ..net import deployment_from_spec
+
+    streams = RngStreams(seed)
+    deployment = deployment_from_spec(data["deployment"], streams)
+    simulation = build_campaign_simulation(data, seed, deployment, chaos)
+    try:
+        configured = simulation.stabilize(
+            window=chaos.settle_window,
+            max_time=chaos.configure_budget,
+            field=deployment.field,
+            check_invariants=False,
+        )
+        if not configured.stable:
+            return {"error": "initial configuration did not stabilise"}
+        start = simulation.now
+        packets = generate_workload(traffic, simulation.network, seed, start)
+        chaos_events = 0
+        if has_chaos:
+            campaign = ChaosCampaign(chaos, streams)
+            chaos_events = campaign.inject(simulation, deployment.field, start)
+        plane = attach_plane(simulation, traffic.plane_config(router))
+        schedule_packets(simulation, plane, packets)
+        simulation.run_for(traffic.duration + traffic.drain)
+        records, relay_load = collect_records(simulation, plane)
+        report = build_traffic_report(
+            packets, records, relay_load, simulation.network
+        )
+        report["chaos_events"] = chaos_events
+        return report
+    finally:
+        closer = getattr(simulation, "close", None)
+        if closer is not None:
+            closer()
+
+
+def run_traffic_campaigns(
+    data: Dict[str, Any],
+    replicates: int,
+    base_seed: Optional[int] = None,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    store=None,
+    resume: bool = False,
+    retries: int = 0,
+    deadline: Optional[float] = None,
+    retry_policy=None,
+    infra_chaos=None,
+    supervision_log=None,
+) -> List[ReplicateOutcome]:
+    """Fan a traffic description across ``replicates`` derived seeds.
+
+    The sweep mechanics mirror :func:`repro.perturb.run_chaos_campaigns`
+    exactly (seed derivation, run-store sessions keyed by the canonical
+    description minus ``supervise``, supervised pools).
+    """
+    base = base_seed if base_seed is not None else int(data.get("seed", 0))
+    specs = [
+        {"data": data, "seed": replicate_seed(base, i)}
+        for i in range(replicates)
+    ]
+    runner = SweepRunner(
+        run_traffic_replicate,
+        workers=workers,
+        chunk_size=chunk_size,
+        deadline=deadline,
+        retry_policy=retry_policy,
+        infra_chaos=infra_chaos,
+    )
+    key_data = {k: v for k, v in data.items() if k != "supervise"}
+    try:
+        if store is None:
+            return runner.run(specs)
+        with store.session(
+            "traffic",
+            {"data": key_data, "base_seed": base},
+            retries=retries,
+            resume=resume,
+        ) as session:
+            return runner.run(specs, resume=session)
+    finally:
+        if supervision_log is not None:
+            supervision_log.absorb(runner.last_supervision)
+
+
+def summarize_traffic(
+    outcomes: Sequence[ReplicateOutcome],
+) -> Dict[str, Any]:
+    """Aggregate traffic outcomes into the CLI/BENCH summary shape."""
+    results = [o.result for o in outcomes if o.ok]
+    crashed = sum(1 for o in outcomes if not o.ok)
+    routers = sorted({r for res in results for r in res.get("routers", {})})
+    summary: Dict[str, Any] = {
+        "replicates": len(outcomes),
+        "crashed": crashed,
+        "routers": {},
+    }
+    for router in routers:
+        reports = [
+            res["routers"][router]
+            for res in results
+            if router in res.get("routers", {})
+            and "error" not in res["routers"][router]
+        ]
+        unconfigured = sum(
+            1
+            for res in results
+            if "error" in res.get("routers", {}).get(router, {})
+        )
+        generated = sum(r["generated"] for r in reports)
+        delivered = sum(r["outcomes"]["delivered"] for r in reports)
+        p50s = sorted(r["delay"]["p50"] for r in reports if r["generated"])
+        p99s = sorted(r["delay"]["p99"] for r in reports if r["generated"])
+        summary["routers"][router] = {
+            "reports": len(reports),
+            "unconfigured": unconfigured,
+            "generated": generated,
+            "delivered": delivered,
+            "delivery_ratio": (delivered / generated) if generated else 0.0,
+            "delay_p50_median": percentile(p50s, 0.50),
+            "delay_p99_median": percentile(p99s, 0.50),
+            "delay_max": max((r["delay"]["max"] for r in reports), default=0.0),
+            "hotspot_max_load": max(
+                (r["relay"]["max_load"] for r in reports), default=0
+            ),
+        }
+    return summary

@@ -1,0 +1,87 @@
+"""Convergecast orphan accounting when heads die mid-structure."""
+
+import pytest
+
+from repro.core import GS3Config, Gs3DynamicSimulation
+from repro.net import uniform_disk
+from repro.routing import simulate_convergecast
+from repro.sim import RngStreams, Summary
+
+CFG = GS3Config(ideal_radius=100.0, radius_tolerance=25.0)
+
+
+@pytest.fixture(scope="module")
+def configured():
+    deployment = uniform_disk(280.0, 850, RngStreams(61))
+    sim = Gs3DynamicSimulation.from_deployment(deployment, CFG, seed=61)
+    sim.run_until_stable(window=60.0, max_time=5000.0)
+    return sim
+
+
+class TestOrphanedReadings:
+    def test_healthy_structure_has_no_orphans(self, configured):
+        report = simulate_convergecast(configured.snapshot())
+        assert report.orphaned_readings == 0
+        assert report.total_readings == len(
+            configured.snapshot().associates
+        ) + len(configured.snapshot().heads)
+
+    def test_dead_head_strands_its_cell(self, configured):
+        sim = configured
+        snap = sim.snapshot()
+        victim, members = max(
+            snap.cells.items(), key=lambda kv: (len(kv[1]), -kv[0])
+        )
+        if snap.heads[victim].is_big:
+            pytest.skip("largest cell is the big node's")
+        assert members
+        sim.kill_node(victim)
+        # Snapshot *before* healing: the cell's associates still point
+        # at the dead head.
+        broken = sim.snapshot()
+        report = simulate_convergecast(broken)
+        # Every stranded associate is accounted as orphaned, not
+        # silently dropped from the round's totals.
+        stranded = [
+            v.node_id
+            for v in broken.associates.values()
+            if v.head_id not in broken.heads
+        ]
+        assert len(stranded) >= len(members)
+        assert report.orphaned_readings == len(stranded)
+        assert report.total_readings == len(broken.associates) + len(
+            broken.heads
+        )
+        # The dead head relays nothing.
+        assert victim not in report.relay_load
+        # Orphans are separate from in-tree delivery: delivered plus
+        # orphaned never exceeds the total.
+        assert (
+            report.delivered_readings + report.orphaned_readings
+            <= report.total_readings
+        )
+        sim.revive_node(victim)
+        sim.run_until_stable(
+            window=100.0, max_time=sim.now + 20_000.0
+        )
+        healed = simulate_convergecast(sim.snapshot())
+        assert healed.orphaned_readings == 0
+
+    def test_no_heads_all_orphaned(self):
+        from repro.core.snapshot import StructureSnapshot
+
+        report = simulate_convergecast(
+            StructureSnapshot(
+                time=0.0,
+                ideal_radius=100.0,
+                radius_tolerance=25.0,
+                lattice=None,
+                big_id=None,
+                views={},
+            )
+        )
+        assert report.total_readings == 0
+        assert report.orphaned_readings == 0
+        assert report.depth.count == 0 or isinstance(
+            report.depth, Summary
+        )

@@ -1,0 +1,139 @@
+"""Workload generation: config parsing and schedule determinism."""
+
+import pytest
+
+from repro.core import GS3Config, Gs3DynamicSimulation
+from repro.net import grid_jitter
+from repro.sim import RngStreams
+from repro.traffic import TrafficConfig, generate_workload
+
+CFG = GS3Config(ideal_radius=100.0, radius_tolerance=25.0)
+
+
+@pytest.fixture(scope="module")
+def network():
+    deployment = grid_jitter(200.0, 40.0, 6.0, RngStreams(91))
+    sim = Gs3DynamicSimulation.from_deployment(deployment, CFG, seed=91)
+    return sim.network
+
+
+FULL = {
+    "duration": 120.0,
+    "flows": {"rate": 0.2},
+    "convergecast": {"rate": 0.1},
+    "cbr": {"sources": 3, "interval": 20.0},
+}
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = TrafficConfig()
+        assert config.routers == ("cell", "hybrid")
+        assert config.ttl == 32
+
+    def test_from_dict_full(self):
+        config = TrafficConfig.from_dict(FULL)
+        assert config.p2p_rate == 0.2
+        assert config.converge_rate == 0.1
+        assert config.cbr_sources == 3
+        assert config.cbr_interval == 20.0
+
+    def test_roundtrip(self):
+        config = TrafficConfig.from_dict(FULL)
+        assert TrafficConfig.from_dict(config.to_dict()) == config
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown traffic keys"):
+            TrafficConfig.from_dict({"rate": 1.0})
+
+    def test_unknown_nested_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown traffic.flows keys"):
+            TrafficConfig.from_dict({"flows": {"lambda": 1.0}})
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"duration": 0.0},
+            {"ttl": 0},
+            {"max_retries": -1},
+            {"retry_delay": 0.0},
+            {"drain": -1.0},
+            {"routers": []},
+            {"routers": ["gpsr"]},
+            {"flows": {"rate": -0.5}},
+            {"cbr": {"sources": -1}},
+            {"cbr": {"sources": 2, "interval": 0.0}},
+        ],
+    )
+    def test_invalid_values_rejected(self, bad):
+        with pytest.raises(ValueError):
+            TrafficConfig.from_dict(bad)
+
+    def test_with_routers(self):
+        config = TrafficConfig().with_routers(["hybrid"])
+        assert config.routers == ("hybrid",)
+
+    def test_plane_config_shape(self):
+        plane = TrafficConfig(ttl=8).plane_config("cell")
+        assert plane == {
+            "router": "cell",
+            "ttl": 8,
+            "max_retries": 3,
+            "retry_delay": 5.0,
+        }
+
+
+class TestWorkload:
+    def test_same_seed_same_schedule(self, network):
+        config = TrafficConfig.from_dict(FULL)
+        a = generate_workload(config, network, 7, 100.0)
+        b = generate_workload(config, network, 7, 100.0)
+        assert a == b
+        assert a  # non-empty at these rates
+
+    def test_different_seed_different_schedule(self, network):
+        config = TrafficConfig.from_dict(FULL)
+        a = generate_workload(config, network, 7, 100.0)
+        b = generate_workload(config, network, 8, 100.0)
+        assert a != b
+
+    def test_schedule_shape(self, network):
+        config = TrafficConfig.from_dict(FULL)
+        packets = generate_workload(config, network, 7, 100.0)
+        big = network.big_id
+        end = 100.0 + config.duration
+        assert [p.pid for p in packets] == list(range(len(packets)))
+        times = [p.created_at for p in packets]
+        assert times == sorted(times)
+        for p in packets:
+            assert 100.0 <= p.created_at < end
+            assert p.src != big
+            assert p.src != p.dst
+            assert p.kind in ("p2p", "converge", "cbr")
+            if p.kind in ("converge", "cbr"):
+                assert p.dst == big
+            pos = network.node(p.dst).position
+            assert p.dst_pos == (pos.x, pos.y)
+
+    def test_cbr_cadence(self, network):
+        config = TrafficConfig.from_dict(
+            {"duration": 100.0, "cbr": {"sources": 2, "interval": 25.0}}
+        )
+        packets = generate_workload(config, network, 7, 0.0)
+        cbr = [p for p in packets if p.kind == "cbr"]
+        sources = {p.src for p in cbr}
+        assert len(sources) == 2
+        for src in sources:
+            times = sorted(
+                p.created_at for p in cbr if p.src == src
+            )
+            gaps = {
+                round(b - a, 9) for a, b in zip(times, times[1:])
+            }
+            assert gaps == {25.0}
+
+    def test_zero_rates_empty(self, network):
+        packets = generate_workload(
+            TrafficConfig(), network, 7, 0.0
+        )
+        assert packets == []

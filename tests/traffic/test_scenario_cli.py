@@ -1,0 +1,138 @@
+"""Scenario traffic-block plumbing and the ``repro traffic`` command."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.scenario import Scenario
+from repro.sim import canonical_digest
+from repro.traffic import TrafficConfig
+
+
+def scenario_data(**overrides):
+    data = {
+        "seed": 5,
+        "config": {"ideal_radius": 100.0, "radius_tolerance": 25.0},
+        "deployment": {
+            "kind": "uniform",
+            "field_radius": 230.0,
+            "n_nodes": 550,
+        },
+        "perturbations": [],
+        "settle_window": 100.0,
+    }
+    data.update(overrides)
+    return data
+
+
+TRAFFIC = {
+    "duration": 120.0,
+    "flows": {"rate": 0.1},
+    "cbr": {"sources": 2, "interval": 30.0},
+}
+
+
+class TestScenarioTrafficBlock:
+    def test_parsed_into_config(self):
+        scenario = Scenario.from_dict(scenario_data(traffic=TRAFFIC))
+        assert isinstance(scenario.traffic, TrafficConfig)
+        assert scenario.traffic.p2p_rate == 0.1
+
+    def test_absent_means_none(self):
+        assert Scenario.from_dict(scenario_data()).traffic is None
+
+    def test_roundtrip(self):
+        scenario = Scenario.from_dict(scenario_data(traffic=TRAFFIC))
+        again = Scenario.from_dict(scenario.to_dict())
+        assert again.traffic == scenario.traffic
+
+    def test_digest_relevant(self):
+        plain = Scenario.from_dict(scenario_data())
+        with_traffic = Scenario.from_dict(scenario_data(traffic=TRAFFIC))
+        assert canonical_digest(plain.to_dict()) != canonical_digest(
+            with_traffic.to_dict()
+        )
+
+    def test_bad_traffic_block_rejected_at_parse_time(self):
+        with pytest.raises(ValueError, match="unknown traffic keys"):
+            Scenario.from_dict(scenario_data(traffic={"nope": 1}))
+
+
+class TestTrafficCommand:
+    def _write(self, tmp_path, data):
+        path = tmp_path / "traffic.json"
+        path.write_text(json.dumps(data))
+        return str(path)
+
+    def _data(self):
+        return {
+            "seed": 21,
+            "config": {"ideal_radius": 100.0, "radius_tolerance": 25.0},
+            "deployment": {
+                "kind": "uniform",
+                "field_radius": 300.0,
+                "n_nodes": 160,
+            },
+            "traffic": {
+                "duration": 80.0,
+                "drain": 80.0,
+                "flows": {"rate": 0.1},
+                "cbr": {"sources": 2, "interval": 30.0},
+            },
+        }
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["traffic", "t.json"])
+        assert args.command == "traffic"
+        assert args.replicates == 1
+        assert args.router is None  # None = use the scenario's routers
+
+    def test_missing_traffic_block_exits_2(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            {k: v for k, v in self._data().items() if k != "traffic"},
+        )
+        assert main(["traffic", path, "--workers", "0"]) == 2
+
+    def test_smoke_run_writes_report(self, tmp_path, capsys):
+        path = self._write(tmp_path, self._data())
+        out = tmp_path / "report.json"
+        code = main(
+            [
+                "traffic",
+                path,
+                "--workers",
+                "0",
+                "--json",
+                str(out),
+            ]
+        )
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["provenance"]["kind"] == "traffic"
+        assert set(report["summary"]["routers"]) == {"cell", "hybrid"}
+        for stats in report["summary"]["routers"].values():
+            assert stats["generated"] > 0
+            assert 0.0 <= stats["delivery_ratio"] <= 1.0
+        table = capsys.readouterr().out
+        assert "delivery" in table
+
+    def test_router_flag_narrows_race(self, tmp_path):
+        path = self._write(tmp_path, self._data())
+        out = tmp_path / "report.json"
+        code = main(
+            [
+                "traffic",
+                path,
+                "--workers",
+                "0",
+                "--router",
+                "hybrid",
+                "--json",
+                str(out),
+            ]
+        )
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert set(report["summary"]["routers"]) == {"hybrid"}
