@@ -1,30 +1,32 @@
-"""BENCH — data-plane traffic: delay vs churn, cell vs hybrid routing.
+"""BENCH — data-plane traffic: volume throughput + delay vs churn.
 
-Drives the :mod:`repro.traffic` engine over a 340-node field and sweeps
-the chaos kill rate, racing both per-hop deciders
-(:class:`~repro.routing.hybrid.CellRouter`,
-:class:`~repro.routing.hybrid.HybridRouter`) over identically seeded
-replicates — same deployment, same initial configuration, same chaos
-schedule, same packet schedule; only the forwarding decisions differ.
+Drives the :mod:`repro.traffic` engine two ways:
 
-Three artifact sections land in ``results/BENCH_traffic.json``:
-
-* ``throughput`` — wall-clock packets/s through one full replicate
-  (generate → stabilize → forward → report, both routers);
+* ``throughput`` — packet-volume sweep from ~10² to ~10⁵ generated
+  packets per replicate (burst workload, cell router), recording
+  wall-clock packets/s through the forwarding phase at each point,
+  plus one streamed point (JSONL record spill) and one sharded point
+  (whose ``barriers`` / ``op_dispatches`` counters show the epoch
+  barrier dominating sharded data-plane cost);
 * ``churn`` — per-kill-rate, per-router delivery ratio, delay
   percentiles (p50/p99 medians across replicates), and relay hotspot
-  load: the delay-vs-churn curve;
-* ``meta`` — field/workload parameters so the curve is reproducible.
+  load over a 340-node field: the delay-vs-churn curve;
+* ``meta`` — parameters so both curves are reproducible.
 
 Also runnable standalone::
 
     PYTHONPATH=src python benchmarks/bench_traffic.py [--smoke]
 
-``--smoke`` shrinks the field and sweep to a CI-sized run and writes
-nothing.
+``--smoke`` shrinks the sweep to a CI-sized run, writes nothing, and
+**guards throughput**: it exits nonzero when the largest smoke volume
+point routes at less than half the packets/s recorded in the
+checked-in ``results/BENCH_traffic_baseline.json``.
 """
 
 import json
+import os
+import sys
+import tempfile
 import time
 
 import pytest
@@ -43,6 +45,18 @@ REPLICATES = 3
 #: Poisson kill rates (node deaths per unit time) swept for the
 #: delay-vs-churn curve.  0.0 is the no-chaos baseline.
 KILL_RATES = (0.0, 0.002, 0.004, 0.008)
+
+#: Generated-packet targets for the volume sweep.  Burst rates carry a
+#: 1.1x overshoot so the Poisson draw at BASE_SEED clears each target;
+#: the top point must land at >= 1e5 generated packets.
+VOLUME_TARGETS = (100, 1_000, 10_000, 100_000)
+SMOKE_VOLUME_TARGETS = (100, 1_000)
+
+_BASELINE_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    "results",
+    "BENCH_traffic_baseline.json",
+)
 
 
 def point_data(kill_rate: float, smoke: bool = False) -> dict:
@@ -80,22 +94,84 @@ def point_data(kill_rate: float, smoke: bool = False) -> dict:
     return data
 
 
-def measure_throughput(smoke: bool = False) -> dict:
-    """Wall-clock one replicate at the middle churn point."""
-    data = point_data(0.004, smoke=smoke)
-    started = time.perf_counter()
-    result = run_traffic_replicate({"data": data, "seed": BASE_SEED})
-    elapsed = time.perf_counter() - started
-    routed = sum(
-        report["generated"]
-        for report in result["routers"].values()
-        if "error" not in report
-    )
+def volume_data(target: int) -> dict:
+    """A burst workload sized to generate ~``target`` packets."""
+    size = max(1, min(100, target // 100))
+    rate = 1.1 * target / (200.0 * size)
     return {
-        "replicate_wall_s": round(elapsed, 3),
-        "packets_routed": routed,
-        "packets_per_s": round(routed / elapsed, 1) if elapsed else 0.0,
+        "seed": BASE_SEED,
+        "config": {"ideal_radius": 100.0, "radius_tolerance": 25.0},
+        "deployment": {
+            "kind": "uniform",
+            "field_radius": 260.0,
+            "n_nodes": 140,
+        },
+        "channel": {"bernoulli_loss": 0.05, "latency_jitter": 0.3},
+        "traffic": {
+            "duration": 200.0,
+            "drain": 150.0,
+            "routers": ["cell"],
+            "burst": {"rate": rate, "size": size},
+        },
     }
+
+
+def measure_volume(target: int, shards: int = 0, stream: bool = False) -> dict:
+    """One volume replicate; packets/s is over the forwarding phase."""
+    data = volume_data(target)
+    if shards:
+        data["shards"] = shards
+    spec = {"data": data, "seed": BASE_SEED}
+    tmp = None
+    if stream:
+        tmp = tempfile.TemporaryDirectory(prefix="bench-traffic-stream-")
+        spec["stream_dir"] = tmp.name
+    inst: dict = {}
+    try:
+        started = time.perf_counter()
+        result = run_traffic_replicate(spec, instrumentation=inst)
+        elapsed = time.perf_counter() - started
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+    report = result["routers"]["cell"]
+    if "error" in report:
+        raise RuntimeError(f"volume point {target} failed: {report['error']}")
+    counters = inst["cell"]
+    forward_s = counters["forward_wall_s"]
+    point = {
+        "target": target,
+        "generated": result["generated"],
+        "delivered": report["outcomes"]["delivered"],
+        "replicate_wall_s": round(elapsed, 3),
+        "stabilize_wall_s": round(counters["stabilize_wall_s"], 3),
+        "forward_wall_s": round(forward_s, 3),
+        "packets_per_s": (
+            round(result["generated"] / forward_s, 1) if forward_s else 0.0
+        ),
+    }
+    if shards:
+        point["shards"] = shards
+        point["barriers"] = counters["barriers"]
+        point["op_dispatches"] = counters["op_dispatches"]
+    if stream:
+        point["streamed"] = True
+    return point
+
+
+def measure_throughput(smoke: bool = False) -> dict:
+    """The volume sweep plus streamed and sharded reference points."""
+    targets = SMOKE_VOLUME_TARGETS if smoke else VOLUME_TARGETS
+    section = {"volume": [measure_volume(t) for t in targets]}
+    if not smoke:
+        # Same workloads off the hot path: the top point again with
+        # JSONL record spill (memory-bounded volume runs), and the
+        # 1e4 point through the sharded facade — its barriers >>
+        # op_dispatches counters show the per-epoch barrier, not op
+        # traffic, dominating sharded data-plane cost.
+        section["streamed"] = measure_volume(targets[-1], stream=True)
+        section["sharded"] = measure_volume(10_000, shards=2)
+    return section
 
 
 def run_all(smoke: bool = False) -> dict:
@@ -106,6 +182,9 @@ def run_all(smoke: bool = False) -> dict:
             "replicates": replicates,
             "base_seed": BASE_SEED,
             "kill_rates": list(kill_rates),
+            "volume_targets": list(
+                SMOKE_VOLUME_TARGETS if smoke else VOLUME_TARGETS
+            ),
             "deployment": point_data(0.0, smoke=smoke)["deployment"],
             "traffic": point_data(0.0, smoke=smoke)["traffic"],
         },
@@ -124,10 +203,38 @@ def run_all(smoke: bool = False) -> dict:
     return report
 
 
+def check_throughput_guard(report: dict) -> int:
+    """Exit status for --smoke: 1 on a >2x packets/s regression."""
+    try:
+        with open(_BASELINE_PATH) as handle:
+            baseline = json.load(handle)
+    except FileNotFoundError:
+        print(f"throughput guard: no baseline at {_BASELINE_PATH}; skipping")
+        return 0
+    floor = baseline["smoke"]["packets_per_s"] / 2.0
+    top = report["throughput"]["volume"][-1]
+    if top["packets_per_s"] < floor:
+        print(
+            f"throughput guard FAILED: {top['packets_per_s']} packets/s at "
+            f"target {top['target']} is below half the baseline "
+            f"({baseline['smoke']['packets_per_s']} packets/s)"
+        )
+        return 1
+    print(
+        f"throughput guard ok: {top['packets_per_s']} packets/s "
+        f">= {floor:g} (half of baseline)"
+    )
+    return 0
+
+
 @pytest.mark.benchmark(group="traffic")
 def test_traffic_artifact(results_dir):
     report = run_all()
     save_result("BENCH_traffic.json", json.dumps(report, indent=2) + "\n")
+    # The top volume point must sustain >= 1e5 generated packets.
+    top = report["throughput"]["volume"][-1]
+    assert top["generated"] >= 100_000, report["throughput"]
+    assert top["packets_per_s"] > 0, report["throughput"]
     for point in report["churn"].values():
         # Crashed replicates are harness bugs, not routing outcomes.
         assert point["crashed"] == 0, report
@@ -138,11 +245,9 @@ def test_traffic_artifact(results_dir):
 
 
 if __name__ == "__main__":
-    import sys
-
     smoke = "--smoke" in sys.argv
     result = run_all(smoke=smoke)
     if smoke:
         print(json.dumps(result, indent=2))
-    else:
-        save_result("BENCH_traffic.json", json.dumps(result, indent=2) + "\n")
+        sys.exit(check_throughput_guard(result))
+    save_result("BENCH_traffic.json", json.dumps(result, indent=2) + "\n")

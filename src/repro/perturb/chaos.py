@@ -33,6 +33,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..geometry import Disk, Vec2
 from ..sim import RngStreams, SweepRunner, replicate_seed
+from ..sim.metrics import percentile as sim_percentile
 from ..sim.parallel import ReplicateOutcome
 from .events import PerturbationEvent, RegionJam
 from .injector import PerturbationInjector
@@ -397,12 +398,12 @@ def _run_chaos_verdict(
     )
     traffic_report = None
     if packets is not None:
-        from ..traffic import build_traffic_report
-        from ..traffic.runner import collect_records
+        from ..traffic import fold_traffic_report
+        from ..traffic.runner import collect_traffic
 
-        records, relay_load = collect_records(simulation, plane)
-        traffic_report = build_traffic_report(
-            packets, records, relay_load, simulation.network
+        terminals, hops, relay_load = collect_traffic(simulation, plane)
+        traffic_report = fold_traffic_report(
+            packets, terminals, hops, relay_load
         )
     return StabilizationVerdict(
         seed=seed,
@@ -488,19 +489,9 @@ def run_chaos_campaigns(
             supervision_log.absorb(runner.last_supervision)
 
 
-def _percentile(sorted_values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile of an ascending sequence.
-
-    ``rank = ceil(q * n) - 1`` clamped to ``[0, n - 1]``: q=0 hits the
-    minimum, q=1.0 hits the maximum (``ceil(n) - 1 == n - 1``), and a
-    single-element sequence returns that element for every q.
-    """
-    if not sorted_values:
-        raise ValueError("percentile of empty sequence")
-    if not 0.0 <= q <= 1.0:
-        raise ValueError(f"percentile q must be in [0, 1], got {q!r}")
-    rank = max(0, math.ceil(q * len(sorted_values)) - 1)
-    return sorted_values[min(rank, len(sorted_values) - 1)]
+# Verdict summaries share the repo-wide nearest-rank convention; the
+# single validated implementation lives in ``repro.sim.metrics``.
+_percentile = sim_percentile
 
 
 def summarize_verdicts(

@@ -4,9 +4,28 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
-__all__ = ["Summary", "MetricSet"]
+__all__ = ["Summary", "MetricSet", "percentile"]
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sequence.
+
+    The repo-wide convention (chaos verdicts, traffic reports, bench
+    summaries): ``rank = ceil(q * n) - 1`` clamped to ``[0, n - 1]``,
+    so q=0 hits the minimum, q=1.0 hits the maximum
+    (``ceil(n) - 1 == n - 1``), and a single-element sequence returns
+    that element for every q.  Raises on an empty sequence and on q
+    outside ``[0, 1]`` — callers that want a default for "no samples"
+    decide that explicitly.
+    """
+    if not sorted_values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"percentile q must be in [0, 1], got {q!r}")
+    rank = max(0, math.ceil(q * len(sorted_values)) - 1)
+    return sorted_values[min(rank, len(sorted_values) - 1)]
 
 
 @dataclass

@@ -505,6 +505,11 @@ class ShardWorker:
             if self.plane is None:  # pragma: no cover - coordinator invariant
                 raise ShardError("traffic_send before traffic_attach")
             self.plane.inject(packet)
+        elif kind == "traffic_send_batch":
+            _, packets = desc
+            if self.plane is None:  # pragma: no cover - coordinator invariant
+                raise ShardError("traffic_send before traffic_attach")
+            self.plane.inject_batch(list(packets))
         elif kind == "jam":
             from ..geometry import Vec2
             from ..net import JamWindow
@@ -556,8 +561,12 @@ class ShardWorker:
             return None
         if what == "traffic":
             if self.plane is None:
-                return ({}, {})
-            return (dict(self.plane.records), dict(self.plane.relay_load))
+                return ({}, (), {})
+            return (
+                dict(self.plane.terminals),
+                tuple(self.plane.hop_log.entries()),
+                dict(self.plane.relay_load),
+            )
         if what == "snapshot":
             from ..core.snapshot import node_view
 
@@ -1400,6 +1409,12 @@ class ShardedSimulation:
         self._ops: List[tuple] = []
         self._op_order = itertools.count()
         self._op_counter = itertools.count()
+        #: Conservative epoch barriers executed so far.  At high packet
+        #: rates the coordinator round trips (one per barrier, plus one
+        #: per driver-op dispatch) dominate the data plane's wall time;
+        #: benches read these to locate that crossover.
+        self.barrier_count = 0
+        self.op_dispatches = 0
         self.tracer = _MergedTracer(self)
         self.runtime = _FacadeRuntime(self)
 
@@ -1485,6 +1500,7 @@ class ShardedSimulation:
             self._barrier(target)
 
     def _barrier(self, target: float) -> None:
+        self.barrier_count += 1
         injections = self._pending_inject
         self._pending_inject = [[] for _ in range(self.shards)]
         replies = self._executor.advance_all(target, injections)
@@ -1555,6 +1571,7 @@ class ShardedSimulation:
         follow-ups order after it.
         """
         op = next(self._op_counter)
+        self.op_dispatches += 1
         lane = DRIVER_BASE + op
         key = (lane, -1)
         for shard, desc in targets:
@@ -1714,21 +1731,41 @@ class ShardedSimulation:
         owner = self._presence[packet.src][0]
         self._dispatch_op([(owner, ("traffic_send", packet))])
 
-    def traffic_records(self) -> Tuple[Dict[int, tuple], Dict[int, int]]:
-        """Merged terminal packet records and per-node relay loads.
+    def send_packet_batch(self, packets) -> None:
+        """Originate a same-source packet batch in one driver op.
+
+        One op id and one IPC round trip to the owning shard instead of
+        one per packet — the shard-side plane injects the whole batch
+        inside a single event, mirroring the in-process
+        ``inject_batch`` trajectory claim for claim.
+        """
+        self.start()
+        owner = self._presence[packets[0].src][0]
+        self._dispatch_op([(owner, ("traffic_send_batch", tuple(packets)))])
+
+    def traffic_records(
+        self,
+    ) -> Tuple[Dict[int, tuple], tuple, Dict[int, int]]:
+        """Merged ``(terminals, hop entries, relay loads)``.
 
         Each packet terminates on exactly one shard (the frame lives on
-        a single node), so the per-shard record maps are disjoint;
-        relay loads sum per node across stripes (a node transmits only
-        where it is owned, so in practice one stripe contributes).
+        a single node), so the per-shard terminal maps are disjoint;
+        hop entries carry explicit hop indices, so sorting the
+        concatenation by ``(pid, hop)`` restores every path even when
+        it crossed stripes mid-flight; relay loads sum per node.
         """
-        records: Dict[int, tuple] = {}
+        terminals: Dict[int, tuple] = {}
+        hops: List[tuple] = []
         relay: Dict[int, int] = {}
-        for shard_records, shard_relay in self._executor.query_all("traffic"):
-            records.update(shard_records)
+        for shard_terminals, shard_hops, shard_relay in (
+            self._executor.query_all("traffic")
+        ):
+            terminals.update(shard_terminals)
+            hops.extend(shard_hops)
             for node_id, load in shard_relay.items():
                 relay[node_id] = relay.get(node_id, 0) + load
-        return records, relay
+        hops.sort(key=lambda entry: (entry[0], entry[1]))
+        return terminals, tuple(hops), relay
 
     # -- observation -----------------------------------------------------
 

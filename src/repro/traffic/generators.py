@@ -12,7 +12,12 @@ count, worker count, and everything the simulation does at runtime:
 * **cbr** — constant-bit-rate background load: ``sources`` fixed small
   nodes each emitting one reading toward the big node every
   ``interval``, with staggered phases (stream ``traffic.cbr`` picks
-  the sources).
+  the sources);
+* **burst** — volume traffic: a Poisson process of same-instant packet
+  bursts, ``size`` datagrams from one random source to random
+  destinations (stream ``traffic.burst``); the runner injects each
+  burst as one batched event, which is what scales replicates to 10⁵
+  packets.
 """
 
 from __future__ import annotations
@@ -54,6 +59,11 @@ class TrafficConfig:
     cbr_sources: int = 0
     #: Emission interval of each CBR source.
     cbr_interval: float = 25.0
+    #: Poisson rate of same-instant packet *bursts* (volume traffic).
+    burst_rate: float = 0.0
+    #: Packets per burst, all from one source at one instant — the
+    #: plane injects them as a single batched event.
+    burst_size: int = 8
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
@@ -80,6 +90,10 @@ class TrafficConfig:
             raise ValueError("traffic cbr sources must be >= 0")
         if self.cbr_interval <= 0:
             raise ValueError("traffic cbr interval must be positive")
+        if self.burst_rate < 0:
+            raise ValueError("traffic burst rate must be >= 0")
+        if self.burst_size < 1:
+            raise ValueError("traffic burst size must be >= 1")
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "TrafficConfig":
@@ -93,6 +107,7 @@ class TrafficConfig:
             "flows",
             "convergecast",
             "cbr",
+            "burst",
         }
         unknown = set(data) - known
         if unknown:
@@ -119,6 +134,11 @@ class TrafficConfig:
             kwargs["cbr_sources"] = int(cbr.get("sources", 0))
             if "interval" in cbr:
                 kwargs["cbr_interval"] = float(cbr["interval"])
+        burst = _sub_block(data, "burst", {"rate", "size"})
+        if burst is not None:
+            kwargs["burst_rate"] = float(burst.get("rate", 0.0))
+            if "size" in burst:
+                kwargs["burst_size"] = int(burst["size"])
         return cls(**kwargs)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -140,6 +160,11 @@ class TrafficConfig:
             if self.cbr_interval != default.cbr_interval:
                 cbr["interval"] = self.cbr_interval
             out["cbr"] = cbr
+        if self.burst_rate:
+            burst: Dict[str, Any] = {"rate": self.burst_rate}
+            if self.burst_size != default.burst_size:
+                burst["size"] = self.burst_size
+            out["burst"] = burst
         return out
 
     def with_routers(self, routers: Sequence[str]) -> "TrafficConfig":
@@ -199,6 +224,23 @@ def generate_workload(
         while dst == src:
             dst = ids[rng.randrange(len(ids))]
         entries.append((t, 0, order, "p2p", src, dst))
+
+    if config.burst_rate:
+        # Volume traffic: each burst is one source emitting
+        # ``burst_size`` datagrams at one instant.  Bursts sort as a
+        # contiguous run (same time/class, consecutive orders), which
+        # is what lets the runner inject each as a single batched
+        # event.
+        rng = streams.stream("traffic.burst")
+        order = 0
+        for t in poisson_times(rng, config.burst_rate, start, end):
+            src = smalls[rng.randrange(len(smalls))]
+            for _ in range(config.burst_size):
+                dst = ids[rng.randrange(len(ids))]
+                while dst == src:
+                    dst = ids[rng.randrange(len(ids))]
+                entries.append((t, 3, order, "burst", src, dst))
+                order += 1
 
     if big is not None:
         rng = streams.stream("traffic.converge")

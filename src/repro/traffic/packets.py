@@ -7,6 +7,12 @@ datagram (created once by a workload generator); a :class:`DataFrame`
 is the in-flight envelope that hops link by link, rebuilt with
 :func:`dataclasses.replace` at every hop so no mutable state is shared
 between shards.
+
+The frame no longer drags its full node trace along: the path lives in
+the plane's append-only :class:`~repro.traffic.stream.HopLog` (indexed
+by pid), and the frame carries only ``hop`` — the index of its last
+logged arrival — so per-hop cost stays flat no matter how long the
+route gets.
 """
 
 from __future__ import annotations
@@ -41,7 +47,7 @@ class Packet:
     """
 
     pid: int
-    kind: str  # "p2p" | "converge" | "cbr"
+    kind: str  # "p2p" | "converge" | "cbr" | "burst"
     created_at: float
     src: NodeId
     dst: NodeId
@@ -52,14 +58,16 @@ class Packet:
 class DataFrame:
     """The hop-by-hop envelope around a :class:`Packet`.
 
-    ``path`` is the full node trace (for hop-stretch accounting);
     ``visited`` is the loop-avoidance set for the *current* routing
     attempt — it resets on retry so a healed structure can be re-tried
-    along previously rejected links.
+    along previously rejected links.  ``hop`` is the index of the
+    frame's most recent entry in the plane's hop log (0 = the source at
+    injection); the full trace is reconstructed from the log, never
+    carried on the frame.
     """
 
     packet: Packet
     ttl: int
-    path: Tuple[NodeId, ...]
     visited: Tuple[NodeId, ...]
     retries: int = 0
+    hop: int = 0

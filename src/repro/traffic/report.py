@@ -1,34 +1,47 @@
 """Traffic accounting: delivery, delay, stretch, hotspots.
 
-:func:`build_traffic_report` folds the forwarding plane's terminal
-records into one JSON-ready dict.  Everything is emitted in canonical
-order (sorted keys, sorted hotspots) and contains no run-infrastructure
-values (worker/shard counts, wall times), so the same workload on the
-same structure serialises byte-identically at every execution
-configuration.
+:class:`TrafficFold` folds terminal records and hop-log entries
+incrementally — O(packets) state, never the full per-packet paths — and
+:func:`fold_traffic_report` drives it over the collected (or streamed)
+records.  Everything is emitted in canonical order (sorted keys, sorted
+hotspots) and contains no run-infrastructure values (worker/shard
+counts, wall times), so the same workload on the same structure
+serialises byte-identically at every execution configuration.
+
+Path geometry is computed from the positions *captured when each hop
+was logged* and the destination position carried in the packet — never
+from the network at report time — so ``move`` perturbations after (or
+during) a packet's flight cannot corrupt its geo distance or the
+straight-line denominator.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 from ..net import NodeId
+from ..sim.metrics import percentile as _shared_percentile
 from .packets import TERMINAL_OUTCOMES, Packet
 
-__all__ = ["build_traffic_report", "percentile"]
+__all__ = [
+    "TrafficFold",
+    "build_traffic_report",
+    "fold_traffic_report",
+    "percentile",
+]
 
 
 def percentile(sorted_values: Sequence[float], q: float) -> float:
     """Nearest-rank percentile of an ascending-sorted sequence.
 
-    Same ``ceil(q * n) - 1`` convention as the chaos summaries; an
-    empty sequence yields 0.0 (reports always emit every field).
+    Thin wrapper over the shared :func:`repro.sim.percentile`
+    convention (``ceil(q * n) - 1``); an empty sequence yields 0.0
+    because reports always emit every field.
     """
     if not sorted_values:
         return 0.0
-    rank = max(0, math.ceil(q * len(sorted_values)) - 1)
-    return sorted_values[min(rank, len(sorted_values) - 1)]
+    return _shared_percentile(sorted_values, q)
 
 
 def _delay_stats(delays: List[float]) -> Dict[str, float]:
@@ -44,74 +57,164 @@ def _delay_stats(delays: List[float]) -> Dict[str, float]:
     }
 
 
+class TrafficFold:
+    """Incremental accumulator for one router's traffic report.
+
+    Feed it terminal records and hop-log entries in any interleaving
+    (hops of one packet must arrive in hop order — they do, from both
+    the in-memory log and a stream replay), then :meth:`finish`.  Per
+    packet it keeps six scalars of geometry state instead of the full
+    path, so folding 10⁵ packets never materialises their traces.
+    """
+
+    def __init__(self, packets: Sequence[Packet]):
+        self._packets = packets
+        self._by_pid = {p.pid: p for p in packets}
+        self._terminals: Dict[int, Tuple[str, float]] = {}
+        #: pid -> [last_hop, last_x, last_y, geo_sum, x0, y0]
+        self._geo: Dict[int, list] = {}
+
+    def add_terminal(self, pid: int, outcome: str, time: float) -> None:
+        prior = self._terminals.get(pid)
+        if prior is not None and (
+            outcome != "delivered" or prior[0] == "delivered"
+        ):
+            return  # delivered upgrades; nothing else does
+        self._terminals[pid] = (outcome, time)
+
+    def add_hop(
+        self, pid: int, hop: int, node: NodeId, x: float, y: float
+    ) -> None:
+        state = self._geo.get(pid)
+        if state is None:
+            if hop != 0:
+                raise ValueError(
+                    f"hop log for packet {pid} starts at hop {hop}, not 0"
+                )
+            self._geo[pid] = [0, x, y, 0.0, x, y]
+            return
+        if hop != state[0] + 1:
+            raise ValueError(
+                f"hop log for packet {pid} jumps from {state[0]} to {hop}"
+            )
+        state[3] += math.hypot(x - state[1], y - state[2])
+        state[0] = hop
+        state[1] = x
+        state[2] = y
+
+    def add_entry(self, entry: tuple) -> None:
+        """Fold one replayed stream entry (``("h", ...)`` / ``("t", ...)``)."""
+        tag = entry[0]
+        if tag == "h":
+            self.add_hop(*entry[1:])
+        elif tag == "t":
+            self.add_terminal(*entry[1:])
+        else:
+            raise ValueError(f"unknown record entry tag {tag!r}")
+
+    def finish(self, relay_load: Mapping[NodeId, int]) -> Dict[str, object]:
+        """The JSON-ready report dict."""
+        terminals = self._terminals
+        outcomes = {name: 0 for name in TERMINAL_OUTCOMES}
+        delays: List[float] = []
+        hops: List[int] = []
+        stretches: List[float] = []
+        for pid in sorted(terminals):
+            outcome, time = terminals[pid]
+            outcomes[outcome] += 1
+            if outcome != "delivered":
+                continue
+            packet = self._by_pid[pid]
+            delays.append(time - packet.created_at)
+            state = self._geo.get(pid)
+            hop_count = state[0] if state is not None else 0
+            hops.append(hop_count)
+            if hop_count > 0:
+                straight = math.hypot(
+                    state[4] - packet.dst_pos[0], state[5] - packet.dst_pos[1]
+                )
+                if straight > 1e-9:
+                    stretches.append(state[3] / straight)
+
+        generated = len(self._packets)
+        outcomes["missing"] = generated - len(terminals)
+        delivered = outcomes["delivered"]
+        stretches.sort()
+        top_hotspots = sorted(
+            relay_load.items(), key=lambda kv: (-kv[1], kv[0])
+        )[:10]
+        by_kind: Dict[str, Dict[str, int]] = {}
+        for packet in self._packets:
+            kind = by_kind.setdefault(
+                packet.kind, {"generated": 0, "delivered": 0}
+            )
+            kind["generated"] += 1
+            record = terminals.get(packet.pid)
+            if record is not None and record[0] == "delivered":
+                kind["delivered"] += 1
+
+        return {
+            "generated": generated,
+            "outcomes": outcomes,
+            "delivery_ratio": (delivered / generated) if generated else 0.0,
+            "by_kind": by_kind,
+            "delay": _delay_stats(delays),
+            "hops": {
+                "mean": (sum(hops) / len(hops)) if hops else 0.0,
+                "max": max(hops) if hops else 0,
+            },
+            "stretch": {
+                "p50": percentile(stretches, 0.50),
+                "p90": percentile(stretches, 0.90),
+                "max": stretches[-1] if stretches else 0.0,
+            },
+            "relay": {
+                "relaying_nodes": len(relay_load),
+                "transmissions": sum(relay_load.values()),
+                "max_load": max(relay_load.values()) if relay_load else 0,
+                "top_hotspots": [
+                    {"node": node, "load": load} for node, load in top_hotspots
+                ],
+            },
+        }
+
+
+def fold_traffic_report(
+    packets: Sequence[Packet],
+    terminals: Mapping[int, Tuple[str, float]],
+    hop_entries: Iterable[Tuple[int, int, NodeId, float, float]],
+    relay_load: Mapping[NodeId, int],
+) -> Dict[str, object]:
+    """One router's traffic report from collected plane state."""
+    fold = TrafficFold(packets)
+    for pid, hop, node, x, y in hop_entries:
+        fold.add_hop(pid, hop, node, x, y)
+    for pid, (outcome, time) in terminals.items():
+        fold.add_terminal(pid, outcome, time)
+    return fold.finish(relay_load)
+
+
 def build_traffic_report(
     packets: Sequence[Packet],
     records: Mapping[int, Tuple[str, float, Tuple[NodeId, ...]]],
     relay_load: Mapping[NodeId, int],
     network,
 ) -> Dict[str, object]:
-    """One router's :class:`TrafficReport` as a plain JSON-ready dict."""
-    by_pid = {p.pid: p for p in packets}
-    outcomes = {name: 0 for name in TERMINAL_OUTCOMES}
-    delays: List[float] = []
-    hops: List[int] = []
-    stretches: List[float] = []
+    """Compatibility shim for legacy ``(outcome, time, path)`` records.
+
+    Node-id paths carry no positions, so this shim reads them from
+    ``network`` at call time — acceptable only for mobility-free runs
+    (the live pipeline captures positions when hops are logged).
+    """
+    fold = TrafficFold(packets)
     for pid in sorted(records):
         outcome, time, path = records[pid]
-        outcomes[outcome] += 1
-        if outcome != "delivered":
-            continue
-        packet = by_pid[pid]
-        delays.append(time - packet.created_at)
-        hop_count = max(0, len(path) - 1)
-        hops.append(hop_count)
-        if hop_count > 0:
-            geo = 0.0
-            previous = network.node(path[0]).position
-            for node_id in path[1:]:
-                position = network.node(node_id).position
-                geo += previous.distance_to(position)
-                previous = position
-            straight = network.node(packet.src).position.distance_to(
-                network.node(packet.dst).position
-            )
-            if straight > 1e-9:
-                stretches.append(geo / straight)
-
-    generated = len(packets)
-    outcomes["missing"] = generated - len(records)
-    delivered = outcomes["delivered"]
-    stretches.sort()
-    top_hotspots = sorted(relay_load.items(), key=lambda kv: (-kv[1], kv[0]))[:10]
-    by_kind: Dict[str, Dict[str, int]] = {}
-    for packet in packets:
-        kind = by_kind.setdefault(packet.kind, {"generated": 0, "delivered": 0})
-        kind["generated"] += 1
-        record = records.get(packet.pid)
-        if record is not None and record[0] == "delivered":
-            kind["delivered"] += 1
-
-    return {
-        "generated": generated,
-        "outcomes": outcomes,
-        "delivery_ratio": (delivered / generated) if generated else 0.0,
-        "by_kind": by_kind,
-        "delay": _delay_stats(delays),
-        "hops": {
-            "mean": (sum(hops) / len(hops)) if hops else 0.0,
-            "max": max(hops) if hops else 0,
-        },
-        "stretch": {
-            "p50": percentile(stretches, 0.50),
-            "p90": percentile(stretches, 0.90),
-            "max": stretches[-1] if stretches else 0.0,
-        },
-        "relay": {
-            "relaying_nodes": len(relay_load),
-            "transmissions": sum(relay_load.values()),
-            "max_load": max(relay_load.values()) if relay_load else 0,
-            "top_hotspots": [
-                {"node": node, "load": load} for node, load in top_hotspots
-            ],
-        },
-    }
+        for hop, node in enumerate(path):
+            if network.has_node(node):
+                position = network.node(node).position
+                x, y = position.x, position.y
+            else:
+                x = y = 0.0
+            fold.add_hop(pid, hop, node, x, y)
+        fold.add_terminal(pid, outcome, time)
+    return fold.finish(relay_load)

@@ -11,11 +11,22 @@ stream positions (and in-flight retries) behind for the second.
 Replicates fan out over seeds through :class:`~repro.sim.SweepRunner`,
 so traffic reports inherit the repo-wide contract: byte-identical
 payloads at every worker count, chunk size, and shard count.
+
+Streaming knobs (volume runs): ``spec["stream_dir"]`` routes every
+terminal/hop record through a crash-tolerant
+:class:`~repro.traffic.stream.JsonlRecordStream` (one file per router)
+instead of memory, and the report is folded from the replayed file;
+``spec["stream_batch"]`` sizes the JSONL write batches (default 256).
+An interrupted replicate re-run against the same directory recovers
+the stream's intact prefix, appends only the missing suffix, and folds
+a byte-identical report.
 """
 
 from __future__ import annotations
 
-from functools import partial
+import os
+import time as _time
+from collections import deque
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..net import NodeId
@@ -29,11 +40,13 @@ from ..sim.parallel import ReplicateOutcome
 from .generators import TrafficConfig, generate_workload
 from .packets import Packet
 from .plane import ForwardingPlane
-from .report import build_traffic_report, percentile
+from .report import TrafficFold, fold_traffic_report, percentile
+from .stream import JsonlRecordStream
 
 __all__ = [
+    "PacketInjector",
     "attach_plane",
-    "collect_records",
+    "collect_traffic",
     "run_traffic_campaigns",
     "run_traffic_replicate",
     "schedule_packets",
@@ -41,7 +54,11 @@ __all__ = [
 ]
 
 
-def attach_plane(simulation, plane_config: Dict[str, Any]):
+def attach_plane(
+    simulation,
+    plane_config: Dict[str, Any],
+    stream: Optional[JsonlRecordStream] = None,
+):
     """Attach a forwarding plane to a running simulation.
 
     Returns the in-process :class:`ForwardingPlane` for the legacy
@@ -50,39 +67,113 @@ def attach_plane(simulation, plane_config: Dict[str, Any]):
     ``traffic_records``).
     """
     if hasattr(simulation, "attach_traffic"):
+        if stream is not None:
+            raise ValueError(
+                "record streaming is in-process only; sharded planes "
+                "live in worker processes"
+            )
         simulation.attach_traffic(plane_config)
         return None
-    return ForwardingPlane(simulation.runtime, plane_config)
+    return ForwardingPlane(simulation.runtime, plane_config, stream=stream)
 
 
-def schedule_packets(simulation, plane, packets: Sequence[Packet]) -> None:
-    """Arm every packet's injection at its creation time."""
-    clock = simulation.runtime.sim
-    for packet in packets:
-        if plane is None:
-            callback = partial(simulation.send_packet, packet)
+class PacketInjector:
+    """Arms packet injections with one shared callback.
+
+    Every injection schedules the *same* bound method and pops its unit
+    from a FIFO: scheduling stays one claim per unit in packet order —
+    byte-identical to the old ``partial``-per-packet arming — without a
+    per-packet closure held by the event queue.  Consecutive ``burst``
+    packets sharing a source and creation time form one unit and go
+    through the batched inject/send path.
+    """
+
+    def __init__(self, simulation, plane):
+        self._simulation = simulation
+        self._plane = plane
+        self._queue: deque = deque()
+
+    def arm(self, packets: Sequence[Packet]) -> None:
+        clock = self._simulation.runtime.sim
+        fire = self._fire
+        for unit in _injection_units(packets):
+            self._queue.append(unit)
+            clock.schedule_at(unit[0].created_at, fire)
+
+    def _fire(self) -> None:
+        unit = self._queue.popleft()
+        plane = self._plane
+        if len(unit) == 1:
+            if plane is None:
+                self._simulation.send_packet(unit[0])
+            else:
+                plane.inject(unit[0])
+        elif plane is None:
+            self._simulation.send_packet_batch(unit)
         else:
-            callback = partial(plane.inject, packet)
-        clock.schedule_at(packet.created_at, callback)
+            plane.inject_batch(list(unit))
 
 
-def collect_records(
+def _injection_units(packets: Sequence[Packet]) -> List[Tuple[Packet, ...]]:
+    """Group maximal runs of same-instant same-source burst packets."""
+    units: List[Tuple[Packet, ...]] = []
+    i, n = 0, len(packets)
+    while i < n:
+        head = packets[i]
+        if head.kind != "burst":
+            units.append((head,))
+            i += 1
+            continue
+        j = i + 1
+        while (
+            j < n
+            and packets[j].kind == "burst"
+            and packets[j].created_at == head.created_at
+            and packets[j].src == head.src
+        ):
+            j += 1
+        units.append(tuple(packets[i:j]))
+        i = j
+    return units
+
+
+def schedule_packets(simulation, plane, packets: Sequence[Packet]):
+    """Arm every packet's injection at its creation time."""
+    injector = PacketInjector(simulation, plane)
+    injector.arm(packets)
+    return injector
+
+
+def collect_traffic(
     simulation, plane
-) -> Tuple[Dict[int, tuple], Dict[NodeId, int]]:
-    """Terminal records and relay loads, merged across shards if any."""
+) -> Tuple[Dict[int, tuple], tuple, Dict[NodeId, int]]:
+    """``(terminals, hop entries, relay loads)``, merged across shards."""
     if plane is None:
         return simulation.traffic_records()
-    return dict(plane.records), dict(plane.relay_load)
+    if plane.hop_log is None:
+        raise ValueError("plane spills to a stream; replay it instead")
+    return (
+        dict(plane.terminals),
+        tuple(plane.hop_log.entries()),
+        dict(plane.relay_load),
+    )
 
 
-def run_traffic_replicate(spec: Dict[str, Any]) -> Dict[str, Any]:
+def run_traffic_replicate(
+    spec: Dict[str, Any],
+    instrumentation: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
     """Picklable sweep worker: one seeded traffic replicate.
 
     ``spec`` is ``{"data": <campaign dict>, "seed": <int>}`` — the same
     scenario-shaped JSON the chaos runner takes (``config``,
     ``deployment``, optional ``channel`` / ``chaos`` / ``shards``) plus
-    a required ``traffic`` block.  Returns per-router
-    :func:`build_traffic_report` dicts under ``"routers"``.
+    a required ``traffic`` block.  Optional ``stream_dir`` /
+    ``stream_batch`` spill records to JSONL (see module docstring).
+    Returns per-router :func:`fold_traffic_report` dicts under
+    ``"routers"``; ``instrumentation`` (never part of the report, so
+    reports stay byte-identical across execution configs) collects
+    wall-clock and barrier counters per router when a dict is passed.
     """
     data = spec["data"]
     seed = int(spec["seed"])
@@ -91,14 +182,34 @@ def run_traffic_replicate(spec: Dict[str, Any]) -> Dict[str, Any]:
     traffic = TrafficConfig.from_dict(data["traffic"])
     chaos = ChaosConfig.from_dict(data.get("chaos", {}))
     has_chaos = "chaos" in data
+    stream_dir = spec.get("stream_dir")
+    stream_batch = int(spec.get("stream_batch", 256))
 
     result: Dict[str, Any] = {"seed": seed, "routers": {}}
     for router in traffic.routers:
-        result["routers"][router] = _run_router(
-            data, seed, traffic, chaos, has_chaos, router
+        stream_path = (
+            os.path.join(stream_dir, f"{router}.records.jsonl")
+            if stream_dir is not None
+            else None
         )
-    first = result["routers"][traffic.routers[0]]
-    result["generated"] = first.get("generated", 0)
+        inst: Optional[Dict[str, Any]] = (
+            {} if instrumentation is not None else None
+        )
+        result["routers"][router] = _run_router(
+            data, seed, traffic, chaos, has_chaos, router,
+            stream_path=stream_path, stream_batch=stream_batch,
+            instrumentation=inst,
+        )
+        if instrumentation is not None:
+            instrumentation[router] = inst
+    # ``generated`` comes from any router that actually ran: the
+    # workload is identical across routers, and taking the first
+    # unconditionally reported 0 whenever that router failed to
+    # configure even though others succeeded.
+    succeeded = [
+        r for r in result["routers"].values() if "error" not in r
+    ]
+    result["generated"] = succeeded[0]["generated"] if succeeded else 0
     return result
 
 
@@ -109,19 +220,25 @@ def _run_router(
     chaos: ChaosConfig,
     has_chaos: bool,
     router: str,
+    stream_path: Optional[str] = None,
+    stream_batch: int = 256,
+    instrumentation: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     from ..net import deployment_from_spec
 
     streams = RngStreams(seed)
     deployment = deployment_from_spec(data["deployment"], streams)
     simulation = build_campaign_simulation(data, seed, deployment, chaos)
+    stream = None
     try:
+        started = _time.perf_counter()
         configured = simulation.stabilize(
             window=chaos.settle_window,
             max_time=chaos.configure_budget,
             field=deployment.field,
             check_invariants=False,
         )
+        stabilized = _time.perf_counter()
         if not configured.stable:
             return {"error": "initial configuration did not stabilise"}
         start = simulation.now
@@ -130,16 +247,36 @@ def _run_router(
         if has_chaos:
             campaign = ChaosCampaign(chaos, streams)
             chaos_events = campaign.inject(simulation, deployment.field, start)
-        plane = attach_plane(simulation, traffic.plane_config(router))
-        schedule_packets(simulation, plane, packets)
-        simulation.run_for(traffic.duration + traffic.drain)
-        records, relay_load = collect_records(simulation, plane)
-        report = build_traffic_report(
-            packets, records, relay_load, simulation.network
+        if stream_path is not None:
+            stream = JsonlRecordStream(stream_path, batch=stream_batch)
+        plane = attach_plane(
+            simulation, traffic.plane_config(router), stream=stream
         )
+        injector = schedule_packets(simulation, plane, packets)
+        simulation.run_for(traffic.duration + traffic.drain)
+        forwarded = _time.perf_counter()
+        assert not injector._queue, "armed packets left uninjected"
+        if stream is not None:
+            fold = TrafficFold(packets)
+            for entry in stream.replay():
+                fold.add_entry(entry)
+            report = fold.finish(dict(plane.relay_load))
+        else:
+            terminals, hops, relay_load = collect_traffic(simulation, plane)
+            report = fold_traffic_report(packets, terminals, hops, relay_load)
         report["chaos_events"] = chaos_events
+        if instrumentation is not None:
+            instrumentation["stabilize_wall_s"] = stabilized - started
+            instrumentation["forward_wall_s"] = forwarded - stabilized
+            instrumentation["generated"] = len(packets)
+            barriers = getattr(simulation, "barrier_count", None)
+            if barriers is not None:
+                instrumentation["barriers"] = barriers
+                instrumentation["op_dispatches"] = simulation.op_dispatches
         return report
     finally:
+        if stream is not None:
+            stream.close()
         closer = getattr(simulation, "close", None)
         if closer is not None:
             closer()
@@ -158,18 +295,27 @@ def run_traffic_campaigns(
     retry_policy=None,
     infra_chaos=None,
     supervision_log=None,
+    stream_dir: Optional[str] = None,
+    stream_batch: int = 256,
 ) -> List[ReplicateOutcome]:
     """Fan a traffic description across ``replicates`` derived seeds.
 
     The sweep mechanics mirror :func:`repro.perturb.run_chaos_campaigns`
     exactly (seed derivation, run-store sessions keyed by the canonical
-    description minus ``supervise``, supervised pools).
+    description minus ``supervise``, supervised pools).  With
+    ``stream_dir``, each replicate spills its records to
+    ``<stream_dir>/seed-<seed>/`` instead of memory (reports are
+    byte-identical either way).
     """
     base = base_seed if base_seed is not None else int(data.get("seed", 0))
-    specs = [
-        {"data": data, "seed": replicate_seed(base, i)}
-        for i in range(replicates)
-    ]
+    specs: List[Dict[str, Any]] = []
+    for i in range(replicates):
+        seed = replicate_seed(base, i)
+        spec: Dict[str, Any] = {"data": data, "seed": seed}
+        if stream_dir is not None:
+            spec["stream_dir"] = os.path.join(stream_dir, f"seed-{seed}")
+            spec["stream_batch"] = stream_batch
+        specs.append(spec)
     runner = SweepRunner(
         run_traffic_replicate,
         workers=workers,
@@ -197,7 +343,12 @@ def run_traffic_campaigns(
 def summarize_traffic(
     outcomes: Sequence[ReplicateOutcome],
 ) -> Dict[str, Any]:
-    """Aggregate traffic outcomes into the CLI/BENCH summary shape."""
+    """Aggregate traffic outcomes into the CLI/BENCH summary shape.
+
+    Per-router error messages surface distinctly under ``"errors"``
+    (message -> count, emitted only when nonempty) so a router that
+    failed to configure is never silently folded into the averages.
+    """
     results = [o.result for o in outcomes if o.ok]
     crashed = sum(1 for o in outcomes if not o.ok)
     routers = sorted({r for res in results for r in res.get("routers", {})})
@@ -213,18 +364,19 @@ def summarize_traffic(
             if router in res.get("routers", {})
             and "error" not in res["routers"][router]
         ]
-        unconfigured = sum(
-            1
-            for res in results
-            if "error" in res.get("routers", {}).get(router, {})
-        )
+        errors: Dict[str, int] = {}
+        for res in results:
+            report = res.get("routers", {}).get(router)
+            if report is not None and "error" in report:
+                message = str(report["error"])
+                errors[message] = errors.get(message, 0) + 1
         generated = sum(r["generated"] for r in reports)
         delivered = sum(r["outcomes"]["delivered"] for r in reports)
         p50s = sorted(r["delay"]["p50"] for r in reports if r["generated"])
         p99s = sorted(r["delay"]["p99"] for r in reports if r["generated"])
-        summary["routers"][router] = {
+        entry: Dict[str, Any] = {
             "reports": len(reports),
-            "unconfigured": unconfigured,
+            "unconfigured": sum(errors.values()),
             "generated": generated,
             "delivered": delivered,
             "delivery_ratio": (delivered / generated) if generated else 0.0,
@@ -235,4 +387,7 @@ def summarize_traffic(
                 (r["relay"]["max_load"] for r in reports), default=0
             ),
         }
+        if errors:
+            entry["errors"] = dict(sorted(errors.items()))
+        summary["routers"][router] = entry
     return summary

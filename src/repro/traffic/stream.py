@@ -1,0 +1,196 @@
+"""Streamed traffic records: the hop log and the JSONL record stream.
+
+Two complementary stores back the forwarding plane's accounting:
+
+* :class:`HopLog` — a compact struct-of-arrays, append-only log of
+  packet arrivals ``(pid, hop, node, x, y)``.  Positions are captured
+  *when the hop is written*, so later ``move`` perturbations cannot
+  corrupt path geometry (the report-time-position bug).  This is the
+  in-memory default: five flat lists instead of an ever-growing tuple
+  per in-flight frame.
+* :class:`JsonlRecordStream` — an on-disk spill of the same entries
+  plus terminal outcomes, written in JSONL batches.  A replicate
+  running with a stream holds only O(packets) fold state in memory; a
+  torn tail (crash mid-batch) is truncated on reopen, and re-running
+  the same deterministic replicate against the recovered file appends
+  exactly the missing suffix — the folded report is byte-identical to
+  an uninterrupted run.
+
+Line formats (compact JSON arrays)::
+
+    ["h", pid, hop, node, x, y]      one packet arrival
+    ["t", pid, outcome, time]        one terminal outcome
+
+Terminal lines dedupe by pid with one exception: ``delivered`` may
+upgrade a previously written non-delivered outcome (the duplicate-frame
+masking rule); the fold applies the same rule, so later lines win only
+when they should.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterator, List, Set, Tuple
+
+__all__ = ["HopLog", "JsonlRecordStream"]
+
+#: One packet arrival: ``(pid, hop, node, x, y)``.
+HopEntry = Tuple[int, int, int, float, float]
+
+
+class HopLog:
+    """Append-only struct-of-arrays log of packet arrivals.
+
+    One entry per arrival of a frame at a node (hop 0 is the source at
+    injection time).  Parallel flat lists keep the per-hop cost to five
+    appends — no per-frame tuple rebuilding — and the whole log ships
+    across the shard IPC boundary as plain lists.
+    """
+
+    __slots__ = ("pid", "hop", "node", "x", "y")
+
+    def __init__(self) -> None:
+        self.pid: List[int] = []
+        self.hop: List[int] = []
+        self.node: List[int] = []
+        self.x: List[float] = []
+        self.y: List[float] = []
+
+    def append(
+        self, pid: int, hop: int, node: int, x: float, y: float
+    ) -> None:
+        self.pid.append(pid)
+        self.hop.append(hop)
+        self.node.append(node)
+        self.x.append(x)
+        self.y.append(y)
+
+    def __len__(self) -> int:
+        return len(self.pid)
+
+    def entries(self) -> Iterator[HopEntry]:
+        """All entries in append order."""
+        return zip(self.pid, self.hop, self.node, self.x, self.y)
+
+
+class JsonlRecordStream:
+    """Crash-tolerant JSONL spill of hop and terminal records.
+
+    Lines are buffered and written ``batch`` at a time; :meth:`flush`
+    forces the tail out.  Opening an existing file recovers it first:
+    a torn final line (the batch a crash interrupted) is truncated
+    away, and every intact entry seeds the dedupe sets so a re-run of
+    the same deterministic replicate skips what is already on disk and
+    appends only the missing suffix.
+    """
+
+    def __init__(self, path: str, batch: int = 256):
+        if batch < 1:
+            raise ValueError(f"stream batch must be >= 1, got {batch}")
+        self.path = path
+        self.batch = batch
+        self._buffer: List[str] = []
+        #: pid -> recorded outcome (for the delivered-upgrade rule).
+        self.seen_terminals: dict = {}
+        self.seen_hops: Set[Tuple[int, int]] = set()
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._recover()
+        self._fh = open(path, "a", encoding="utf-8")
+
+    # -- recovery -------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Truncate a torn tail and load the dedupe sets."""
+        if not os.path.exists(self.path):
+            return
+        good = 0
+        with open(self.path, "rb") as fh:
+            raw = fh.read()
+        for line in raw.split(b"\n"):
+            if not line:
+                continue
+            end = good + len(line) + 1  # include the newline
+            if end > len(raw) or raw[end - 1 : end] != b"\n":
+                break  # no trailing newline: torn mid-write
+            try:
+                entry = json.loads(line)
+                tag = entry[0]
+                if tag == "h":
+                    _, pid, hop, _node, _x, _y = entry
+                    self.seen_hops.add((int(pid), int(hop)))
+                elif tag == "t":
+                    _, pid, outcome, _time = entry
+                    self.seen_terminals[int(pid)] = outcome
+                else:
+                    break
+            except (ValueError, IndexError, TypeError):
+                break
+            good = end
+        if good < len(raw):
+            with open(self.path, "r+b") as fh:
+                fh.truncate(good)
+
+    # -- writes ---------------------------------------------------------
+
+    def add_hop(
+        self, pid: int, hop: int, node: int, x: float, y: float
+    ) -> bool:
+        """Append one arrival; ``False`` when it is already on disk."""
+        if (pid, hop) in self.seen_hops:
+            return False
+        self.seen_hops.add((pid, hop))
+        self._push(json.dumps(["h", pid, hop, node, x, y]))
+        return True
+
+    def add_terminal(self, pid: int, outcome: str, time: float) -> bool:
+        """Append one terminal outcome; dedupes by pid.
+
+        ``delivered`` upgrades a previously written non-delivered
+        outcome (written as a later line; the fold's upgrade rule makes
+        it win); anything else after a recorded outcome is dropped.
+        """
+        prior = self.seen_terminals.get(pid)
+        if prior is not None and (outcome != "delivered" or prior == "delivered"):
+            return False
+        self.seen_terminals[pid] = outcome
+        self._push(json.dumps(["t", pid, outcome, time]))
+        return True
+
+    def _push(self, line: str) -> None:
+        self._buffer.append(line)
+        if len(self._buffer) >= self.batch:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._buffer:
+            self._fh.write("\n".join(self._buffer) + "\n")
+            self._buffer.clear()
+        self._fh.flush()
+
+    def close(self) -> None:
+        self.flush()
+        self._fh.close()
+
+    def __enter__(self) -> "JsonlRecordStream":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- replay ---------------------------------------------------------
+
+    def replay(self) -> Iterator[tuple]:
+        """Yield every intact entry in file order (flushes first).
+
+        Entries come back as the parsed JSON arrays: ``("h", pid, hop,
+        node, x, y)`` and ``("t", pid, outcome, time)``.
+        """
+        self.flush()
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    yield tuple(json.loads(line))

@@ -256,3 +256,81 @@ class TestChannelManager:
         sim.run()
         assert manager.holder_near(Vec2(15, 0), 10.0) == 7
         assert manager.holder_near(Vec2(100, 0), 10.0) is None
+
+
+class _RecordingPlane:
+    """Claims every payload; records (time, payload, dest, sender)."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.frames = []
+
+    def claims(self, payload):
+        return True
+
+    def on_frame(self, payload, dest_id, sender_id):
+        self.frames.append((self.sim.now, payload, dest_id, sender_id))
+
+
+class TestSendDataBatch:
+    """send_data_batch == send_data item-by-item, draw-for-draw."""
+
+    POSITIONS = [(0, 0), (10, 0), (20, 10), (120, 0)]
+
+    def _rig(self, seed=11, kill=None):
+        from repro.net import ChannelFaultModel
+        from repro.sim import RngStreams
+
+        net, nodes = make_net(self.POSITIONS)
+        sim = Simulator()
+        rng = RngStreams(seed)
+        faults = ChannelFaultModel(
+            rng, bernoulli_loss=0.3, latency_jitter=0.4
+        )
+        radio = Radio(net, sim, rng=rng, faults=faults)
+        plane = _RecordingPlane(sim)
+        radio.data_plane = plane
+        if kill is not None:
+            net.kill_node(nodes[kill].node_id)
+        return net, nodes, sim, radio, plane
+
+    def _items(self, nodes):
+        # Mix of reachable, out-of-range, and repeated destinations.
+        return [
+            (nodes[1].node_id, "f0"),
+            (nodes[3].node_id, "f1"),  # out of range
+            (nodes[2].node_id, "f2"),
+            (nodes[1].node_id, "f3"),
+            (nodes[2].node_id, "f4"),
+        ]
+
+    def test_matches_sequential_send_data(self):
+        _, nodes_a, sim_a, radio_a, plane_a = self._rig()
+        _, nodes_b, sim_b, radio_b, plane_b = self._rig()
+        sender = nodes_a[0].node_id
+        seq = [
+            radio_a.send_data(sender, dest, payload)
+            for dest, payload in self._items(nodes_a)
+        ]
+        batch = radio_b.send_data_batch(sender, self._items(nodes_b))
+        assert batch == seq
+        assert "dropped" in seq or "sent" in seq  # channel exercised
+        assert "unreachable" in seq
+        sim_a.run()
+        sim_b.run()
+        assert plane_b.frames == plane_a.frames  # same payloads, same times
+
+    def test_dead_sender_short_circuits(self):
+        _, nodes, _, radio, plane = self._rig(kill=0)
+        outcomes = radio.send_data_batch(
+            nodes[0].node_id, self._items(nodes)
+        )
+        assert outcomes == ["sender_dead"] * 5
+        assert plane.frames == []
+
+    def test_dead_destination_unreachable(self):
+        _, nodes, sim, radio, _ = self._rig(kill=1)
+        outcomes = radio.send_data_batch(
+            nodes[0].node_id, [(nodes[1].node_id, "x")]
+        )
+        assert outcomes == ["unreachable"]

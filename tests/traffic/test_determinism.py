@@ -69,3 +69,46 @@ class TestWorkerInvariance:
         assert _canon([o.result for o in serial]) == _canon(
             [o.result for o in parallel]
         )
+
+
+#: Burst workload sized to generate >= 1e4 packets at seed 91.
+VOLUME = {
+    "config": {"ideal_radius": 100.0, "radius_tolerance": 25.0},
+    "deployment": {
+        "kind": "uniform",
+        "field_radius": 260.0,
+        "n_nodes": 140,
+    },
+    "channel": {"bernoulli_loss": 0.05, "latency_jitter": 0.3},
+    "traffic": {
+        "duration": 200.0,
+        "drain": 150.0,
+        "routers": ["cell"],
+        "burst": {"rate": 0.55, "size": 100},
+    },
+}
+
+
+class TestVolumeDeterminism:
+    """>= 1e4 packets through the batched hot path, byte-identical."""
+
+    @pytest.mark.slow
+    def test_workers_invariant_at_volume(self):
+        serial = run_traffic_campaigns(VOLUME, replicates=1, workers=0)
+        parallel = run_traffic_campaigns(VOLUME, replicates=1, workers=2)
+        assert serial[0].result["generated"] >= 10_000
+        assert _canon([o.result for o in serial]) == _canon(
+            [o.result for o in parallel]
+        )
+
+    @pytest.mark.slow
+    def test_shards_invariant_at_volume(self):
+        results = {}
+        for shards in (1, 2, 4):
+            data = dict(VOLUME)
+            data["shards"] = shards
+            results[shards] = _canon(
+                run_traffic_replicate({"data": data, "seed": 91})
+            )
+        assert results[1] == results[2] == results[4]
+        assert json.loads(results[1])["generated"] >= 10_000

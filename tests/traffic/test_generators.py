@@ -137,3 +137,52 @@ class TestWorkload:
             TrafficConfig(), network, 7, 0.0
         )
         assert packets == []
+
+
+class TestBurst:
+    def test_from_dict_and_roundtrip(self):
+        config = TrafficConfig.from_dict(
+            {"duration": 50.0, "burst": {"rate": 0.5, "size": 12}}
+        )
+        assert config.burst_rate == 0.5
+        assert config.burst_size == 12
+        assert TrafficConfig.from_dict(config.to_dict()) == config
+
+    def test_default_size_omitted_from_dict(self):
+        config = TrafficConfig.from_dict({"burst": {"rate": 0.5}})
+        assert config.burst_size == 8
+        assert config.to_dict()["burst"] == {"rate": 0.5}
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"burst": {"rate": -0.1}},
+            {"burst": {"rate": 1.0, "size": 0}},
+            {"burst": {"rate": 1.0, "window": 2.0}},
+        ],
+    )
+    def test_invalid_burst_rejected(self, bad):
+        with pytest.raises(ValueError):
+            TrafficConfig.from_dict(bad)
+
+    def test_bursts_are_contiguous_same_source_groups(self, network):
+        config = TrafficConfig.from_dict(
+            {"duration": 80.0, "burst": {"rate": 0.3, "size": 5}}
+        )
+        packets = generate_workload(config, network, 7, 0.0)
+        assert packets and all(p.kind == "burst" for p in packets)
+        assert len(packets) % 5 == 0
+        # Each burst: one instant, one source, contiguous pids.
+        for i in range(0, len(packets), 5):
+            group = packets[i : i + 5]
+            assert len({p.created_at for p in group}) == 1
+            assert len({p.src for p in group}) == 1
+            for p in group:
+                assert p.dst != p.src
+
+    def test_burst_schedule_is_seeded(self, network):
+        config = TrafficConfig.from_dict({"burst": {"rate": 0.2}})
+        a = generate_workload(config, network, 7, 0.0)
+        b = generate_workload(config, network, 7, 0.0)
+        assert a == b
+        assert a != generate_workload(config, network, 8, 0.0)

@@ -1,0 +1,119 @@
+"""Streamed records: JSONL spill, torn-tail recovery, replicate resume."""
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro.traffic import JsonlRecordStream, run_traffic_replicate
+
+BASE = {
+    "config": {"ideal_radius": 100.0, "radius_tolerance": 25.0},
+    "deployment": {
+        "kind": "uniform",
+        "field_radius": 260.0,
+        "n_nodes": 140,
+    },
+    "channel": {"bernoulli_loss": 0.05, "latency_jitter": 0.3},
+    "traffic": {
+        "duration": 40.0,
+        "drain": 60.0,
+        "routers": ["cell"],
+        "flows": {"rate": 0.15},
+        "burst": {"rate": 0.1, "size": 4},
+    },
+}
+
+
+def _canon(result):
+    return json.dumps(result, sort_keys=True)
+
+
+class TestJsonlRecordStream:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "records.jsonl")
+        with JsonlRecordStream(path, batch=2) as stream:
+            assert stream.add_hop(0, 0, 5, 1.0, 2.0)
+            assert stream.add_hop(0, 1, 6, 3.0, 4.0)
+            assert stream.add_terminal(0, "delivered", 7.5)
+        with JsonlRecordStream(path) as stream:
+            entries = list(stream.replay())
+        assert entries == [
+            ("h", 0, 0, 5, 1.0, 2.0),
+            ("h", 0, 1, 6, 3.0, 4.0),
+            ("t", 0, "delivered", 7.5),
+        ]
+
+    def test_dedupes_hops_and_terminals(self, tmp_path):
+        path = str(tmp_path / "records.jsonl")
+        with JsonlRecordStream(path) as stream:
+            assert stream.add_hop(1, 0, 5, 0.0, 0.0)
+            assert not stream.add_hop(1, 0, 5, 0.0, 0.0)
+            assert stream.add_terminal(1, "dropped", 3.0)
+            assert not stream.add_terminal(1, "ttl_expired", 4.0)
+
+    def test_delivered_upgrades_but_never_downgrades(self, tmp_path):
+        path = str(tmp_path / "records.jsonl")
+        with JsonlRecordStream(path) as stream:
+            assert stream.add_terminal(1, "dropped", 3.0)
+            assert stream.add_terminal(1, "delivered", 5.0)
+            assert not stream.add_terminal(1, "dropped", 6.0)
+            assert not stream.add_terminal(1, "delivered", 7.0)
+        # Both lines persist; the fold's upgrade rule makes the later
+        # delivered line win on replay.
+        with JsonlRecordStream(path) as stream:
+            terminals = [e for e in stream.replay() if e[0] == "t"]
+        assert terminals == [
+            ("t", 1, "dropped", 3.0),
+            ("t", 1, "delivered", 5.0),
+        ]
+
+    def test_torn_tail_truncated_and_reseeded(self, tmp_path):
+        path = str(tmp_path / "records.jsonl")
+        with JsonlRecordStream(path) as stream:
+            stream.add_hop(0, 0, 5, 1.0, 2.0)
+            stream.add_terminal(0, "delivered", 7.5)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('["h", 1, 0, 9,')  # crash mid-batch: no newline
+        stream = JsonlRecordStream(path)
+        try:
+            # The torn line is gone; intact entries seed the dedupe sets.
+            assert stream.seen_hops == {(0, 0)}
+            assert stream.seen_terminals == {0: "delivered"}
+            assert not stream.add_hop(0, 0, 5, 1.0, 2.0)
+            assert stream.add_hop(1, 0, 9, 0.0, 0.0)
+            assert len(list(stream.replay())) == 3
+        finally:
+            stream.close()
+
+    def test_bad_batch_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="batch"):
+            JsonlRecordStream(str(tmp_path / "x.jsonl"), batch=0)
+
+
+class TestStreamedReplicate:
+    def test_streamed_report_matches_in_memory(self, tmp_path):
+        data = dict(BASE)
+        memory = run_traffic_replicate({"data": data, "seed": 47})
+        streamed = run_traffic_replicate(
+            {"data": data, "seed": 47, "stream_dir": str(tmp_path)}
+        )
+        assert _canon(memory) == _canon(streamed)
+        assert os.path.exists(str(tmp_path / "cell.records.jsonl"))
+
+    def test_interrupted_replicate_resumes_byte_identical(self, tmp_path):
+        data = dict(BASE)
+        spec = {"data": data, "seed": 47, "stream_dir": str(tmp_path)}
+        first = run_traffic_replicate(spec)
+        path = glob.glob(str(tmp_path / "*.records.jsonl"))[0]
+        size = os.path.getsize(path)
+        assert size > 0
+        # Simulate a crash mid-write: chop the file mid-line.
+        with open(path, "r+b") as fh:
+            fh.truncate(size * 2 // 3 + 1)
+        resumed = run_traffic_replicate(spec)
+        assert _canon(first) == _canon(resumed)
+        # The recovered file folds to the same report a fresh run gets.
+        fresh = run_traffic_replicate({"data": data, "seed": 47})
+        assert _canon(fresh) == _canon(resumed)
